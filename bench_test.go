@@ -1,0 +1,405 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation section (see DESIGN.md's experiment index). Each benchmark
+// runs a reduced-scale version of its experiment per iteration and
+// reports the headline quantity (mean optimality gap, verification count)
+// as a custom metric; scale constants up via the qubikos-eval and
+// qubikos-verify commands for paper-scale runs.
+//
+//	go test -bench=. -benchmem
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/graph"
+	"repro/internal/harness"
+	"repro/internal/mlqls"
+	"repro/internal/olsq"
+	"repro/internal/qmap"
+	"repro/internal/qubikos"
+	"repro/internal/router"
+	"repro/internal/sabre"
+	"repro/internal/sat"
+	"repro/internal/tket"
+	"repro/internal/tokenswap"
+)
+
+// benchFigure runs one reduced Figure 4 subplot per iteration.
+func benchFigure(b *testing.B, dev *arch.Device, gates int) {
+	cfg := harness.SuiteConfig{
+		Device:              dev,
+		SwapCounts:          []int{5, 10},
+		CircuitsPerCount:    1,
+		TargetTwoQubitGates: gates,
+		Seed:                1,
+	}
+	tools := harness.DefaultTools(4)
+	var lastGap float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig, err := harness.RunFigure(cfg, tools)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gaps := harness.AbstractGaps([]*harness.Figure{fig})
+		for _, g := range gaps {
+			if g.Tool == "lightsabre" {
+				lastGap = g.MeanRatio
+			}
+		}
+	}
+	b.ReportMetric(lastGap, "sabre-gap-x")
+}
+
+// BenchmarkFigure4a regenerates Figure 4(a): Rigetti Aspen-4, N=300.
+func BenchmarkFigure4a(b *testing.B) { benchFigure(b, arch.RigettiAspen4(), 300) }
+
+// BenchmarkFigure4b regenerates Figure 4(b): Google Sycamore, N=1500.
+func BenchmarkFigure4b(b *testing.B) { benchFigure(b, arch.GoogleSycamore54(), 1500) }
+
+// BenchmarkFigure4c regenerates Figure 4(c): IBM Rochester, N=1500.
+func BenchmarkFigure4c(b *testing.B) { benchFigure(b, arch.IBMRochester53(), 1500) }
+
+// BenchmarkFigure4d regenerates Figure 4(d): IBM Eagle, N=3000.
+func BenchmarkFigure4d(b *testing.B) { benchFigure(b, arch.IBMEagle127(), 3000) }
+
+// BenchmarkOptimalityStudy regenerates the Section IV-A table: exact SAT
+// certification of generated instances on Aspen-4 and the 3x3 grid.
+func BenchmarkOptimalityStudy(b *testing.B) {
+	cfg := harness.DefaultOptimalityConfig(1, 7)
+	cfg.SwapCounts = []int{1, 2, 3}
+	verified := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.RunOptimalityStudy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		verified = 0
+		for _, r := range rows {
+			if r.Deviation != 0 {
+				b.Fatalf("%s n=%d deviated", r.Device, r.OptSwaps)
+			}
+			verified += r.Verified
+		}
+	}
+	b.ReportMetric(float64(verified), "verified")
+}
+
+// BenchmarkAbstractGaps regenerates the abstract's per-tool averages over
+// two reduced subplots.
+func BenchmarkAbstractGaps(b *testing.B) {
+	cfgs := []harness.SuiteConfig{
+		{Device: arch.RigettiAspen4(), SwapCounts: []int{5, 10}, CircuitsPerCount: 1, TargetTwoQubitGates: 300, Seed: 1},
+		{Device: arch.IBMRochester53(), SwapCounts: []int{5, 10}, CircuitsPerCount: 1, TargetTwoQubitGates: 1500, Seed: 1},
+	}
+	tools := harness.DefaultTools(4)
+	var best float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var figs []*harness.Figure
+		for _, cfg := range cfgs {
+			fig, err := harness.RunFigure(cfg, tools)
+			if err != nil {
+				b.Fatal(err)
+			}
+			figs = append(figs, fig)
+		}
+		gaps := harness.AbstractGaps(figs)
+		best = gaps[0].MeanRatio
+		for _, g := range gaps {
+			if g.MeanRatio < best {
+				best = g.MeanRatio
+			}
+		}
+	}
+	b.ReportMetric(best, "best-tool-gap-x")
+}
+
+// BenchmarkCaseStudy regenerates the Section IV-C experiment: SABRE from
+// the optimal mapping plus the lookahead-decay ablation.
+func BenchmarkCaseStudy(b *testing.B) {
+	cfg := harness.DefaultCaseStudyConfig()
+	cfg.Instances = 5
+	cfg.DecaySweep = []float64{0, 0.7}
+	var sub float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunCaseStudy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sub = float64(res.Suboptimal)
+	}
+	b.ReportMetric(sub, "suboptimal")
+}
+
+// --- micro-benchmarks of the substrates ------------------------------
+
+func BenchmarkGeneratorAspen4(b *testing.B) {
+	dev := arch.RigettiAspen4()
+	for i := 0; i < b.N; i++ {
+		if _, err := qubikos.Generate(dev, qubikos.Options{
+			NumSwaps: 5, TargetTwoQubitGates: 300, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGeneratorEagle127(b *testing.B) {
+	dev := arch.IBMEagle127()
+	for i := 0; i < b.N; i++ {
+		if _, err := qubikos.Generate(dev, qubikos.Options{
+			NumSwaps: 20, TargetTwoQubitGates: 3000, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStructuralVerify(b *testing.B) {
+	bench, err := qubikos.Generate(arch.GoogleSycamore54(), qubikos.Options{
+		NumSwaps: 10, TargetTwoQubitGates: 1500, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := qubikos.Verify(bench); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchRoute(b *testing.B, mk func(seed int64) router.Router, dev *arch.Device, n, gates int) {
+	bench, err := qubikos.Generate(dev, qubikos.Options{
+		NumSwaps: n, TargetTwoQubitGates: gates, Seed: 9,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var gap float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := mk(int64(i)).Route(bench.Circuit, dev)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gap = router.SwapRatio(res.SwapCount, bench.OptSwaps)
+	}
+	b.ReportMetric(gap, "gap-x")
+}
+
+func BenchmarkRouteLightSabreAspen4(b *testing.B) {
+	benchRoute(b, func(s int64) router.Router { return sabre.New(sabre.Options{Trials: 4, Seed: s}) },
+		arch.RigettiAspen4(), 5, 300)
+}
+
+func BenchmarkRouteLightSabreEagle127(b *testing.B) {
+	benchRoute(b, func(s int64) router.Router { return sabre.New(sabre.Options{Trials: 4, Seed: s}) },
+		arch.IBMEagle127(), 5, 3000)
+}
+
+func BenchmarkRouteMLQLSSycamore54(b *testing.B) {
+	benchRoute(b, func(s int64) router.Router { return mlqls.New(mlqls.Options{Seed: s}) },
+		arch.GoogleSycamore54(), 5, 1500)
+}
+
+func BenchmarkRouteTketSycamore54(b *testing.B) {
+	benchRoute(b, func(s int64) router.Router { return tket.New(tket.Options{Seed: s}) },
+		arch.GoogleSycamore54(), 5, 1500)
+}
+
+func BenchmarkRouteQmapSycamore54(b *testing.B) {
+	benchRoute(b, func(s int64) router.Router { return qmap.New(qmap.Options{MaxNodes: 2000, Seed: s}) },
+		arch.GoogleSycamore54(), 5, 1500)
+}
+
+func BenchmarkExactDecideGrid3x3(b *testing.B) {
+	bench, err := qubikos.Generate(arch.Grid3x3(), qubikos.Options{
+		NumSwaps: 2, MaxTwoQubitGates: 30, TargetTwoQubitGates: 30, PreferHighDegree: true, Seed: 5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := olsq.New(bench.Circuit, bench.Device, olsq.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.VerifyOptimal(bench.OptSwaps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVF2SectionCheck(b *testing.B) {
+	bench, err := qubikos.Generate(arch.RigettiAspen4(), qubikos.Options{NumSwaps: 3, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gc := bench.Device.Graph()
+	var idxs []int
+	for i, z := range bench.Zone {
+		if z == 0 && bench.Circuit.Gates[i].TwoQubit() {
+			idxs = append(idxs, i)
+		}
+	}
+	gi := bench.Circuit.InteractionGraphOf(idxs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, _ := graph.SubgraphIsomorphism(gi, gc, 2_000_000); ok {
+			b.Fatal("section embedded; optimality broken")
+		}
+	}
+}
+
+func BenchmarkDistanceMatrixEagle127(b *testing.B) {
+	g := arch.IBMEagle127().Graph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.AllPairsDistances()
+	}
+}
+
+// --- ablation benches for the design choices DESIGN.md calls out ------
+
+// BenchmarkAblationPadding quantifies padding dilution: the same optimal
+// SWAP count with increasing redundant-gate totals. The reported metrics
+// are LightSABRE's mean gap without padding and at the paper's total —
+// the structural reason heuristic gaps explode on padded instances.
+func BenchmarkAblationPadding(b *testing.B) {
+	var bare, padded float64
+	for i := 0; i < b.N; i++ {
+		pts, err := harness.PaddingAblation(arch.IBMRochester53(), 5, []int{0, 1500}, 2, 4, 17)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bare, padded = pts[0].MeanRatio, pts[1].MeanRatio
+	}
+	b.ReportMetric(bare, "gap-bare-x")
+	b.ReportMetric(padded, "gap-padded-x")
+}
+
+// BenchmarkAblationSabreTrials sweeps the random-restart budget (the
+// paper uses 1000 trials; the knee of this curve shows what that buys).
+func BenchmarkAblationSabreTrials(b *testing.B) {
+	var g1, g16 float64
+	for i := 0; i < b.N; i++ {
+		pts, err := harness.TrialsAblation(arch.IBMRochester53(), 5, 1500, []int{1, 16}, 2, 23)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g1, g16 = pts[0].MeanRatio, pts[1].MeanRatio
+	}
+	b.ReportMetric(g1, "gap-1-trial-x")
+	b.ReportMetric(g16, "gap-16-trials-x")
+}
+
+// BenchmarkAblationExtendedSet sweeps SABRE's lookahead window (Qiskit
+// default 20) — the parameter the paper's case study pivots on.
+func BenchmarkAblationExtendedSet(b *testing.B) {
+	var small, dflt float64
+	for i := 0; i < b.N; i++ {
+		pts, err := harness.ExtendedSetAblation(arch.RigettiAspen4(), 15, 300, []int{5, 20}, 3, 2, 29)
+		if err != nil {
+			b.Fatal(err)
+		}
+		small, dflt = pts[0].MeanRatio, pts[1].MeanRatio
+	}
+	b.ReportMetric(small, "gap-es5-x")
+	b.ReportMetric(dflt, "gap-es20-x")
+}
+
+// BenchmarkRouterStudy regenerates the standalone-router comparison (the
+// paper's Section IV-C closing proposal): all four tools routing from the
+// planted optimal mapping.
+func BenchmarkRouterStudy(b *testing.B) {
+	cfg := harness.RouterStudyConfig{Suite: harness.SuiteConfig{
+		Device:              arch.RigettiAspen4(),
+		SwapCounts:          []int{5},
+		CircuitsPerCount:    2,
+		TargetTwoQubitGates: 300,
+		Seed:                31,
+	}}
+	var sabreGap float64
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.RunRouterStudy(cfg, harness.DefaultTools(4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Tool == "lightsabre" {
+				sabreGap = r.MeanRatio
+			}
+		}
+	}
+	b.ReportMetric(sabreGap, "sabre-routing-gap-x")
+}
+
+// BenchmarkSATSolverPigeonhole exercises the CDCL core on a classic hard
+// UNSAT family (the kind of proof the exact verifier produces at n-1).
+func BenchmarkSATSolverPigeonhole(b *testing.B) {
+	const n = 7
+	for i := 0; i < b.N; i++ {
+		s := sat.NewSolver()
+		p := make([][]sat.Lit, n+1)
+		for i := range p {
+			p[i] = make([]sat.Lit, n)
+			for j := range p[i] {
+				p[i][j] = sat.Lit(s.NewVar())
+			}
+		}
+		for i := 0; i <= n; i++ {
+			if err := s.AddClause(p[i]...); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for j := 0; j < n; j++ {
+			for i := 0; i <= n; i++ {
+				for k := i + 1; k <= n; k++ {
+					if err := s.AddClause(p[i][j].Neg(), p[k][j].Neg()); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+		if got := s.Solve(); got != sat.Unsat {
+			b.Fatalf("PHP(%d) = %v", n, got)
+		}
+	}
+}
+
+// BenchmarkSectionIIIC regenerates the paper's Section III-C analysis:
+// the VF2 + token-swapping tool is sound but suboptimal on QUBIKOS.
+func BenchmarkSectionIIIC(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunSectionIIIC(arch.RigettiAspen4(), 5, 300, 3, 99)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gap = res.MeanRatio
+	}
+	b.ReportMetric(gap, "vf2ts-gap-x")
+}
+
+// BenchmarkTokenSwap measures the token-swapping transition engine on a
+// full-device permutation.
+func BenchmarkTokenSwap(b *testing.B) {
+	g := arch.IBMEagle127().Graph()
+	perm := make([]int, g.N())
+	for i := range perm {
+		perm[i] = (i*53 + 17) % g.N() // fixed full-support permutation
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tokenswap.Solve(g, perm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

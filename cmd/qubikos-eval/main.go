@@ -1,0 +1,115 @@
+// Command qubikos-eval reproduces the paper's Figure 4: it generates
+// QUBIKOS suites on the chosen architectures, runs the four QLS tools
+// (LightSABRE, ML-QLS, QMAP-style, t|ket⟩-style), and prints per-cell
+// optimality-gap tables plus the abstract-style per-tool averages.
+//
+// Usage:
+//
+//	qubikos-eval                                  # CI-scale run, all devices
+//	qubikos-eval -circuits 10 -trials 64          # closer to paper scale
+//	qubikos-eval -arch rochester53 -csv out.csv   # one subplot, CSV export
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/harness"
+)
+
+func main() {
+	archName := flag.String("arch", "all", "device (aspen4, sycamore54, rochester53, eagle127) or all")
+	circuits := flag.Int("circuits", 3, "circuits per swap count (paper: 10)")
+	trials := flag.Int("trials", 8, "LightSABRE trials (paper: 1000)")
+	swapList := flag.String("swaps", "5,10,15,20", "comma-separated optimal swap counts")
+	seed := flag.Int64("seed", 1, "base random seed")
+	csvPath := flag.String("csv", "", "also write the cells as CSV to this file")
+	flag.Parse()
+
+	counts, err := parseCounts(*swapList)
+	if err != nil {
+		fatal(err)
+	}
+
+	suites := harness.PaperSuites(*circuits, *seed)
+	if *archName != "all" {
+		dev, err := arch.ByName(*archName)
+		if err != nil {
+			fatal(err)
+		}
+		kept := suites[:0]
+		for _, s := range suites {
+			if s.Device.Name() == dev.Name() {
+				kept = append(kept, s)
+			}
+		}
+		if len(kept) == 0 {
+			fatal(fmt.Errorf("device %q is not part of the Figure 4 suites", *archName))
+		}
+		suites = kept
+	}
+	for i := range suites {
+		suites[i].SwapCounts = counts
+	}
+
+	tools := harness.DefaultTools(*trials)
+	var figs []*harness.Figure
+	for _, cfg := range suites {
+		t0 := time.Now()
+		fig, err := harness.RunFigure(cfg, tools)
+		if err != nil {
+			fatal(err)
+		}
+		figs = append(figs, fig)
+		harness.RenderFigure(os.Stdout, fig)
+		fmt.Printf("(%s in %v)\n\n", cfg.Device.Name(), time.Since(t0).Round(time.Millisecond))
+	}
+	harness.RenderAbstract(os.Stdout, harness.AbstractGaps(figs))
+	fmt.Println("\nBest-tool gap per device:")
+	for _, d := range harness.DeviceGaps(figs) {
+		fmt.Printf("  %-12s best=%-12s %9.2fx\n", d.Device, d.BestTool, d.BestRatio)
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		for i, fig := range figs {
+			if i == 0 {
+				harness.RenderFigureCSV(f, fig)
+			} else {
+				// Skip the header for subsequent figures.
+				var sb strings.Builder
+				harness.RenderFigureCSV(&sb, fig)
+				lines := strings.SplitN(sb.String(), "\n", 2)
+				if len(lines) == 2 {
+					fmt.Fprint(f, lines[1])
+				}
+			}
+		}
+		fmt.Println("wrote", *csvPath)
+	}
+}
+
+func parseCounts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &n); err != nil || n < 1 {
+			return nil, fmt.Errorf("bad swap count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qubikos-eval:", err)
+	os.Exit(1)
+}

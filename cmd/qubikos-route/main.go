@@ -1,0 +1,90 @@
+// Command qubikos-route routes a benchmark instance (written by
+// qubikos-gen) with one of the four QLS tools and reports the SWAP count
+// and optimality gap. With -from-optimal it starts the router from the
+// instance's planted optimal mapping — the paper's standalone-router
+// evaluation mode.
+//
+// Usage:
+//
+//	qubikos-route -dir bench -base qubikos_aspen4_s5_g300_i000 -tool lightsabre
+//	qubikos-route -dir bench -base ... -tool tket -from-optimal
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bmt"
+	"repro/internal/mlqls"
+	"repro/internal/qmap"
+	"repro/internal/qubikos"
+	"repro/internal/router"
+	"repro/internal/sabre"
+	"repro/internal/tket"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "directory holding the instance files")
+	base := flag.String("base", "", "instance base name (without .qasm/.json)")
+	tool := flag.String("tool", "lightsabre", "lightsabre, ml-qls, qmap, tket, vf2-ts")
+	trials := flag.Int("trials", 32, "LightSABRE trials")
+	seed := flag.Int64("seed", 1, "router seed")
+	fromOptimal := flag.Bool("from-optimal", false, "route from the planted optimal initial mapping")
+	flag.Parse()
+
+	if *base == "" {
+		fatal(fmt.Errorf("-base is required"))
+	}
+	inst, err := qubikos.ReadInstance(*dir, *base)
+	if err != nil {
+		fatal(err)
+	}
+
+	var r router.Router
+	switch *tool {
+	case "lightsabre":
+		r = sabre.New(sabre.Options{Trials: *trials, Seed: *seed})
+	case "ml-qls":
+		r = mlqls.New(mlqls.Options{Seed: *seed})
+	case "qmap":
+		r = qmap.New(qmap.Options{MaxNodes: 2000, Seed: *seed})
+	case "tket":
+		r = tket.New(tket.Options{Seed: *seed})
+	case "vf2-ts":
+		r = bmt.New(bmt.Options{})
+	default:
+		fatal(fmt.Errorf("unknown tool %q", *tool))
+	}
+
+	var res *router.Result
+	if *fromOptimal {
+		pr, ok := r.(router.PlacedRouter)
+		if !ok {
+			fatal(fmt.Errorf("tool %q cannot route from a fixed mapping", *tool))
+		}
+		res, err = pr.RouteFrom(inst.Circuit, inst.Device, router.Mapping(inst.Meta.InitialMapping))
+	} else {
+		res, err = r.Route(inst.Circuit, inst.Device)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if err := router.Validate(inst.Circuit, inst.Device, res); err != nil {
+		fatal(fmt.Errorf("tool produced an invalid result: %w", err))
+	}
+
+	fmt.Printf("instance: %s on %s (%d two-qubit gates, optimal swaps %d)\n",
+		*base, inst.Meta.Device, inst.Meta.TwoQubitGates, inst.Meta.OptimalSwaps)
+	mode := "full layout synthesis"
+	if *fromOptimal {
+		mode = "routing from the optimal mapping"
+	}
+	fmt.Printf("%s (%s): %d SWAPs -> gap %.2fx\n",
+		res.Tool, mode, res.SwapCount, router.SwapRatio(res.SwapCount, inst.Meta.OptimalSwaps))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qubikos-route:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,113 @@
+// Command qubikos-verify reproduces the paper's Section IV-A optimality
+// study: it generates small QUBIKOS instances (≤30 two-qubit gates) on
+// Rigetti Aspen-4 and the 3x3 grid and certifies each one with the exact
+// SAT-based layout synthesizer — UNSAT at n-1 SWAPs and SAT at n — so a
+// zero-deviation table reproduces the paper's "no deviations observed"
+// result. It can also verify a single QASM file against a claimed count.
+//
+// Usage:
+//
+//	qubikos-verify -circuits 10 -seed 7          # the study
+//	qubikos-verify -qasm bench.qasm -arch aspen4 -claim 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/harness"
+	"repro/internal/olsq"
+)
+
+func main() {
+	circuits := flag.Int("circuits", 5, "circuits per (device, swap count) cell (paper: 100)")
+	seed := flag.Int64("seed", 7, "base random seed")
+	swapList := flag.String("swaps", "1,2,3,4", "comma-separated swap counts")
+	qasm := flag.String("qasm", "", "verify one OpenQASM file instead of running the study")
+	archName := flag.String("arch", "aspen4", "device for -qasm mode")
+	claim := flag.Int("claim", -1, "claimed optimal swap count for -qasm mode")
+	maxK := flag.Int("maxk", 8, "search bound when no -claim is given")
+	flag.Parse()
+
+	if *qasm != "" {
+		verifyFile(*qasm, *archName, *claim, *maxK)
+		return
+	}
+
+	cfg := harness.DefaultOptimalityConfig(*circuits, *seed)
+	counts, err := parseCounts(*swapList)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.SwapCounts = counts
+
+	t0 := time.Now()
+	rows, err := harness.RunOptimalityStudy(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	harness.RenderOptimality(os.Stdout, rows)
+	total, dev := 0, 0
+	for _, r := range rows {
+		total += r.Circuits
+		dev += r.Deviation
+	}
+	fmt.Printf("\n%d circuits verified in %v; deviations: %d\n", total, time.Since(t0).Round(time.Millisecond), dev)
+	if dev > 0 {
+		os.Exit(1)
+	}
+}
+
+func verifyFile(path, archName string, claim, maxK int) {
+	devc, err := arch.ByName(archName)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	c, err := circuit.ParseQASM(f)
+	if err != nil {
+		fatal(err)
+	}
+	s, err := olsq.New(c, devc, olsq.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	if claim >= 0 {
+		if err := s.VerifyOptimal(claim); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: optimal SWAP count is exactly %d (verified)\n", path, claim)
+		return
+	}
+	res, err := s.MinSwaps(maxK)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: optimal SWAP count is %d (searched up to %d)\n", path, res.SwapCount, maxK)
+}
+
+func parseCounts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &n); err != nil || n < 1 {
+			return nil, fmt.Errorf("bad swap count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qubikos-verify:", err)
+	os.Exit(1)
+}

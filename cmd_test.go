@@ -1,0 +1,133 @@
+// Command-line smoke tests: build each binary once and drive the full
+// on-disk workflow (generate -> verify -> route) the way a user would.
+package repro_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmds compiles the four commands into a temp dir, once per test
+// binary invocation.
+func buildCmds(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, name := range []string{"qubikos-gen", "qubikos-eval", "qubikos-verify", "qubikos-route"} {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, b)
+		}
+	}
+	return dir
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	b, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, b)
+	}
+	return string(b)
+}
+
+func TestCommandPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	bins := buildCmds(t)
+	work := t.TempDir()
+
+	// Generate two instances.
+	out := run(t, filepath.Join(bins, "qubikos-gen"),
+		"-arch", "aspen4", "-swaps", "3", "-gates", "80", "-count", "2",
+		"-seed", "5", "-out", work)
+	if !strings.Contains(out, "optimal swaps 3") {
+		t.Fatalf("gen output unexpected:\n%s", out)
+	}
+	entries, err := os.ReadDir(work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 6 { // 2 instances x (qasm, solution.qasm, json)
+		t.Fatalf("generated %d files, want 6", len(entries))
+	}
+	var base string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".json") {
+			base = strings.TrimSuffix(e.Name(), ".json")
+			break
+		}
+	}
+
+	// Route the stored instance with two tools.
+	out = run(t, filepath.Join(bins, "qubikos-route"),
+		"-dir", work, "-base", base, "-tool", "lightsabre", "-trials", "8")
+	if !strings.Contains(out, "gap") {
+		t.Fatalf("route output unexpected:\n%s", out)
+	}
+	out = run(t, filepath.Join(bins, "qubikos-route"),
+		"-dir", work, "-base", base, "-tool", "vf2-ts")
+	if !strings.Contains(out, "vf2-ts") {
+		t.Fatalf("vf2-ts route output unexpected:\n%s", out)
+	}
+	out = run(t, filepath.Join(bins, "qubikos-route"),
+		"-dir", work, "-base", base, "-tool", "tket", "-from-optimal")
+	if !strings.Contains(out, "routing from the optimal mapping") {
+		t.Fatalf("route -from-optimal output unexpected:\n%s", out)
+	}
+
+	// Exact verification of the stored QASM against its claimed optimum.
+	out = run(t, filepath.Join(bins, "qubikos-verify"),
+		"-qasm", filepath.Join(work, base+".qasm"), "-arch", "aspen4", "-claim", "3")
+	if !strings.Contains(out, "optimal SWAP count is exactly 3") {
+		t.Fatalf("verify output unexpected:\n%s", out)
+	}
+
+	// A tiny eval run across one architecture.
+	out = run(t, filepath.Join(bins, "qubikos-eval"),
+		"-arch", "aspen4", "-circuits", "1", "-trials", "2", "-swaps", "2,3",
+		"-csv", filepath.Join(work, "cells.csv"))
+	if !strings.Contains(out, "lightsabre") || !strings.Contains(out, "Average optimality gap") {
+		t.Fatalf("eval output unexpected:\n%s", out)
+	}
+	csv, err := os.ReadFile(filepath.Join(work, "cells.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "device,tool,opt_swaps") {
+		t.Fatal("CSV missing header")
+	}
+
+	// The small-scale optimality study.
+	out = run(t, filepath.Join(bins, "qubikos-verify"),
+		"-circuits", "1", "-swaps", "1,2", "-seed", "3")
+	if !strings.Contains(out, "deviations: 0") {
+		t.Fatalf("study output unexpected:\n%s", out)
+	}
+}
+
+func TestCommandErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	bins := buildCmds(t)
+	cases := [][]string{
+		{filepath.Join(bins, "qubikos-gen"), "-arch", "nonexistent"},
+		{filepath.Join(bins, "qubikos-route"), "-tool", "lightsabre"},            // missing -base
+		{filepath.Join(bins, "qubikos-route"), "-base", "x", "-tool", "bogus"},   // unknown tool
+		{filepath.Join(bins, "qubikos-eval"), "-arch", "grid3x3"},                // not a Figure-4 device
+		{filepath.Join(bins, "qubikos-verify"), "-qasm", "/does/not/exist.qasm"}, // missing file
+	}
+	for _, c := range cases {
+		cmd := exec.Command(c[0], c[1:]...)
+		if err := cmd.Run(); err == nil {
+			t.Errorf("%v: expected failure", c)
+		}
+	}
+}

@@ -1,0 +1,23 @@
+// Casestudy: the paper's Section IV-C analysis — give SABRE the *optimal*
+// initial mapping on Aspen-4 QUBIKOS instances and watch its routing
+// still go wrong; dump the cost breakdown of an illustrative decision
+// (the paper's Figure 5 showed equal basic costs with the uniform
+// lookahead term steering toward the wrong SWAP), then ablate the
+// decay-weighted lookahead the paper proposes as a fix.
+package main
+
+import (
+	"log"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	cfg := harness.DefaultCaseStudyConfig()
+	res, err := harness.RunCaseStudy(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	harness.RenderCaseStudy(os.Stdout, res)
+}

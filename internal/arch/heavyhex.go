@@ -1,0 +1,136 @@
+package arch
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// HeavyHex generates a parametric heavy-hex lattice in the style of IBM's
+// Falcon/Hummingbird/Eagle processors: long horizontal rows of qubits
+// joined by single-qubit vertical connectors whose columns alternate
+// between ≡0 (mod 4) and ≡2 (mod 4) per gap. rows is the number of long
+// rows (>= 2) and cols the number of columns in a full row (>= 5). The
+// first row omits its last column and the final row omits its first, the
+// indentation IBM's devices use. Qubits are indexed row by row with each
+// row's connectors following it.
+//
+// HeavyHex(7, 15) is exactly the 127-qubit Eagle lattice.
+func HeavyHex(rows, cols int) *Device {
+	if rows < 2 || cols < 5 {
+		panic(fmt.Sprintf("arch: heavy-hex needs rows >= 2 and cols >= 5, got %dx%d", rows, cols))
+	}
+	type span struct{ lo, hi int }
+	rowSpan := make([]span, rows)
+	for r := range rowSpan {
+		rowSpan[r] = span{0, cols - 1}
+	}
+	rowSpan[0].hi = cols - 2
+	rowSpan[rows-1].lo = 1
+
+	// A connector column must exist in both rows it joins.
+	inSpan := func(r, c int) bool { return c >= rowSpan[r].lo && c <= rowSpan[r].hi }
+	colsFrom := func(gap, start int) []int {
+		var out []int
+		for c := start; c < cols; c += 4 {
+			if inSpan(gap, c) && inSpan(gap+1, c) {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+	connCols := func(gap int) []int {
+		start, alt := 0, 2
+		if gap%2 == 1 {
+			start, alt = 2, 0
+		}
+		if out := colsFrom(gap, start); len(out) > 0 {
+			return out
+		}
+		// Narrow lattices can miss every column of the preferred offset;
+		// fall back to the alternate offset, then to any shared column,
+		// so the lattice stays connected.
+		if out := colsFrom(gap, alt); len(out) > 0 {
+			return out
+		}
+		for c := 0; c < cols; c++ {
+			if inSpan(gap, c) && inSpan(gap+1, c) {
+				return []int{c}
+			}
+		}
+		return nil
+	}
+
+	id := map[[2]int]int{}
+	next := 0
+	connID := map[[2]int]int{}
+	for r := 0; r < rows; r++ {
+		for c := rowSpan[r].lo; c <= rowSpan[r].hi; c++ {
+			id[[2]int{r, c}] = next
+			next++
+		}
+		if r+1 < rows {
+			for _, c := range connCols(r) {
+				connID[[2]int{r, c}] = next
+				next++
+			}
+		}
+	}
+	g := graph.New(next)
+	add := func(u, v int) {
+		if err := g.AddEdge(u, v); err != nil {
+			panic(err)
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := rowSpan[r].lo; c < rowSpan[r].hi; c++ {
+			add(id[[2]int{r, c}], id[[2]int{r, c + 1}])
+		}
+	}
+	for r := 0; r+1 < rows; r++ {
+		for _, c := range connCols(r) {
+			v, ok := connID[[2]int{r, c}]
+			if !ok {
+				continue
+			}
+			add(v, id[[2]int{r, c}])
+			add(v, id[[2]int{r + 1, c}])
+		}
+	}
+	return mustDevice(fmt.Sprintf("heavyhex-%dx%d", rows, cols), g)
+}
+
+// IBMFalcon27 returns the 27-qubit Falcon-class heavy-hex topology
+// (ibmq_montreal / ibm_cairo family), reconstructed from the published
+// coupling diagram. Max degree 3, 28 couplers.
+func IBMFalcon27() *Device {
+	edges := [][2]int{
+		{0, 1}, {1, 2}, {2, 3}, {3, 5},
+		{1, 4}, {4, 7},
+		{5, 8}, {8, 9}, {8, 11},
+		{6, 7}, {7, 10}, {10, 12},
+		{11, 14}, {12, 13}, {12, 15}, {13, 14},
+		{14, 16}, {15, 18}, {16, 19}, {17, 18},
+		{18, 21}, {19, 20}, {19, 22}, {21, 23},
+		{22, 25}, {23, 24}, {24, 25}, {25, 26},
+	}
+	g := graph.New(27)
+	for _, e := range edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			panic(err)
+		}
+	}
+	return mustDevice("falcon27", g)
+}
+
+// IBMHummingbird65 returns the 65-qubit Hummingbird-class heavy-hex
+// topology (ibmq_manhattan / ibmq_brooklyn family) generated from the
+// parametric lattice: 5 long rows of 11 columns (10/11/11/11/10 qubits
+// plus 12 connectors).
+func IBMHummingbird65() *Device {
+	d := HeavyHex(5, 11)
+	if d.NumQubits() != 65 {
+		panic(fmt.Sprintf("arch: hummingbird lattice produced %d qubits, want 65", d.NumQubits()))
+	}
+	return mustDevice("hummingbird65", d.Graph().Clone())
+}

@@ -1,0 +1,80 @@
+package arch
+
+import "testing"
+
+func TestHeavyHexMatchesEagle(t *testing.T) {
+	d := HeavyHex(7, 15)
+	e := IBMEagle127()
+	if d.NumQubits() != e.NumQubits() {
+		t.Fatalf("heavyhex(7,15) has %d qubits, eagle has %d", d.NumQubits(), e.NumQubits())
+	}
+	if d.NumCouplers() != e.NumCouplers() {
+		t.Fatalf("heavyhex(7,15) has %d couplers, eagle has %d", d.NumCouplers(), e.NumCouplers())
+	}
+	// Degree multisets must agree.
+	count := func(dev *Device) map[int]int {
+		m := map[int]int{}
+		for v := 0; v < dev.NumQubits(); v++ {
+			m[dev.Graph().Degree(v)]++
+		}
+		return m
+	}
+	cd, ce := count(d), count(e)
+	for k, v := range ce {
+		if cd[k] != v {
+			t.Fatalf("degree distribution differs at %d: %d vs %d", k, cd[k], v)
+		}
+	}
+}
+
+func TestHeavyHexFamilyInvariants(t *testing.T) {
+	for _, cfg := range [][2]int{{2, 5}, {3, 7}, {5, 10}, {7, 15}, {9, 17}} {
+		d := HeavyHex(cfg[0], cfg[1])
+		if !d.Graph().Connected() {
+			t.Fatalf("heavyhex%v disconnected", cfg)
+		}
+		if got := d.Graph().MaxDegree(); got > 3 {
+			t.Fatalf("heavyhex%v max degree %d > 3", cfg, got)
+		}
+	}
+}
+
+func TestHeavyHexPanicsOnTinyParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for rows=1")
+		}
+	}()
+	HeavyHex(1, 10)
+}
+
+func TestFalcon27(t *testing.T) {
+	d := IBMFalcon27()
+	if d.NumQubits() != 27 || d.NumCouplers() != 28 {
+		t.Fatalf("falcon27: %dq %de want 27q 28e", d.NumQubits(), d.NumCouplers())
+	}
+	if d.Graph().MaxDegree() != 3 {
+		t.Errorf("falcon max degree %d", d.Graph().MaxDegree())
+	}
+	if !d.Graph().Connected() {
+		t.Error("falcon disconnected")
+	}
+}
+
+func TestHummingbird65(t *testing.T) {
+	d := IBMHummingbird65()
+	if d.NumQubits() != 65 {
+		t.Fatalf("hummingbird: %d qubits", d.NumQubits())
+	}
+	if d.Graph().MaxDegree() != 3 || !d.Graph().Connected() {
+		t.Error("hummingbird structure wrong")
+	}
+}
+
+func TestByNameIncludesHeavyHexFamily(t *testing.T) {
+	for _, name := range []string{"falcon27", "hummingbird65", "falcon", "hummingbird"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+}

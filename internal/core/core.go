@@ -1,0 +1,30 @@
+// Package core exposes the paper's primary contribution — the QUBIKOS
+// benchmark generator with provably optimal SWAP counts — under the
+// repository's conventional "core" name. It is a thin façade over
+// package qubikos, which holds the implementation, so that downstream
+// code can depend on a stable alias while the generator internals evolve.
+package core
+
+import (
+	"repro/internal/arch"
+	"repro/internal/qubikos"
+)
+
+// Options configures benchmark generation. See qubikos.Options.
+type Options = qubikos.Options
+
+// Benchmark is a generated instance bundled with its provably optimal
+// solution. See qubikos.Benchmark.
+type Benchmark = qubikos.Benchmark
+
+// Section is the construction metadata of one backbone section.
+type Section = qubikos.Section
+
+// Generate constructs a QUBIKOS benchmark on the device.
+func Generate(dev *arch.Device, opts Options) (*Benchmark, error) {
+	return qubikos.Generate(dev, opts)
+}
+
+// Verify re-checks the structural premises of the optimality proof on a
+// generated benchmark.
+func Verify(b *Benchmark) error { return qubikos.Verify(b) }

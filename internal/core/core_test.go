@@ -1,0 +1,27 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func TestFacadeGenerateAndVerify(t *testing.T) {
+	b, err := Generate(arch.Grid3x3(), Options{NumSwaps: 2, TargetTwoQubitGates: 30, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.OptSwaps != 2 {
+		t.Fatalf("OptSwaps=%d", b.OptSwaps)
+	}
+	if err := Verify(b); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Sections) != 2 {
+		t.Fatalf("sections=%d", len(b.Sections))
+	}
+	var s Section = b.Sections[0]
+	if s.Special.Q0 == s.Special.Q1 {
+		t.Fatal("degenerate special gate")
+	}
+}

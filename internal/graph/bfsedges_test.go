@@ -1,0 +1,95 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBFSAllEdgeOrderCoversAllEdges(t *testing.T) {
+	g := mustGraph(t, 6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {1, 4}, {4, 5}, {5, 1}})
+	order := g.BFSAllEdgeOrder([]int{0}, nil)
+	if len(order) != g.M() {
+		t.Fatalf("emitted %d of %d edges", len(order), g.M())
+	}
+	seen := map[Edge]bool{}
+	for _, e := range order {
+		n := e.Normalize()
+		if seen[n] {
+			t.Fatalf("edge %v emitted twice", n)
+		}
+		seen[n] = true
+	}
+}
+
+// The QUBIKOS dependency property: when edge i is emitted, at least one
+// endpoint must already appear among sources or earlier edges' endpoints.
+func TestBFSAllEdgeOrderPrefixConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 50; iter++ {
+		n := 5 + rng.Intn(8)
+		g := New(n)
+		// Random connected graph: spanning tree + extras.
+		perm := rng.Perm(n)
+		for i := 1; i < n; i++ {
+			if err := g.AddEdge(perm[i], perm[rng.Intn(i)]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for k := 0; k < n; k++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b && !g.HasEdge(a, b) {
+				if err := g.AddEdge(a, b); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		src := rng.Intn(n)
+		order := g.BFSAllEdgeOrder([]int{src}, nil)
+		if len(order) != g.M() {
+			t.Fatalf("iter %d: emitted %d of %d edges", iter, len(order), g.M())
+		}
+		visited := map[int]bool{src: true}
+		for i, e := range order {
+			if !visited[e.U] && !visited[e.V] {
+				t.Fatalf("iter %d: edge %d (%v) floats free of the visited set", iter, i, e)
+			}
+			visited[e.U] = true
+			visited[e.V] = true
+		}
+	}
+}
+
+func TestBFSAllEdgeOrderMultiSource(t *testing.T) {
+	// Two components, one source in each: both fully covered.
+	g := mustGraph(t, 6, [][2]int{{0, 1}, {1, 2}, {3, 4}, {4, 5}})
+	order := g.BFSAllEdgeOrder([]int{0, 3}, nil)
+	if len(order) != 4 {
+		t.Fatalf("emitted %d edges want 4", len(order))
+	}
+	// Single source covers only its own component.
+	order = g.BFSAllEdgeOrder([]int{0}, nil)
+	if len(order) != 2 {
+		t.Fatalf("emitted %d edges want 2", len(order))
+	}
+}
+
+func TestBFSAllEdgeOrderSkip(t *testing.T) {
+	g := cycle(5)
+	skip := map[Edge]bool{{0, 4}: true}
+	order := g.BFSAllEdgeOrder([]int{0}, skip)
+	if len(order) != 4 {
+		t.Fatalf("emitted %d edges want 4", len(order))
+	}
+	for _, e := range order {
+		if e.Normalize() == (Edge{0, 4}) {
+			t.Fatal("skipped edge emitted")
+		}
+	}
+}
+
+func TestBFSAllEdgeOrderEmptySources(t *testing.T) {
+	g := cycle(4)
+	if got := g.BFSAllEdgeOrder(nil, nil); len(got) != 0 {
+		t.Fatalf("no sources should emit nothing, got %v", got)
+	}
+}

@@ -1,0 +1,333 @@
+// Package graph provides the undirected-graph substrate used throughout the
+// QUBIKOS reproduction: coupling graphs, interaction graphs, breadth-first
+// search, connectivity, and subgraph-isomorphism testing.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is an undirected edge between two vertices. The order of U and V is
+// not significant; Normalize puts the smaller endpoint first.
+type Edge struct {
+	U, V int
+}
+
+// Normalize returns the edge with endpoints ordered so that U <= V.
+func (e Edge) Normalize() Edge {
+	if e.U > e.V {
+		return Edge{e.V, e.U}
+	}
+	return e
+}
+
+// Other returns the endpoint of e that is not v. It panics if v is not an
+// endpoint of e.
+func (e Edge) Other(v int) int {
+	switch v {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	}
+	panic(fmt.Sprintf("graph: vertex %d is not an endpoint of edge %v", v, e))
+}
+
+// Graph is a simple undirected graph on vertices 0..N-1 with adjacency-list
+// and adjacency-set representations maintained together. The zero value is
+// not usable; construct with New.
+type Graph struct {
+	n     int
+	adj   [][]int
+	set   []map[int]bool
+	edges []Edge
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	g := &Graph{
+		n:   n,
+		adj: make([][]int, n),
+		set: make([]map[int]bool, n),
+	}
+	for i := range g.set {
+		g.set[i] = make(map[int]bool)
+	}
+	return g
+}
+
+// FromEdges builds a graph on n vertices containing the given edges.
+// Duplicate edges and self-loops are rejected.
+func FromEdges(n int, edges []Edge) (*Graph, error) {
+	g := New(n)
+	for _, e := range edges {
+		if err := g.AddEdge(e.U, e.V); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// MustFromEdges is FromEdges but panics on error; intended for static
+// architecture definitions that are validated by tests.
+func MustFromEdges(n int, edges []Edge) *Graph {
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// AddEdge inserts the undirected edge (u,v). It returns an error on
+// out-of-range endpoints, self-loops, or duplicate edges.
+func (g *Graph) AddEdge(u, v int) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop on vertex %d", u)
+	}
+	if g.set[u][v] {
+		return fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
+	}
+	g.set[u][v] = true
+	g.set[v][u] = true
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+	g.edges = append(g.edges, Edge{u, v}.Normalize())
+	return nil
+}
+
+// HasEdge reports whether (u,v) is an edge. Out-of-range vertices are
+// simply not adjacent.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return false
+	}
+	return g.set[u][v]
+}
+
+// Neighbors returns the adjacency list of v. The returned slice is owned by
+// the graph and must not be modified.
+func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// MaxDegree returns the maximum vertex degree, or 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.n; v++ {
+		if d := g.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Edges returns a copy of the edge list with normalized endpoint order.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	for _, e := range g.edges {
+		if err := c.AddEdge(e.U, e.V); err != nil {
+			panic(err) // unreachable: source graph is simple
+		}
+	}
+	return c
+}
+
+// DegreeSequence returns the sorted (descending) degree sequence.
+func (g *Graph) DegreeSequence() []int {
+	ds := make([]int, g.n)
+	for v := range ds {
+		ds[v] = g.Degree(v)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(ds)))
+	return ds
+}
+
+// BFSFrom runs a breadth-first search from the given source vertices
+// (all at distance 0) and returns the distance to every vertex, with -1 for
+// unreachable vertices.
+func (g *Graph) BFSFrom(sources ...int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]int, 0, g.n)
+	for _, s := range sources {
+		if s < 0 || s >= g.n {
+			panic(fmt.Sprintf("graph: BFS source %d out of range", s))
+		}
+		if dist[s] == -1 {
+			dist[s] = 0
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[v] {
+			if dist[w] == -1 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// BFSEdgeOrder runs a BFS from the given sources and returns the edges in
+// the order their far endpoint was first discovered. Only tree edges are
+// returned: each returned edge connects an already-visited vertex to a
+// newly discovered one, so consecutive prefixes always form a connected
+// subgraph containing the sources. Edges in skip are never traversed.
+func (g *Graph) BFSEdgeOrder(sources []int, skip map[Edge]bool) []Edge {
+	visited := make([]bool, g.n)
+	queue := make([]int, 0, g.n)
+	for _, s := range sources {
+		if !visited[s] {
+			visited[s] = true
+			queue = append(queue, s)
+		}
+	}
+	var order []Edge
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[v] {
+			if visited[w] {
+				continue
+			}
+			if skip != nil && skip[Edge{v, w}.Normalize()] {
+				continue
+			}
+			visited[w] = true
+			order = append(order, Edge{v, w})
+			queue = append(queue, w)
+		}
+	}
+	return order
+}
+
+// BFSAllEdgeOrder runs a BFS from the given sources and returns every edge
+// reachable from them, each exactly once, in discovery order: an edge is
+// emitted when its first endpoint is dequeued, so at emission time at
+// least one endpoint has already been visited (for tree edges) or both
+// have (for cross edges). This is the ordering QUBIKOS uses to serialize
+// section gates: consecutive prefixes always touch previously visited
+// qubits, which chains gate dependencies back to the BFS sources. Edges in
+// skip are neither emitted nor traversed.
+func (g *Graph) BFSAllEdgeOrder(sources []int, skip map[Edge]bool) []Edge {
+	visited := make([]bool, g.n)
+	emitted := make(map[Edge]bool)
+	queue := make([]int, 0, g.n)
+	for _, s := range sources {
+		if !visited[s] {
+			visited[s] = true
+			queue = append(queue, s)
+		}
+	}
+	var order []Edge
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[v] {
+			e := Edge{v, w}.Normalize()
+			if skip != nil && skip[e] {
+				continue
+			}
+			if !emitted[e] {
+				emitted[e] = true
+				order = append(order, Edge{v, w})
+			}
+			if !visited[w] {
+				visited[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return order
+}
+
+// AllPairsDistances returns the matrix of BFS distances between every pair
+// of vertices (-1 where disconnected).
+func (g *Graph) AllPairsDistances() [][]int {
+	d := make([][]int, g.n)
+	for v := 0; v < g.n; v++ {
+		d[v] = g.BFSFrom(v)
+	}
+	return d
+}
+
+// Connected reports whether the graph is connected. The empty graph and the
+// single-vertex graph are connected.
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	dist := g.BFSFrom(0)
+	for _, d := range dist {
+		if d == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Components returns the connected components as vertex lists, each sorted
+// ascending, ordered by their smallest vertex.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, g.n)
+	var comps [][]int
+	for v := 0; v < g.n; v++ {
+		if seen[v] {
+			continue
+		}
+		var comp []int
+		queue := []int{v}
+		seen[v] = true
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			comp = append(comp, x)
+			for _, w := range g.adj[x] {
+				if !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// InducedDegrees returns, for each vertex, the number of incident edges in
+// the subset es (vertices outside es's endpoints get 0).
+func InducedDegrees(n int, es []Edge) []int {
+	deg := make([]int, n)
+	for _, e := range es {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	return deg
+}

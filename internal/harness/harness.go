@@ -1,0 +1,386 @@
+// Package harness drives the paper's experiments: it generates QUBIKOS
+// suites with deterministic seeds, runs the four QLS tools, aggregates
+// SWAP-ratio statistics, and renders the tables behind every figure in
+// the evaluation section (Figure 4 a-d, the Section IV-A optimality
+// study, the abstract's per-tool averages, and the Section IV-C case
+// study).
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/mlqls"
+	"repro/internal/olsq"
+	"repro/internal/qmap"
+	"repro/internal/qubikos"
+	"repro/internal/router"
+	"repro/internal/sabre"
+	"repro/internal/tket"
+)
+
+// ToolSpec names a QLS tool and builds a fresh instance per run.
+type ToolSpec struct {
+	Name string
+	Make func(seed int64) router.Router
+}
+
+// DefaultTools returns the paper's four tools in its reporting order.
+// sabreTrials controls LightSABRE's random-restart budget (the paper uses
+// 1000; CI-scale runs use far fewer).
+func DefaultTools(sabreTrials int) []ToolSpec {
+	return []ToolSpec{
+		{"lightsabre", func(seed int64) router.Router {
+			return sabre.New(sabre.Options{Trials: sabreTrials, Seed: seed})
+		}},
+		{"ml-qls", func(seed int64) router.Router {
+			return mlqls.New(mlqls.Options{Seed: seed})
+		}},
+		{"qmap", func(seed int64) router.Router {
+			return qmap.New(qmap.Options{MaxNodes: 2000, Seed: seed})
+		}},
+		{"tket", func(seed int64) router.Router {
+			return tket.New(tket.Options{Seed: seed})
+		}},
+	}
+}
+
+// SuiteConfig describes one Figure-4 style suite: a device, the sweep of
+// optimal SWAP counts, circuits per count, and the padded gate total.
+type SuiteConfig struct {
+	Device              *arch.Device
+	SwapCounts          []int
+	CircuitsPerCount    int
+	TargetTwoQubitGates int
+	Seed                int64
+	// Verify runs the structural verifier on every generated benchmark.
+	Verify bool
+}
+
+// PaperSuites returns the four Figure-4 configurations with the paper's
+// gate totals (300 / 1500 / 1500 / 3000), scaled by circuitsPer count.
+func PaperSuites(circuitsPer int, seed int64) []SuiteConfig {
+	mk := func(dev *arch.Device, gates int) SuiteConfig {
+		return SuiteConfig{
+			Device:              dev,
+			SwapCounts:          []int{5, 10, 15, 20},
+			CircuitsPerCount:    circuitsPer,
+			TargetTwoQubitGates: gates,
+			Seed:                seed,
+			Verify:              true,
+		}
+	}
+	return []SuiteConfig{
+		mk(arch.RigettiAspen4(), 300),
+		mk(arch.GoogleSycamore54(), 1500),
+		mk(arch.IBMRochester53(), 1500),
+		mk(arch.IBMEagle127(), 3000),
+	}
+}
+
+// GenerateSuite builds the benchmarks of a suite, deterministic in the
+// configured seed.
+func GenerateSuite(cfg SuiteConfig) ([]*qubikos.Benchmark, error) {
+	var out []*qubikos.Benchmark
+	for _, n := range cfg.SwapCounts {
+		for i := 0; i < cfg.CircuitsPerCount; i++ {
+			b, err := qubikos.Generate(cfg.Device, qubikos.Options{
+				NumSwaps:            n,
+				TargetTwoQubitGates: cfg.TargetTwoQubitGates,
+				Seed:                cfg.Seed + int64(n)*1_000_000 + int64(i),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("harness: generate %s n=%d i=%d: %w", cfg.Device.Name(), n, i, err)
+			}
+			if cfg.Verify {
+				if err := qubikos.Verify(b); err != nil {
+					return nil, fmt.Errorf("harness: verify %s n=%d i=%d: %w", cfg.Device.Name(), n, i, err)
+				}
+			}
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}
+
+// Cell aggregates one (tool, optimal-swap-count) cell of a Figure-4 plot.
+type Cell struct {
+	Tool      string
+	OptSwaps  int
+	Circuits  int
+	MeanSwaps float64
+	MeanRatio float64 // the paper's optimality gap: avg(achieved)/optimal
+	MinRatio  float64
+	MaxRatio  float64
+	Failures  int
+}
+
+// Figure is the material behind one Figure 4 subplot.
+type Figure struct {
+	Device string
+	Gates  int
+	Cells  []Cell
+}
+
+// RunFigure runs every tool over the suite and aggregates per swap count.
+// Every result is audited with router.Validate and checked against the
+// optimality lower bound; violations are returned as errors because they
+// would falsify the benchmark's guarantee.
+func RunFigure(cfg SuiteConfig, tools []ToolSpec) (*Figure, error) {
+	suite, err := GenerateSuite(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{Device: cfg.Device.Name(), Gates: cfg.TargetTwoQubitGates}
+	for _, tool := range tools {
+		for _, n := range cfg.SwapCounts {
+			cell := Cell{Tool: tool.Name, OptSwaps: n, MinRatio: -1}
+			for _, b := range suite {
+				if b.OptSwaps != n {
+					continue
+				}
+				r := tool.Make(cfg.Seed + 7919)
+				res, err := r.Route(b.Circuit, b.Device)
+				if err != nil {
+					cell.Failures++
+					continue
+				}
+				if err := router.Validate(b.Circuit, b.Device, res); err != nil {
+					return nil, fmt.Errorf("harness: %s produced invalid result on %s n=%d: %w",
+						tool.Name, cfg.Device.Name(), n, err)
+				}
+				if res.SwapCount < b.OptSwaps {
+					return nil, fmt.Errorf("harness: %s beat the proven optimum on %s n=%d (%d < %d)",
+						tool.Name, cfg.Device.Name(), n, res.SwapCount, b.OptSwaps)
+				}
+				ratio := router.SwapRatio(res.SwapCount, b.OptSwaps)
+				cell.Circuits++
+				cell.MeanSwaps += float64(res.SwapCount)
+				cell.MeanRatio += ratio
+				if cell.MinRatio < 0 || ratio < cell.MinRatio {
+					cell.MinRatio = ratio
+				}
+				if ratio > cell.MaxRatio {
+					cell.MaxRatio = ratio
+				}
+			}
+			if cell.Circuits > 0 {
+				cell.MeanSwaps /= float64(cell.Circuits)
+				cell.MeanRatio /= float64(cell.Circuits)
+			}
+			fig.Cells = append(fig.Cells, cell)
+		}
+	}
+	return fig, nil
+}
+
+// ToolAverage is one row of the abstract's summary (63x / 117x / 250x /
+// 330x in the paper).
+type ToolAverage struct {
+	Tool      string
+	MeanRatio float64
+	Cells     int
+}
+
+// AbstractGaps averages the per-cell mean ratios of several figures per
+// tool, reproducing the abstract's headline numbers.
+func AbstractGaps(figs []*Figure) []ToolAverage {
+	acc := map[string]*ToolAverage{}
+	var order []string
+	for _, f := range figs {
+		for _, c := range f.Cells {
+			if c.Circuits == 0 {
+				continue
+			}
+			ta, ok := acc[c.Tool]
+			if !ok {
+				ta = &ToolAverage{Tool: c.Tool}
+				acc[c.Tool] = ta
+				order = append(order, c.Tool)
+			}
+			ta.MeanRatio += c.MeanRatio
+			ta.Cells++
+		}
+	}
+	out := make([]ToolAverage, 0, len(acc))
+	for _, name := range order {
+		ta := acc[name]
+		if ta.Cells > 0 {
+			ta.MeanRatio /= float64(ta.Cells)
+		}
+		out = append(out, *ta)
+	}
+	return out
+}
+
+// DeviceAverage reports the best tool's mean gap per device — the paper's
+// "the gap grows from 1x to 233.97x with architecture size" observation
+// and the Rochester-vs-Sycamore structure comparison.
+type DeviceAverage struct {
+	Device    string
+	BestTool  string
+	BestRatio float64
+}
+
+// DeviceGaps extracts the best-tool average per figure.
+func DeviceGaps(figs []*Figure) []DeviceAverage {
+	var out []DeviceAverage
+	for _, f := range figs {
+		per := map[string]struct {
+			sum float64
+			n   int
+		}{}
+		for _, c := range f.Cells {
+			if c.Circuits == 0 {
+				continue
+			}
+			e := per[c.Tool]
+			e.sum += c.MeanRatio
+			e.n++
+			per[c.Tool] = e
+		}
+		best, bestRatio := "", 0.0
+		names := make([]string, 0, len(per))
+		for name := range per {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			e := per[name]
+			avg := e.sum / float64(e.n)
+			if best == "" || avg < bestRatio {
+				best, bestRatio = name, avg
+			}
+		}
+		out = append(out, DeviceAverage{Device: f.Device, BestTool: best, BestRatio: bestRatio})
+	}
+	return out
+}
+
+// RenderFigure prints the figure as an aligned text table (the repository
+// equivalent of one Figure 4 subplot).
+func RenderFigure(w io.Writer, f *Figure) {
+	fmt.Fprintf(w, "Figure: %s (target %d two-qubit gates)\n", f.Device, f.Gates)
+	fmt.Fprintf(w, "%-14s %8s %10s %12s %10s %10s %9s\n",
+		"tool", "opt-swap", "circuits", "mean-swaps", "mean-gap", "min-gap", "max-gap")
+	for _, c := range f.Cells {
+		fmt.Fprintf(w, "%-14s %8d %10d %12.1f %9.2fx %9.2fx %8.2fx\n",
+			c.Tool, c.OptSwaps, c.Circuits, c.MeanSwaps, c.MeanRatio, c.MinRatio, c.MaxRatio)
+	}
+}
+
+// RenderFigureCSV emits the figure as CSV for external plotting.
+func RenderFigureCSV(w io.Writer, f *Figure) {
+	fmt.Fprintln(w, "device,tool,opt_swaps,circuits,mean_swaps,mean_ratio,min_ratio,max_ratio,failures")
+	for _, c := range f.Cells {
+		fmt.Fprintf(w, "%s,%s,%d,%d,%.3f,%.3f,%.3f,%.3f,%d\n",
+			f.Device, c.Tool, c.OptSwaps, c.Circuits, c.MeanSwaps, c.MeanRatio, c.MinRatio, c.MaxRatio, c.Failures)
+	}
+}
+
+// RenderAbstract prints the abstract-style per-tool averages.
+func RenderAbstract(w io.Writer, gaps []ToolAverage) {
+	fmt.Fprintln(w, "Average optimality gap per tool (paper abstract analogue):")
+	for _, g := range gaps {
+		fmt.Fprintf(w, "  %-14s %9.2fx  (over %d cells)\n", g.Tool, g.MeanRatio, g.Cells)
+	}
+}
+
+// --- Section IV-A optimality study -----------------------------------
+
+// OptimalityConfig mirrors the paper's exact-verification experiment:
+// small devices, SWAP counts 1-4, a 30 two-qubit-gate budget, exact SAT
+// checks of every instance.
+type OptimalityConfig struct {
+	Devices          []*arch.Device
+	SwapCounts       []int
+	CircuitsPerCount int
+	MaxTwoQubitGates int
+	Seed             int64
+}
+
+// DefaultOptimalityConfig returns the paper's Section IV-A setting with a
+// configurable instance count (the paper uses 100 per count).
+func DefaultOptimalityConfig(circuitsPer int, seed int64) OptimalityConfig {
+	return OptimalityConfig{
+		Devices:          []*arch.Device{arch.RigettiAspen4(), arch.Grid3x3()},
+		SwapCounts:       []int{1, 2, 3, 4},
+		CircuitsPerCount: circuitsPer,
+		MaxTwoQubitGates: 30,
+		Seed:             seed,
+	}
+}
+
+// OptimalityRow is one (device, swap-count) row of the study.
+type OptimalityRow struct {
+	Device    string
+	OptSwaps  int
+	Circuits  int
+	Verified  int
+	Deviation int // instances whose exact optimum differed (must be 0)
+}
+
+// RunOptimalityStudy generates capped instances and certifies each with
+// the exact SAT solver: UNSAT at n-1 and SAT at n.
+func RunOptimalityStudy(cfg OptimalityConfig) ([]OptimalityRow, error) {
+	var rows []OptimalityRow
+	for _, dev := range cfg.Devices {
+		for _, n := range cfg.SwapCounts {
+			row := OptimalityRow{Device: dev.Name(), OptSwaps: n}
+			for i := 0; i < cfg.CircuitsPerCount; i++ {
+				b, err := qubikos.Generate(dev, qubikos.Options{
+					NumSwaps:            n,
+					MaxTwoQubitGates:    cfg.MaxTwoQubitGates,
+					TargetTwoQubitGates: cfg.MaxTwoQubitGates,
+					PreferHighDegree:    true,
+					Seed:                cfg.Seed + int64(n)*100_000 + int64(i),
+				})
+				if err != nil {
+					return nil, fmt.Errorf("harness: optimality generate %s n=%d: %w", dev.Name(), n, err)
+				}
+				if err := qubikos.Verify(b); err != nil {
+					return nil, fmt.Errorf("harness: optimality structural verify: %w", err)
+				}
+				row.Circuits++
+				s, err := olsq.New(b.Circuit, dev, olsq.Options{})
+				if err != nil {
+					return nil, err
+				}
+				if err := s.VerifyOptimal(n); err != nil {
+					row.Deviation++
+				} else {
+					row.Verified++
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderOptimality prints the study as a table.
+func RenderOptimality(w io.Writer, rows []OptimalityRow) {
+	fmt.Fprintln(w, "Optimality study (exact SAT verification, Section IV-A analogue):")
+	fmt.Fprintf(w, "%-10s %9s %9s %9s %10s\n", "device", "opt-swap", "circuits", "verified", "deviation")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %9d %9d %9d %10d\n", r.Device, r.OptSwaps, r.Circuits, r.Verified, r.Deviation)
+	}
+}
+
+// Summary builds a single human-readable report over a full run.
+func Summary(figs []*Figure) string {
+	var b strings.Builder
+	for _, f := range figs {
+		RenderFigure(&b, f)
+		b.WriteString("\n")
+	}
+	RenderAbstract(&b, AbstractGaps(figs))
+	b.WriteString("\nBest-tool gap per device (size/structure trend):\n")
+	for _, d := range DeviceGaps(figs) {
+		fmt.Fprintf(&b, "  %-12s best=%-12s %9.2fx\n", d.Device, d.BestTool, d.BestRatio)
+	}
+	return b.String()
+}

@@ -1,0 +1,196 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func smallSuite() SuiteConfig {
+	return SuiteConfig{
+		Device:              arch.RigettiAspen4(),
+		SwapCounts:          []int{2, 3},
+		CircuitsPerCount:    2,
+		TargetTwoQubitGates: 60,
+		Seed:                1,
+		Verify:              true,
+	}
+}
+
+func TestGenerateSuiteDeterministic(t *testing.T) {
+	a, err := GenerateSuite(smallSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateSuite(smallSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 4 || len(b) != 4 {
+		t.Fatalf("suite sizes %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Circuit.NumGates() != b[i].Circuit.NumGates() {
+			t.Fatal("suite not deterministic")
+		}
+	}
+}
+
+func TestRunFigureShape(t *testing.T) {
+	fig, err := RunFigure(smallSuite(), DefaultTools(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Cells) != 4*2 { // 4 tools x 2 swap counts
+		t.Fatalf("cells=%d want 8", len(fig.Cells))
+	}
+	for _, c := range fig.Cells {
+		if c.Circuits != 2 {
+			t.Errorf("%s n=%d circuits=%d want 2", c.Tool, c.OptSwaps, c.Circuits)
+		}
+		if c.MeanRatio < 1 {
+			t.Errorf("%s n=%d mean ratio %.2f below 1 — optimality violated", c.Tool, c.OptSwaps, c.MeanRatio)
+		}
+		if c.MinRatio > c.MeanRatio || c.MeanRatio > c.MaxRatio {
+			t.Errorf("%s n=%d ratio ordering broken: %v %v %v", c.Tool, c.OptSwaps, c.MinRatio, c.MeanRatio, c.MaxRatio)
+		}
+	}
+}
+
+func TestAbstractGapsAndDeviceGaps(t *testing.T) {
+	fig, err := RunFigure(smallSuite(), DefaultTools(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaps := AbstractGaps([]*Figure{fig})
+	if len(gaps) != 4 {
+		t.Fatalf("gaps=%d want 4 tools", len(gaps))
+	}
+	for _, g := range gaps {
+		if g.MeanRatio < 1 {
+			t.Errorf("%s mean %.2f < 1", g.Tool, g.MeanRatio)
+		}
+	}
+	dg := DeviceGaps([]*Figure{fig})
+	if len(dg) != 1 || dg[0].Device != "aspen4" {
+		t.Fatalf("device gaps: %+v", dg)
+	}
+	if dg[0].BestRatio < 1 {
+		t.Error("best ratio below 1")
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	fig, err := RunFigure(smallSuite(), DefaultTools(2)[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	RenderFigure(&sb, fig)
+	if !strings.Contains(sb.String(), "lightsabre") {
+		t.Error("table missing tool name")
+	}
+	sb.Reset()
+	RenderFigureCSV(&sb, fig)
+	if !strings.Contains(sb.String(), "device,tool,opt_swaps") {
+		t.Error("CSV header missing")
+	}
+	lines := strings.Count(sb.String(), "\n")
+	if lines != 1+len(fig.Cells) {
+		t.Errorf("CSV lines=%d want %d", lines, 1+len(fig.Cells))
+	}
+	if s := Summary([]*Figure{fig}); !strings.Contains(s, "Best-tool gap per device") {
+		t.Error("summary missing device trend section")
+	}
+}
+
+func TestOptimalityStudySmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("SAT study in -short mode")
+	}
+	cfg := DefaultOptimalityConfig(2, 5)
+	cfg.SwapCounts = []int{1, 2}
+	rows, err := RunOptimalityStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // 2 devices x 2 counts
+		t.Fatalf("rows=%d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Deviation != 0 {
+			t.Errorf("%s n=%d: %d deviations — generator optimality broken", r.Device, r.OptSwaps, r.Deviation)
+		}
+		if r.Verified != r.Circuits {
+			t.Errorf("%s n=%d: verified %d of %d", r.Device, r.OptSwaps, r.Verified, r.Circuits)
+		}
+	}
+	var sb strings.Builder
+	RenderOptimality(&sb, rows)
+	if !strings.Contains(sb.String(), "grid-3x3") && !strings.Contains(sb.String(), "grid") {
+		t.Error("optimality table missing grid device")
+	}
+}
+
+func TestCaseStudyRuns(t *testing.T) {
+	cfg := DefaultCaseStudyConfig()
+	cfg.Instances = 3
+	cfg.TargetTwoQubitGates = 120
+	cfg.DecaySweep = []float64{0, 0.8}
+	res, err := RunCaseStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instances != 3 {
+		t.Fatalf("instances=%d", res.Instances)
+	}
+	if res.MeanRatio < 1 {
+		t.Errorf("mean ratio %.2f < 1", res.MeanRatio)
+	}
+	if len(res.DecayLines) != 2 {
+		t.Fatalf("decay lines=%d", len(res.DecayLines))
+	}
+	var sb strings.Builder
+	RenderCaseStudy(&sb, res)
+	if !strings.Contains(sb.String(), "lookahead-decay ablation") {
+		t.Error("case study rendering incomplete")
+	}
+}
+
+func TestPaperSuitesConfiguration(t *testing.T) {
+	suites := PaperSuites(10, 1)
+	if len(suites) != 4 {
+		t.Fatalf("suites=%d", len(suites))
+	}
+	wantGates := map[string]int{"aspen4": 300, "sycamore54": 1500, "rochester53": 1500, "eagle127": 3000}
+	for _, s := range suites {
+		if want := wantGates[s.Device.Name()]; s.TargetTwoQubitGates != want {
+			t.Errorf("%s gates=%d want %d", s.Device.Name(), s.TargetTwoQubitGates, want)
+		}
+		if len(s.SwapCounts) != 4 || s.SwapCounts[0] != 5 || s.SwapCounts[3] != 20 {
+			t.Errorf("%s swap counts %v", s.Device.Name(), s.SwapCounts)
+		}
+	}
+}
+
+func TestSectionIIIC(t *testing.T) {
+	res, err := RunSectionIIIC(arch.RigettiAspen4(), 4, 120, 3, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows=%d", len(res.Rows))
+	}
+	if res.MinSegments < 5 { // OptSwaps+1
+		t.Errorf("min segments %d, want >= 5 (one boundary per special)", res.MinSegments)
+	}
+	if res.MeanRatio < 1 {
+		t.Errorf("mean ratio %.2f < 1", res.MeanRatio)
+	}
+	var sb strings.Builder
+	RenderSectionIIIC(&sb, res)
+	if !strings.Contains(sb.String(), "Section III-C") {
+		t.Error("render header missing")
+	}
+}

@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/qubikos"
+	"repro/internal/router"
+)
+
+// RouterStudyConfig drives the standalone-router evaluation the paper
+// proposes at the end of Section IV-C: every tool receives the provably
+// optimal initial mapping, so any remaining SWAP gap is attributable to
+// routing quality alone rather than placement.
+type RouterStudyConfig struct {
+	Suite SuiteConfig
+}
+
+// RouterRow aggregates one (tool, swap-count) cell of the router study.
+type RouterRow struct {
+	Tool      string
+	OptSwaps  int
+	Circuits  int
+	MeanRatio float64
+	Optimal   int // instances routed with exactly the optimal count
+}
+
+// RunRouterStudy routes every suite instance from its planted optimal
+// mapping with every tool that supports placed routing.
+func RunRouterStudy(cfg RouterStudyConfig, tools []ToolSpec) ([]RouterRow, error) {
+	suite, err := GenerateSuite(cfg.Suite)
+	if err != nil {
+		return nil, err
+	}
+	var rows []RouterRow
+	for _, tool := range tools {
+		probe := tool.Make(0)
+		if _, ok := probe.(router.PlacedRouter); !ok {
+			continue
+		}
+		for _, n := range cfg.Suite.SwapCounts {
+			row := RouterRow{Tool: tool.Name, OptSwaps: n}
+			for _, b := range suite {
+				if b.OptSwaps != n {
+					continue
+				}
+				pr := tool.Make(cfg.Suite.Seed + 101).(router.PlacedRouter)
+				res, err := pr.RouteFrom(b.Circuit, b.Device, plantedMapping(b))
+				if err != nil {
+					return nil, fmt.Errorf("harness: %s RouteFrom: %w", tool.Name, err)
+				}
+				if err := router.Validate(b.Circuit, b.Device, res); err != nil {
+					return nil, fmt.Errorf("harness: %s placed result invalid: %w", tool.Name, err)
+				}
+				if res.SwapCount < b.OptSwaps {
+					return nil, fmt.Errorf("harness: %s beat the optimum from the planted mapping", tool.Name)
+				}
+				row.Circuits++
+				row.MeanRatio += router.SwapRatio(res.SwapCount, b.OptSwaps)
+				if res.SwapCount == b.OptSwaps {
+					row.Optimal++
+				}
+			}
+			if row.Circuits > 0 {
+				row.MeanRatio /= float64(row.Circuits)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func plantedMapping(b *qubikos.Benchmark) router.Mapping {
+	return b.InitialMapping.Clone()
+}
+
+// RenderRouterStudy prints the study as a table.
+func RenderRouterStudy(w io.Writer, rows []RouterRow) {
+	fmt.Fprintln(w, "Standalone-router study (all tools start from the optimal mapping):")
+	fmt.Fprintf(w, "%-14s %9s %9s %10s %9s\n", "tool", "opt-swap", "circuits", "mean-gap", "optimal")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %9d %9d %9.2fx %9d\n", r.Tool, r.OptSwaps, r.Circuits, r.MeanRatio, r.Optimal)
+	}
+}

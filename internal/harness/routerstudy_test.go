@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/router"
+)
+
+func TestAllDefaultToolsSupportPlacedRouting(t *testing.T) {
+	for _, spec := range DefaultTools(2) {
+		if _, ok := spec.Make(1).(router.PlacedRouter); !ok {
+			t.Errorf("%s does not implement PlacedRouter", spec.Name)
+		}
+	}
+}
+
+func TestRunRouterStudy(t *testing.T) {
+	cfg := RouterStudyConfig{Suite: SuiteConfig{
+		Device:              arch.RigettiAspen4(),
+		SwapCounts:          []int{2},
+		CircuitsPerCount:    2,
+		TargetTwoQubitGates: 60,
+		Seed:                3,
+	}}
+	rows, err := RunRouterStudy(cfg, DefaultTools(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // all four tools support placed routing
+		t.Fatalf("rows=%d want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Circuits != 2 {
+			t.Errorf("%s circuits=%d", r.Tool, r.Circuits)
+		}
+		if r.MeanRatio < 1 {
+			t.Errorf("%s mean gap %.2f < 1", r.Tool, r.MeanRatio)
+		}
+	}
+	var sb strings.Builder
+	RenderRouterStudy(&sb, rows)
+	if !strings.Contains(sb.String(), "Standalone-router") {
+		t.Error("render header missing")
+	}
+}
+
+// From the optimal mapping, the SABRE-family router should solve small
+// instances optimally far more often than the slice router — the paper's
+// point that QUBIKOS isolates routing quality.
+func TestRouterStudySeparatesToolQuality(t *testing.T) {
+	cfg := RouterStudyConfig{Suite: SuiteConfig{
+		Device:              arch.RigettiAspen4(),
+		SwapCounts:          []int{5},
+		CircuitsPerCount:    4,
+		TargetTwoQubitGates: 300,
+		Seed:                9,
+	}}
+	rows, err := RunRouterStudy(cfg, DefaultTools(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byTool := map[string]RouterRow{}
+	for _, r := range rows {
+		byTool[r.Tool] = r
+	}
+	if byTool["lightsabre"].MeanRatio > byTool["tket"].MeanRatio {
+		t.Errorf("lightsabre (%.2fx) should route no worse than tket (%.2fx) from the optimal mapping",
+			byTool["lightsabre"].MeanRatio, byTool["tket"].MeanRatio)
+	}
+}

@@ -1,0 +1,396 @@
+// Package olsq implements exact quantum layout synthesis in the style of
+// OLSQ2 (Lin et al., DAC 2023): a SAT encoding that decides whether a
+// circuit can be executed on a coupling graph with at most k inserted
+// SWAP gates. Iterating or binary-searching over k yields the provably
+// minimal SWAP count, which is how the paper's Section IV-A verifies that
+// QUBIKOS benchmarks have the optimal counts they claim.
+//
+// Encoding (coarse "block" formulation). A transpiled circuit with at
+// most k SWAPs has the form C'0 T0 C'1 T1 ... C'k where each Ti is one
+// optional SWAP. Blocks b = 0..k each carry a full program->physical
+// mapping; between consecutive blocks at most one coupling edge is
+// swapped. Each two-qubit gate is assigned to a block (order-encoded),
+// gate dependencies force non-decreasing blocks, and a gate's two qubits
+// must be physically adjacent in its block's mapping.
+package olsq
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/graph"
+	"repro/internal/router"
+	"repro/internal/sat"
+)
+
+// Options tunes the exact solver.
+type Options struct {
+	// MaxConflicts bounds the SAT search per Decide call; 0 = unlimited.
+	MaxConflicts int64
+}
+
+// Solver is the exact layout-synthesis engine for one circuit/device pair.
+type Solver struct {
+	opts Options
+	circ *circuit.Circuit
+	dev  *arch.Device
+	dag  *circuit.DAG
+}
+
+// New prepares an exact solver. The circuit may contain single-qubit
+// gates; they are ignored (they impose no constraints and are re-inserted
+// unchanged in the result). Input circuits must not contain SWAPs.
+func New(c *circuit.Circuit, dev *arch.Device, opts Options) (*Solver, error) {
+	if c.NumQubits > dev.NumQubits() {
+		return nil, fmt.Errorf("olsq: circuit needs %d qubits, device has %d", c.NumQubits, dev.NumQubits())
+	}
+	for _, g := range c.Gates {
+		if g.Kind == circuit.Swap {
+			return nil, fmt.Errorf("olsq: input circuit already contains SWAP gates")
+		}
+	}
+	return &Solver{opts: opts, circ: c, dev: dev, dag: circuit.NewDAG(c)}, nil
+}
+
+// Result augments the shared router.Result with the block schedule found
+// by the SAT model.
+type Result struct {
+	router.Result
+	// BlockOfGate maps each two-qubit-gate DAG node to its block.
+	BlockOfGate []int
+	// SwapEdges lists, per transition 0..k-1, the physical edge swapped
+	// (or nil when the transition is unused).
+	SwapEdges []*graph.Edge
+}
+
+// Decide reports whether the circuit is executable with at most k SWAPs;
+// when satisfiable it returns the witness result. A third "unknown" state
+// is reported via err when the conflict budget is exhausted.
+func (s *Solver) Decide(k int) (bool, *Result, error) {
+	if k < 0 {
+		return false, nil, fmt.Errorf("olsq: negative swap bound %d", k)
+	}
+	enc := s.encode(k)
+	enc.solver.Budget = s.opts.MaxConflicts
+	switch enc.solver.Solve() {
+	case sat.Sat:
+		res, err := s.extract(enc, k)
+		if err != nil {
+			return false, nil, err
+		}
+		return true, res, nil
+	case sat.Unsat:
+		return false, nil, nil
+	default:
+		return false, nil, fmt.Errorf("olsq: conflict budget exhausted at k=%d", k)
+	}
+}
+
+// MinSwaps finds the minimal SWAP count in [0, maxK] by linear search from
+// 0 (each infeasible k is a full UNSAT proof, matching how OLSQ2 certifies
+// optimality). It returns an error if even maxK is infeasible.
+func (s *Solver) MinSwaps(maxK int) (*Result, error) {
+	for k := 0; k <= maxK; k++ {
+		ok, res, err := s.Decide(k)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("olsq: no solution with at most %d swaps", maxK)
+}
+
+// VerifyOptimal certifies that the circuit's optimal SWAP count is exactly
+// n: satisfiable at n and (for n > 0) unsatisfiable at n-1. Because the
+// encoding permits unused transitions, "≤ n-1 UNSAT" covers every count
+// below n.
+func (s *Solver) VerifyOptimal(n int) error {
+	if n > 0 {
+		ok, _, err := s.Decide(n - 1)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return fmt.Errorf("olsq: circuit solvable with %d swaps, claimed optimum %d", n-1, n)
+		}
+	}
+	ok, _, err := s.Decide(n)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("olsq: circuit not solvable with claimed optimum %d swaps", n)
+	}
+	return nil
+}
+
+// encoding holds the SAT variables of one Decide call.
+type encoding struct {
+	solver *sat.Solver // nil when encoding into a plain ClauseAdder
+	k      int
+	// x[b][q][p]: program qubit q is at physical p in block b.
+	x [][][]sat.Lit
+	// u[g][b]: gate g is scheduled at block <= b (order encoding).
+	u [][]sat.Lit
+	// t[g][b]: gate g is scheduled exactly at block b.
+	t [][]sat.Lit
+	// sw[b][e]: transition b swaps coupling edge e (index into edge list).
+	sw [][]sat.Lit
+	// moved[b][p]: some swapped edge at transition b touches physical p.
+	moved [][]sat.Lit
+	edges []graph.Edge
+}
+
+func (s *Solver) encode(k int) *encoding {
+	sv := sat.NewSolver()
+	enc := s.encodeInto(sv, k)
+	enc.solver = sv
+	return enc
+}
+
+// encodeInto builds the ≤k-SWAP decision formula against any clause sink
+// (a live solver for Decide, a Recorder for DIMACS export).
+func (s *Solver) encodeInto(sv sat.ClauseAdder, k int) *encoding {
+	nQ := s.circ.NumQubits
+	nP := s.dev.NumQubits()
+	nG := s.dag.N()
+	g := s.dev.Graph()
+	enc := &encoding{k: k, edges: g.Edges()}
+
+	newLit := func() sat.Lit { return sat.Lit(sv.NewVar()) }
+	check := func(err error) {
+		if err != nil {
+			panic(err) // unreachable: all literals come from NewVar
+		}
+	}
+
+	// Mapping variables and bijectivity per block.
+	enc.x = make([][][]sat.Lit, k+1)
+	for b := 0; b <= k; b++ {
+		enc.x[b] = make([][]sat.Lit, nQ)
+		for q := 0; q < nQ; q++ {
+			enc.x[b][q] = make([]sat.Lit, nP)
+			for p := 0; p < nP; p++ {
+				enc.x[b][q][p] = newLit()
+			}
+			check(sat.AddExactlyOne(sv, enc.x[b][q]))
+		}
+		for p := 0; p < nP; p++ {
+			col := make([]sat.Lit, nQ)
+			for q := 0; q < nQ; q++ {
+				col[q] = enc.x[b][q][p]
+			}
+			check(sat.AddAtMostOne(sv, col))
+		}
+	}
+
+	// Gate scheduling: order encoding over blocks.
+	enc.u = make([][]sat.Lit, nG)
+	enc.t = make([][]sat.Lit, nG)
+	for gi := 0; gi < nG; gi++ {
+		enc.u[gi] = make([]sat.Lit, k+1)
+		enc.t[gi] = make([]sat.Lit, k+1)
+		for b := 0; b <= k; b++ {
+			enc.u[gi][b] = newLit()
+			enc.t[gi][b] = newLit()
+		}
+		// Monotone: u[b] -> u[b+1]; final block certain.
+		for b := 0; b < k; b++ {
+			check(sat.AddImplies(sv, enc.u[gi][b], enc.u[gi][b+1]))
+		}
+		check(sv.AddClause(enc.u[gi][k]))
+		// t[0] <-> u[0]; t[b] <-> u[b] & !u[b-1].
+		check(sat.AddIff(sv, enc.t[gi][0], enc.u[gi][0]))
+		for b := 1; b <= k; b++ {
+			check(sat.AddIffAnd(sv, enc.t[gi][b], enc.u[gi][b], enc.u[gi][b-1].Neg()))
+		}
+	}
+	// Dependencies: an immediate predecessor must be scheduled no later.
+	// u[g][b] -> u[pred][b]; transitivity extends this to all ancestors.
+	for gi := 0; gi < nG; gi++ {
+		for _, pr := range s.dag.Preds[gi] {
+			for b := 0; b <= k; b++ {
+				check(sat.AddImplies(sv, enc.u[gi][b], enc.u[pr][b]))
+			}
+		}
+	}
+
+	// Executability: if gate gi runs in block b and its first qubit is at
+	// p, its second qubit must be at a neighbor of p.
+	for gi := 0; gi < nG; gi++ {
+		gt := s.dag.Gate(gi)
+		q0, q1 := gt.Q0, gt.Q1
+		for b := 0; b <= k; b++ {
+			for p := 0; p < nP; p++ {
+				nbrs := g.Neighbors(p)
+				cl := make([]sat.Lit, 0, len(nbrs)+2)
+				cl = append(cl, enc.t[gi][b].Neg(), enc.x[b][q0][p].Neg())
+				for _, pn := range nbrs {
+					cl = append(cl, enc.x[b][q1][pn])
+				}
+				check(sv.AddClause(cl...))
+			}
+		}
+	}
+
+	// Transitions: at most one swapped edge each; mapping evolves by that
+	// transposition, and unmoved physical qubits keep their occupants.
+	enc.sw = make([][]sat.Lit, k)
+	enc.moved = make([][]sat.Lit, k)
+	for b := 0; b < k; b++ {
+		enc.sw[b] = make([]sat.Lit, len(enc.edges))
+		for e := range enc.edges {
+			enc.sw[b][e] = newLit()
+		}
+		check(sat.AddAtMostOne(sv, enc.sw[b]))
+
+		enc.moved[b] = make([]sat.Lit, nP)
+		for p := 0; p < nP; p++ {
+			var touching []sat.Lit
+			for e, ed := range enc.edges {
+				if ed.U == p || ed.V == p {
+					touching = append(touching, enc.sw[b][e])
+				}
+			}
+			enc.moved[b][p] = newLit()
+			check(sat.AddIffOr(sv, enc.moved[b][p], touching))
+		}
+
+		for e, ed := range enc.edges {
+			for q := 0; q < nQ; q++ {
+				// sw -> (x[b+1][q][U] <-> x[b][q][V]) and symmetrically.
+				check(sv.AddClause(enc.sw[b][e].Neg(), enc.x[b][q][ed.V].Neg(), enc.x[b+1][q][ed.U]))
+				check(sv.AddClause(enc.sw[b][e].Neg(), enc.x[b][q][ed.V], enc.x[b+1][q][ed.U].Neg()))
+				check(sv.AddClause(enc.sw[b][e].Neg(), enc.x[b][q][ed.U].Neg(), enc.x[b+1][q][ed.V]))
+				check(sv.AddClause(enc.sw[b][e].Neg(), enc.x[b][q][ed.U], enc.x[b+1][q][ed.V].Neg()))
+			}
+		}
+		for p := 0; p < nP; p++ {
+			for q := 0; q < nQ; q++ {
+				check(sv.AddClause(enc.moved[b][p], enc.x[b][q][p].Neg(), enc.x[b+1][q][p]))
+				check(sv.AddClause(enc.moved[b][p], enc.x[b][q][p], enc.x[b+1][q][p].Neg()))
+			}
+		}
+	}
+	return enc
+}
+
+// ExportDIMACS writes the ≤k-SWAP decision formula in DIMACS CNF format,
+// for archiving or cross-checking with external SAT solvers.
+func (s *Solver) ExportDIMACS(w io.Writer, k int) error {
+	if k < 0 {
+		return fmt.Errorf("olsq: negative swap bound %d", k)
+	}
+	rec := sat.NewRecorder()
+	s.encodeInto(rec, k)
+	return sat.WriteDIMACS(w, &rec.Formula)
+}
+
+// extract reads the SAT model into a Result with a transpiled circuit.
+func (s *Solver) extract(enc *encoding, k int) (*Result, error) {
+	sv := enc.solver
+	nQ := s.circ.NumQubits
+	nP := s.dev.NumQubits()
+
+	mappingAt := func(b int) (router.Mapping, error) {
+		m := make(router.Mapping, nQ)
+		for q := 0; q < nQ; q++ {
+			m[q] = -1
+			for p := 0; p < nP; p++ {
+				if sv.Value(enc.x[b][q][p].Var()) {
+					if m[q] != -1 {
+						return nil, fmt.Errorf("olsq: model places q%d twice in block %d", q, b)
+					}
+					m[q] = p
+				}
+			}
+			if m[q] == -1 {
+				return nil, fmt.Errorf("olsq: model leaves q%d unplaced in block %d", q, b)
+			}
+		}
+		return m, nil
+	}
+
+	init, err := mappingAt(0)
+	if err != nil {
+		return nil, err
+	}
+
+	// Block of each DAG node.
+	block := make([]int, s.dag.N())
+	for gi := range block {
+		block[gi] = -1
+		for b := 0; b <= k; b++ {
+			if sv.Value(enc.t[gi][b].Var()) {
+				block[gi] = b
+				break
+			}
+		}
+		if block[gi] == -1 {
+			return nil, fmt.Errorf("olsq: model leaves gate %d unscheduled", gi)
+		}
+	}
+
+	// Swap edge per transition.
+	swapEdges := make([]*graph.Edge, k)
+	for b := 0; b < k; b++ {
+		for e := range enc.edges {
+			if sv.Value(enc.sw[b][e].Var()) {
+				ed := enc.edges[e]
+				swapEdges[b] = &ed
+				break
+			}
+		}
+	}
+
+	// Assemble the two-qubit skeleton block by block with SWAPs between
+	// blocks; within a block, gates keep original circuit order, so the
+	// skeleton is a dependency-valid reordering. Single-qubit gates are
+	// woven back afterwards.
+	skeleton := circuit.New(nQ)
+	cur := init.Clone()
+	swaps := 0
+	for b := 0; b <= k; b++ {
+		for idx := range s.circ.Gates {
+			node := s.dag.NodeOf[idx]
+			if node == -1 || block[node] != b {
+				continue
+			}
+			skeleton.MustAppend(s.circ.Gates[idx])
+		}
+		if b < k && swapEdges[b] != nil {
+			inv := cur.Inverse(nP)
+			qa, qb := inv[swapEdges[b].U], inv[swapEdges[b].V]
+			if qa == -1 || qb == -1 {
+				return nil, fmt.Errorf("olsq: swap on unoccupied physical qubits at transition %d", b)
+			}
+			skeleton.MustAppend(circuit.NewSwap(qa, qb))
+			cur.SwapProgram(qa, qb)
+			swaps++
+		}
+	}
+	trans, err := router.WeaveSingleQubitGates(s.circ, skeleton)
+	if err != nil {
+		return nil, fmt.Errorf("olsq: %w", err)
+	}
+
+	res := &Result{
+		Result: router.Result{
+			Tool:           "olsq-exact",
+			InitialMapping: init,
+			Transpiled:     trans,
+			SwapCount:      swaps,
+			Trials:         1,
+		},
+		BlockOfGate: block,
+		SwapEdges:   swapEdges,
+	}
+	if err := router.Validate(s.circ, s.dev, &res.Result); err != nil {
+		return nil, fmt.Errorf("olsq: internal error, extracted result invalid: %w", err)
+	}
+	return res, nil
+}

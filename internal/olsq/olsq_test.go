@@ -1,0 +1,281 @@
+package olsq
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/router"
+	"repro/internal/sat"
+)
+
+func mustSolver(t *testing.T, c *circuit.Circuit, dev *arch.Device) *Solver {
+	t.Helper()
+	s, err := New(c, dev, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// The paper's Figure 1 example: triangle interaction on a 4-qubit line
+// needs exactly one SWAP.
+func TestFigure1TriangleNeedsOneSwap(t *testing.T) {
+	c := circuit.New(3)
+	c.MustAppend(circuit.NewCX(0, 1), circuit.NewCX(1, 2), circuit.NewCX(0, 2))
+	s := mustSolver(t, c, arch.Line(4))
+
+	ok, _, err := s.Decide(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("triangle should not embed in a line with 0 swaps")
+	}
+	ok, res, err := s.Decide(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("triangle should be solvable with 1 swap")
+	}
+	if res.SwapCount != 1 {
+		t.Errorf("SwapCount=%d want 1", res.SwapCount)
+	}
+	if err := router.Validate(c, arch.Line(4), &res.Result); err != nil {
+		t.Fatalf("extracted result invalid: %v", err)
+	}
+}
+
+func TestMinSwapsZeroForEmbeddable(t *testing.T) {
+	// A path circuit on a line device embeds directly.
+	c := circuit.New(4)
+	c.MustAppend(circuit.NewCX(0, 1), circuit.NewCX(1, 2), circuit.NewCX(2, 3))
+	s := mustSolver(t, c, arch.Line(4))
+	res, err := s.MinSwaps(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwapCount != 0 {
+		t.Errorf("SwapCount=%d want 0", res.SwapCount)
+	}
+}
+
+func TestMinSwapsRespectsDependencies(t *testing.T) {
+	// Two sequential "triangles" on disjoint phases sharing qubits force
+	// sequential execution; each needs a swap on a line.
+	c := circuit.New(3)
+	c.MustAppend(
+		circuit.NewCX(0, 1), circuit.NewCX(1, 2), circuit.NewCX(0, 2),
+		circuit.NewCX(0, 1), circuit.NewCX(1, 2), circuit.NewCX(0, 2),
+	)
+	s := mustSolver(t, c, arch.Line(4))
+	res, err := s.MinSwaps(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second triangle can often reuse the swapped layout, so 1 or 2.
+	if res.SwapCount < 1 || res.SwapCount > 2 {
+		t.Errorf("SwapCount=%d want 1..2", res.SwapCount)
+	}
+	if err := router.Validate(c, arch.Line(4), &res.Result); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleQubitGatesPreserved(t *testing.T) {
+	c := circuit.New(3)
+	c.MustAppend(
+		circuit.NewH(0),
+		circuit.NewCX(0, 1),
+		circuit.NewRZ(1, 0.5),
+		circuit.NewCX(1, 2),
+		circuit.NewX(2),
+		circuit.NewCX(0, 2),
+		circuit.NewH(1),
+	)
+	dev := arch.Line(4)
+	s := mustSolver(t, c, dev)
+	res, err := s.MinSwaps(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := router.Validate(c, dev, &res.Result); err != nil {
+		t.Fatalf("result with 1q gates invalid: %v", err)
+	}
+	if res.Transpiled.NumGates()-res.SwapCount != c.NumGates() {
+		t.Errorf("gate count mismatch: %d vs %d", res.Transpiled.NumGates()-res.SwapCount, c.NumGates())
+	}
+}
+
+func TestDecideRejectsNegativeK(t *testing.T) {
+	c := circuit.New(2)
+	c.MustAppend(circuit.NewCX(0, 1))
+	s := mustSolver(t, c, arch.Line(2))
+	if _, _, err := s.Decide(-1); err == nil {
+		t.Fatal("negative k accepted")
+	}
+}
+
+func TestNewRejectsSwapsInInput(t *testing.T) {
+	c := circuit.New(2)
+	c.MustAppend(circuit.NewSwap(0, 1))
+	if _, err := New(c, arch.Line(2), Options{}); err == nil {
+		t.Fatal("input with SWAP accepted")
+	}
+}
+
+func TestNewRejectsTooManyQubits(t *testing.T) {
+	c := circuit.New(5)
+	if _, err := New(c, arch.Line(3), Options{}); err == nil {
+		t.Fatal("oversized circuit accepted")
+	}
+}
+
+func TestVerifyOptimal(t *testing.T) {
+	c := circuit.New(3)
+	c.MustAppend(circuit.NewCX(0, 1), circuit.NewCX(1, 2), circuit.NewCX(0, 2))
+	s := mustSolver(t, c, arch.Line(4))
+	if err := s.VerifyOptimal(1); err != nil {
+		t.Fatalf("VerifyOptimal(1): %v", err)
+	}
+	if err := s.VerifyOptimal(0); err == nil {
+		t.Fatal("VerifyOptimal(0) should fail (needs 1 swap)")
+	}
+	if err := s.VerifyOptimal(2); err == nil {
+		t.Fatal("VerifyOptimal(2) should fail (1 swap suffices)")
+	}
+}
+
+func TestStarCircuitOnGrid(t *testing.T) {
+	// A degree-5 hub cannot exist on grid3x3 (max degree 4): K1,5 needs
+	// at least one swap.
+	c := circuit.New(6)
+	for i := 1; i <= 5; i++ {
+		c.MustAppend(circuit.NewCX(0, i))
+	}
+	dev := arch.Grid3x3()
+	s := mustSolver(t, c, dev)
+	res, err := s.MinSwaps(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwapCount < 1 {
+		t.Errorf("K1,5 on grid3x3 solved with %d swaps; must need >= 1", res.SwapCount)
+	}
+	if err := router.Validate(c, dev, &res.Result); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBudgetSurfacesAsError(t *testing.T) {
+	// A deliberately hard instance with a tiny conflict budget.
+	c := circuit.New(9)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 25; i++ {
+		a, b := rng.Intn(9), rng.Intn(9)
+		if a != b {
+			c.MustAppend(circuit.NewCX(a, b))
+		}
+	}
+	s, err := New(c, arch.Grid3x3(), Options{MaxConflicts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Decide(0); err == nil {
+		t.Skip("instance solved within one conflict; nothing to assert")
+	}
+}
+
+// Property: on random small circuits, the minimal swap count found by the
+// SAT solver is achievable (witness validates) and k-1 is infeasible.
+func TestMinSwapsIsExactOnRandomCircuits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exact search in -short mode")
+	}
+	rng := rand.New(rand.NewSource(99))
+	devices := []*arch.Device{arch.Line(5), arch.Ring(6), arch.Grid3x3()}
+	for iter := 0; iter < 12; iter++ {
+		dev := devices[iter%len(devices)]
+		nq := dev.NumQubits()
+		c := circuit.New(nq)
+		for i := 0; i < 8+rng.Intn(6); i++ {
+			a, b := rng.Intn(nq), rng.Intn(nq)
+			if a == b {
+				continue
+			}
+			c.MustAppend(circuit.NewCX(a, b))
+		}
+		if c.NumGates() == 0 {
+			continue
+		}
+		s := mustSolver(t, c, dev)
+		res, err := s.MinSwaps(6)
+		if err != nil {
+			t.Fatalf("iter %d (%s): %v", iter, dev.Name(), err)
+		}
+		if err := router.Validate(c, dev, &res.Result); err != nil {
+			t.Fatalf("iter %d: witness invalid: %v", iter, err)
+		}
+		if res.SwapCount > 0 {
+			ok, _, err := s.Decide(res.SwapCount - 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				t.Fatalf("iter %d: k=%d claimed minimal but k-1 feasible", iter, res.SwapCount)
+			}
+		}
+	}
+}
+
+func TestBlockScheduleConsistent(t *testing.T) {
+	c := circuit.New(3)
+	c.MustAppend(circuit.NewCX(0, 1), circuit.NewCX(1, 2), circuit.NewCX(0, 2))
+	s := mustSolver(t, c, arch.Line(4))
+	ok, res, err := s.Decide(2)
+	if err != nil || !ok {
+		t.Fatalf("Decide(2): ok=%v err=%v", ok, err)
+	}
+	// Dependencies: node blocks must be non-decreasing along DAG edges.
+	dag := circuit.NewDAG(c)
+	for v := 0; v < dag.N(); v++ {
+		for _, p := range dag.Preds[v] {
+			if res.BlockOfGate[p] > res.BlockOfGate[v] {
+				t.Fatalf("dependency inverted: pred block %d > succ block %d", res.BlockOfGate[p], res.BlockOfGate[v])
+			}
+		}
+	}
+	if len(res.SwapEdges) != 2 {
+		t.Errorf("SwapEdges len=%d want 2", len(res.SwapEdges))
+	}
+}
+
+// The exported DIMACS formula must agree with the live solver: SAT at the
+// optimum, UNSAT below it.
+func TestExportDIMACSAgreesWithDecide(t *testing.T) {
+	if testing.Short() {
+		t.Skip("DIMACS cross-check in -short mode")
+	}
+	c := circuit.New(3)
+	c.MustAppend(circuit.NewCX(0, 1), circuit.NewCX(1, 2), circuit.NewCX(0, 2))
+	s := mustSolver(t, c, arch.Line(4))
+	for k, want := range map[int]sat.Status{0: sat.Unsat, 1: sat.Sat} {
+		var sb strings.Builder
+		if err := s.ExportDIMACS(&sb, k); err != nil {
+			t.Fatal(err)
+		}
+		f, err := sat.ParseDIMACS(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := f.Solve(); got != want {
+			t.Fatalf("k=%d: DIMACS says %v, want %v", k, got, want)
+		}
+	}
+	if err := s.ExportDIMACS(&strings.Builder{}, -1); err == nil {
+		t.Fatal("negative k accepted")
+	}
+}

@@ -1,0 +1,131 @@
+package qmap
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/router"
+)
+
+func TestZobristKeysDistinct(t *testing.T) {
+	z := zobristFor(8, 8)
+	seen := map[uint64]bool{}
+	for _, k := range z {
+		if k == 0 {
+			t.Fatal("zero zobrist key")
+		}
+		if seen[k] {
+			t.Fatal("duplicate zobrist key")
+		}
+		seen[k] = true
+	}
+	// Deterministic across calls.
+	z2 := zobristFor(8, 8)
+	for i := range z {
+		if z[i] != z2[i] {
+			t.Fatal("zobrist table not deterministic")
+		}
+	}
+}
+
+func TestZobristSwapInvariance(t *testing.T) {
+	// Hash after swap then swap-back equals the original; hash of a
+	// mapping is independent of the path that reached it.
+	nQ, nP := 5, 5
+	z := zobristFor(nQ, nP)
+	m := router.Mapping{3, 1, 4, 0, 2}
+	h := uint64(0)
+	for q, p := range m {
+		h ^= z[q*nP+p]
+	}
+	apply := func(h uint64, a, b int) uint64 {
+		pa, pb := m[a], m[b]
+		h ^= z[a*nP+pa] ^ z[a*nP+pb] ^ z[b*nP+pb] ^ z[b*nP+pa]
+		m.SwapProgram(a, b)
+		return h
+	}
+	h1 := apply(h, 0, 3)
+	h2 := apply(h1, 0, 3)
+	if h2 != h {
+		t.Fatal("swap-back hash mismatch")
+	}
+	// Two different orders reaching the same mapping agree.
+	ha := apply(apply(h, 1, 2), 3, 4)
+	// Undo.
+	ha2 := apply(apply(ha, 3, 4), 1, 2)
+	if ha2 != h {
+		t.Fatal("path-dependent hash")
+	}
+}
+
+func TestSeqFromRoot(t *testing.T) {
+	root := &state{}
+	s1 := &state{parent: root, swap: [2]int{0, 1}, depth: 1}
+	s2 := &state{parent: s1, swap: [2]int{2, 3}, depth: 2}
+	seq := s2.seqFromRoot()
+	if len(seq) != 2 || seq[0] != [2]int{0, 1} || seq[1] != [2]int{2, 3} {
+		t.Fatalf("seq=%v", seq)
+	}
+	if root.seqFromRoot() != nil {
+		t.Fatal("root has a sequence")
+	}
+}
+
+func TestSearchLayerGoalAtStart(t *testing.T) {
+	c := circuit.New(2)
+	c.MustAppend(circuit.NewCX(0, 1))
+	dev := arch.Line(2)
+	r := New(Options{Seed: 1})
+	dag := circuit.NewDAG(c)
+	seq, final := r.searchLayer(router.IdentityMapping(2), []int{0}, nil, dag, dev)
+	if len(seq) != 0 {
+		t.Fatalf("swaps inserted for an executable layer: %v", seq)
+	}
+	if final[0] != 0 || final[1] != 1 {
+		t.Fatalf("mapping changed: %v", final)
+	}
+}
+
+func TestSearchLayerSolvesDistanceTwo(t *testing.T) {
+	// q0 at p0, q1 at p2 on a 3-line: exactly one swap is optimal.
+	c := circuit.New(3)
+	c.MustAppend(circuit.NewCX(0, 1))
+	dev := arch.Line(3)
+	r := New(Options{Seed: 1})
+	dag := circuit.NewDAG(c)
+	start := router.Mapping{0, 2, 1} // q1 at p2, q2 (unused) at p1
+	seq, final := r.searchLayer(start, []int{0}, nil, dag, dev)
+	if len(seq) != 1 {
+		t.Fatalf("expected exactly 1 swap, got %v", seq)
+	}
+	if !dev.Graph().HasEdge(final[0], final[1]) {
+		t.Fatal("layer not executable after search")
+	}
+}
+
+func TestInitialPlacementInjective(t *testing.T) {
+	b := circuit.New(54)
+	b.MustAppend(circuit.NewCX(0, 1), circuit.NewCX(1, 2), circuit.NewCX(0, 2))
+	dev := arch.GoogleSycamore54()
+	r := New(Options{Seed: 3})
+	_ = r
+	m := initialPlacement(b, dev, newRand(3))
+	if err := m.Validate(dev.NumQubits()); err != nil {
+		t.Fatal(err)
+	}
+	// Highest interaction degree lands on a max-degree physical qubit.
+	ig := b.InteractionGraph()
+	maxQ, maxD := 0, -1
+	for q := 0; q < b.NumQubits; q++ {
+		if d := ig.Degree(q); d > maxD {
+			maxQ, maxD = q, d
+		}
+	}
+	if dev.Graph().Degree(m[maxQ]) != dev.Graph().MaxDegree() {
+		t.Errorf("hub qubit placed on degree-%d location", dev.Graph().Degree(m[maxQ]))
+	}
+}
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

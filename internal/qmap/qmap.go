@@ -1,0 +1,396 @@
+// Package qmap implements a QMAP-style heuristic mapper (Zulehner, Paler,
+// Wille, TCAD 2019 — the heuristic behind MQT QMAP): the circuit is
+// partitioned into layers of compatible two-qubit gates; for every layer
+// an A* search over SWAP insertions finds a cheap mapping under which the
+// whole layer is executable, with a one-layer discounted lookahead. Each
+// layer is optimized mostly in isolation, which lets the mapping drift —
+// the behaviour behind QMAP's large optimality gaps in the paper.
+package qmap
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/router"
+)
+
+// Options configures the mapper.
+type Options struct {
+	// MaxNodes bounds the A* search per layer; when exhausted the best
+	// frontier state is taken and routing continues greedily.
+	MaxNodes int
+	// LookaheadWeight scales the next layer's distance contribution.
+	LookaheadWeight float64
+	// Seed drives the initial placement shuffle.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxNodes <= 0 {
+		o.MaxNodes = 20000
+	}
+	if o.LookaheadWeight == 0 {
+		o.LookaheadWeight = 0.75
+	}
+	return o
+}
+
+// Router is the QMAP-style tool.
+type Router struct {
+	opts    Options
+	initial router.Mapping // non-nil: skip placement
+}
+
+// New returns a QMAP-style router.
+func New(opts Options) *Router { return &Router{opts: opts.withDefaults()} }
+
+// RouteFrom implements router.PlacedRouter.
+func (r *Router) RouteFrom(c *circuit.Circuit, dev *arch.Device, initial router.Mapping) (*router.Result, error) {
+	pinned := &Router{opts: r.opts, initial: router.PadMapping(initial, dev.NumQubits())}
+	return pinned.Route(c, dev)
+}
+
+// Name implements router.Router.
+func (r *Router) Name() string { return "qmap" }
+
+// Route implements router.Router.
+func (r *Router) Route(c *circuit.Circuit, dev *arch.Device) (*router.Result, error) {
+	if c.NumQubits > dev.NumQubits() {
+		return nil, fmt.Errorf("qmap: circuit needs %d qubits, device has %d", c.NumQubits, dev.NumQubits())
+	}
+	work := router.PadToDevice(c, dev)
+	skeleton := router.TwoQubitSkeleton(work)
+	rng := rand.New(rand.NewSource(r.opts.Seed))
+
+	dag := circuit.NewDAG(skeleton)
+	layers := dag.Layers()
+
+	var mapping router.Mapping
+	if r.initial != nil {
+		mapping = r.initial.Clone()
+	} else {
+		mapping = initialPlacement(skeleton, dev, rng)
+	}
+	initial := mapping.Clone()
+
+	g := dev.Graph()
+	dist := dev.Distances()
+	out := circuit.New(skeleton.NumQubits)
+	swaps := 0
+
+	for li, layer := range layers {
+		var next []int
+		if li+1 < len(layers) {
+			next = layers[li+1]
+		}
+		seq, final := r.searchLayer(mapping, layer, next, dag, dev)
+		for _, sw := range seq {
+			out.MustAppend(circuit.NewSwap(sw[0], sw[1]))
+			swaps++
+		}
+		mapping = final
+		// Emit the layer's gates (now all executable).
+		for _, v := range layer {
+			gt := dag.Gate(v)
+			if !g.HasEdge(mapping[gt.Q0], mapping[gt.Q1]) {
+				// A* was truncated; finish greedily along shortest paths.
+				inv := mapping.Inverse(dev.NumQubits())
+				for !g.HasEdge(mapping[gt.Q0], mapping[gt.Q1]) {
+					p0, p1 := mapping[gt.Q0], mapping[gt.Q1]
+					for _, pn := range g.Neighbors(p0) {
+						if dist[pn][p1] < dist[p0][p1] {
+							qn := inv[pn]
+							out.MustAppend(circuit.NewSwap(gt.Q0, qn))
+							swaps++
+							inv[p0], inv[pn] = qn, gt.Q0
+							mapping.SwapProgram(gt.Q0, qn)
+							break
+						}
+					}
+				}
+			}
+			out.MustAppend(gt)
+		}
+	}
+
+	woven, err := router.WeaveSingleQubitGates(work, out)
+	if err != nil {
+		return nil, fmt.Errorf("qmap: %w", err)
+	}
+	return &router.Result{
+		Tool:           r.Name(),
+		InitialMapping: initial,
+		Transpiled:     woven,
+		SwapCount:      swaps,
+		Trials:         1,
+	}, nil
+}
+
+// state is an A* node. To keep expansion cheap on 127-qubit devices the
+// mapping is not stored per node: each node records only the swap that
+// produced it and its parent, plus an incrementally maintained heuristic
+// and Zobrist hash. The full mapping is re-materialized by replaying the
+// swap path when the node is popped.
+type state struct {
+	parent *state
+	swap   [2]int // program qubits; parent==nil means no swap
+	depth  int
+	hCost  float64 // heuristic at this node
+	fCost  float64 // depth + hCost (+ lookahead already inside hCost)
+	hash   uint64
+	index  int
+}
+
+type stateHeap []*state
+
+func (h stateHeap) Len() int           { return len(h) }
+func (h stateHeap) Less(i, j int) bool { return h[i].fCost < h[j].fCost }
+func (h stateHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+func (h *stateHeap) Push(x any)        { s := x.(*state); s.index = len(*h); *h = append(*h, s) }
+func (h *stateHeap) Pop() any {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	*h = old[:n-1]
+	return s
+}
+
+// seq reconstructs the swap sequence from the root to this node.
+func (s *state) seqFromRoot() [][2]int {
+	if s.parent == nil {
+		return nil
+	}
+	out := make([][2]int, s.depth)
+	for n := s; n.parent != nil; n = n.parent {
+		out[n.depth-1] = n.swap
+	}
+	return out
+}
+
+// searchLayer runs A* from the current mapping to one under which every
+// layer gate is executable. Candidate moves are SWAPs on coupler edges
+// touching the layer's qubits. Returns the swap sequence and final
+// mapping; on node exhaustion, the most promising frontier state.
+func (r *Router) searchLayer(start router.Mapping, layer, next []int, dag *circuit.DAG, dev *arch.Device) ([][2]int, router.Mapping) {
+	g := dev.Graph()
+	dist := dev.Distances()
+	nQ := len(start)
+	nP := dev.NumQubits()
+
+	// Gates touching each program qubit (layer and lookahead separately).
+	touchL := make([][]int, nQ)
+	for _, v := range layer {
+		gt := dag.Gate(v)
+		touchL[gt.Q0] = append(touchL[gt.Q0], v)
+		touchL[gt.Q1] = append(touchL[gt.Q1], v)
+	}
+	touchN := make([][]int, nQ)
+	for _, v := range next {
+		gt := dag.Gate(v)
+		touchN[gt.Q0] = append(touchN[gt.Q0], v)
+		touchN[gt.Q1] = append(touchN[gt.Q1], v)
+	}
+
+	h := func(m router.Mapping) float64 {
+		s := 0.0
+		for _, v := range layer {
+			gt := dag.Gate(v)
+			s += float64(dist[m[gt.Q0]][m[gt.Q1]] - 1)
+		}
+		look := 0.0
+		for _, v := range next {
+			gt := dag.Gate(v)
+			look += float64(dist[m[gt.Q0]][m[gt.Q1]] - 1)
+		}
+		return s + r.opts.LookaheadWeight*look
+	}
+	// hDelta returns h(after) - h(before) for swapping program qubits a,b,
+	// evaluated with the mapping already swapped.
+	hDelta := func(m router.Mapping, a, b, paOld, pbOld int) float64 {
+		d := 0.0
+		recompute := func(v int, weight float64) {
+			gt := dag.Gate(v)
+			q0, q1 := gt.Q0, gt.Q1
+			// New positions.
+			p0, p1 := m[q0], m[q1]
+			// Old positions: undo the swap for the two moved qubits.
+			o0, o1 := p0, p1
+			if q0 == a {
+				o0 = paOld
+			} else if q0 == b {
+				o0 = pbOld
+			}
+			if q1 == a {
+				o1 = paOld
+			} else if q1 == b {
+				o1 = pbOld
+			}
+			d += weight * float64(dist[p0][p1]-dist[o0][o1])
+		}
+		seenGate := map[int]bool{}
+		for _, q := range []int{a, b} {
+			for _, v := range touchL[q] {
+				if !seenGate[v] {
+					seenGate[v] = true
+					recompute(v, 1)
+				}
+			}
+			for _, v := range touchN[q] {
+				if !seenGate[v+1<<30] {
+					seenGate[v+1<<30] = true
+					recompute(v, r.opts.LookaheadWeight)
+				}
+			}
+		}
+		return d
+	}
+	goal := func(m router.Mapping) bool {
+		for _, v := range layer {
+			gt := dag.Gate(v)
+			if !g.HasEdge(m[gt.Q0], m[gt.Q1]) {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Zobrist table for closed-set hashing.
+	zob := zobristFor(nQ, nP)
+	hash0 := uint64(0)
+	for q, p := range start {
+		hash0 ^= zob[q*nP+p]
+	}
+
+	root := &state{hCost: h(start), hash: hash0}
+	root.fCost = root.hCost
+	if goal(start) {
+		return nil, start.Clone()
+	}
+
+	open := &stateHeap{}
+	heap.Init(open)
+	heap.Push(open, root)
+	closed := map[uint64]bool{root.hash: true}
+
+	// Scratch mapping replayed per pop.
+	m := start.Clone()
+	inv := m.Inverse(nP)
+	var applied [][2]int // swaps currently applied to m
+	apply := func(target *state) {
+		// Rewind and replay: cheap because depths are small.
+		for i := len(applied) - 1; i >= 0; i-- {
+			sw := applied[i]
+			pa, pb := m[sw[0]], m[sw[1]]
+			m[sw[0]], m[sw[1]] = pb, pa
+			inv[pa], inv[pb] = sw[1], sw[0]
+		}
+		applied = target.seqFromRoot()
+		for _, sw := range applied {
+			pa, pb := m[sw[0]], m[sw[1]]
+			m[sw[0]], m[sw[1]] = pb, pa
+			inv[pa], inv[pb] = sw[1], sw[0]
+		}
+	}
+
+	bestFrontier := root
+	nodes := 0
+	for open.Len() > 0 && nodes < r.opts.MaxNodes {
+		cur := heap.Pop(open).(*state)
+		nodes++
+		apply(cur)
+		if goal(m) {
+			return cur.seqFromRoot(), m.Clone()
+		}
+		if cur.hCost < bestFrontier.hCost {
+			bestFrontier = cur
+		}
+		// Expand: SWAPs on coupler edges touching active qubits.
+		seen := map[[2]int]bool{}
+		for _, v := range layer {
+			gt := dag.Gate(v)
+			for _, q := range []int{gt.Q0, gt.Q1} {
+				p := m[q]
+				for _, pn := range g.Neighbors(p) {
+					qn := inv[pn]
+					a, b := q, qn
+					if a > b {
+						a, b = b, a
+					}
+					if seen[[2]int{a, b}] {
+						continue
+					}
+					seen[[2]int{a, b}] = true
+					pa, pb := m[a], m[b]
+					nh := cur.hash ^ zob[a*nP+pa] ^ zob[a*nP+pb] ^ zob[b*nP+pb] ^ zob[b*nP+pa]
+					if closed[nh] {
+						continue
+					}
+					closed[nh] = true
+					// Evaluate the heuristic delta with the swap applied.
+					m[a], m[b] = pb, pa
+					dh := hDelta(m, a, b, pa, pb)
+					m[a], m[b] = pa, pb
+					ns := &state{
+						parent: cur,
+						swap:   [2]int{a, b},
+						depth:  cur.depth + 1,
+						hCost:  cur.hCost + dh,
+						hash:   nh,
+					}
+					ns.fCost = float64(ns.depth) + ns.hCost
+					heap.Push(open, ns)
+				}
+			}
+		}
+	}
+	// Exhausted: hand the most promising state back; the caller finishes
+	// greedily.
+	apply(bestFrontier)
+	return bestFrontier.seqFromRoot(), m.Clone()
+}
+
+// zobristFor returns deterministic pseudo-random keys for (program qubit,
+// physical qubit) pairs, used to hash mappings incrementally.
+func zobristFor(nQ, nP int) []uint64 {
+	out := make([]uint64, nQ*nP)
+	x := uint64(0x9E3779B97F4A7C15)
+	for i := range out {
+		// SplitMix64.
+		x += 0x9E3779B97F4A7C15
+		z := x
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		out[i] = z ^ (z >> 31)
+	}
+	return out
+}
+
+// initialPlacement assigns interaction-degree-sorted program qubits to
+// coupling-degree-sorted physical qubits (QMAP's simple starting layout).
+func initialPlacement(skeleton *circuit.Circuit, dev *arch.Device, rng *rand.Rand) router.Mapping {
+	ig := skeleton.InteractionGraph()
+	nQ := skeleton.NumQubits
+	progs := make([]int, nQ)
+	for i := range progs {
+		progs[i] = i
+	}
+	rng.Shuffle(nQ, func(i, j int) { progs[i], progs[j] = progs[j], progs[i] })
+	sort.SliceStable(progs, func(a, b int) bool { return ig.Degree(progs[a]) > ig.Degree(progs[b]) })
+
+	g := dev.Graph()
+	phys := make([]int, g.N())
+	for i := range phys {
+		phys[i] = i
+	}
+	sort.SliceStable(phys, func(a, b int) bool { return g.Degree(phys[a]) > g.Degree(phys[b]) })
+
+	mapping := make(router.Mapping, nQ)
+	for i, q := range progs {
+		mapping[q] = phys[i]
+	}
+	return mapping
+}

@@ -1,0 +1,50 @@
+package qubikos_test
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/qubikos"
+)
+
+// Generate a 2-SWAP benchmark on the 3x3 grid and confirm the bundled
+// solution uses exactly the optimal count.
+func ExampleGenerate() {
+	dev := arch.Grid3x3()
+	b, err := qubikos.Generate(dev, qubikos.Options{
+		NumSwaps:            2,
+		TargetTwoQubitGates: 40,
+		Seed:                1,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if err := qubikos.Verify(b); err != nil {
+		fmt.Println("verify:", err)
+		return
+	}
+	fmt.Println("optimal swaps:", b.OptSwaps)
+	fmt.Println("solution swaps:", b.Solution.SwapCount)
+	fmt.Println("two-qubit gates:", b.Circuit.TwoQubitGateCount())
+	// Output:
+	// optimal swaps: 2
+	// solution swaps: 2
+	// two-qubit gates: 40
+}
+
+// The n=0 degenerate case is a SWAP-free, QUEKO-like benchmark.
+func ExampleGenerate_swapFree() {
+	b, err := qubikos.Generate(arch.Grid3x3(), qubikos.Options{
+		NumSwaps:            0,
+		TargetTwoQubitGates: 10,
+		Seed:                3,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("optimal swaps:", b.OptSwaps)
+	// Output:
+	// optimal swaps: 0
+}

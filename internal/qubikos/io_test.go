@@ -1,0 +1,72 @@
+package qubikos
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func TestInstanceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	b := gen(t, arch.RigettiAspen4(), Options{NumSwaps: 3, TargetTwoQubitGates: 60, SingleQubitGates: 5, Seed: 4})
+
+	inst, err := WriteInstance(dir, "case", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.OptimalSwaps != 3 || inst.Device != "aspen4" {
+		t.Fatalf("sidecar: %+v", inst)
+	}
+	for _, f := range []string{"case.qasm", "case.solution.qasm", "case.json"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("missing %s: %v", f, err)
+		}
+	}
+
+	li, err := ReadInstance(dir, "case")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if li.Circuit.NumGates() != b.Circuit.NumGates() {
+		t.Fatalf("gates %d vs %d", li.Circuit.NumGates(), b.Circuit.NumGates())
+	}
+	if li.Circuit.TwoQubitGateCount() != b.Circuit.TwoQubitGateCount() {
+		t.Fatal("2q count drift")
+	}
+	if li.Meta.OptimalSwaps != b.OptSwaps {
+		t.Fatal("optimal count drift")
+	}
+	for q, p := range b.InitialMapping {
+		if li.Meta.InitialMapping[q] != p {
+			t.Fatal("mapping drift")
+		}
+	}
+}
+
+func TestReadInstanceCatchesTampering(t *testing.T) {
+	dir := t.TempDir()
+	b := gen(t, arch.Grid3x3(), Options{NumSwaps: 2, TargetTwoQubitGates: 30, Seed: 9})
+	if _, err := WriteInstance(dir, "x", b); err != nil {
+		t.Fatal(err)
+	}
+	// Append a gate to the QASM: the sidecar gate counts must catch it.
+	f, err := os.OpenFile(filepath.Join(dir, "x.qasm"), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("cx q[0],q[1];\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := ReadInstance(dir, "x"); err == nil {
+		t.Fatal("tampered instance accepted")
+	}
+}
+
+func TestReadInstanceMissingFiles(t *testing.T) {
+	if _, err := ReadInstance(t.TempDir(), "nope"); err == nil {
+		t.Fatal("missing instance accepted")
+	}
+}

@@ -1,0 +1,132 @@
+package qubikos
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/graph"
+	"repro/internal/router"
+)
+
+// Verify re-checks the structural premises of the paper's optimality proof
+// (Section III-D) on a generated benchmark:
+//
+//  1. the bundled solution is a valid transpilation using exactly
+//     OptSwaps SWAPs (upper bound witness);
+//  2. every section's interaction graph — special gate and padding
+//     included — is certifiably non-embeddable in the coupling graph
+//     (Lemma 1: each section forces at least one SWAP);
+//  3. every backbone gate of section i is a DAG descendant of special
+//     gate i-1 and an ancestor of special gate i (Lemmas 2 and 3: the
+//     sections execute serially, so their forced SWAPs cannot be shared);
+//  4. the metadata (zones, backbone flags, special positions, mappings)
+//     is internally consistent.
+//
+// Together with the paper's Theorem 4 these certify that the optimal SWAP
+// count is exactly OptSwaps. The olsq package provides an independent
+// exact check for small instances.
+func Verify(b *Benchmark) error {
+	if b == nil || b.Circuit == nil || b.Solution == nil {
+		return fmt.Errorf("qubikos: nil benchmark")
+	}
+	n := b.OptSwaps
+	if len(b.Sections) != n {
+		return fmt.Errorf("qubikos: %d sections recorded for %d swaps", len(b.Sections), n)
+	}
+	nGates := b.Circuit.NumGates()
+	if len(b.Zone) != nGates || len(b.Backbone) != nGates {
+		return fmt.Errorf("qubikos: annotation length mismatch: %d gates, %d zones, %d backbone flags",
+			nGates, len(b.Zone), len(b.Backbone))
+	}
+
+	// (4) Metadata consistency: zones non-decreasing, specials positioned
+	// at the recorded indices and terminating their zones.
+	for i := 1; i < nGates; i++ {
+		if b.Zone[i] < b.Zone[i-1] {
+			return fmt.Errorf("qubikos: zone regresses at gate %d (%d -> %d)", i, b.Zone[i-1], b.Zone[i])
+		}
+	}
+	for j, sec := range b.Sections {
+		idx := sec.SpecialIndex
+		if idx < 0 || idx >= nGates {
+			return fmt.Errorf("qubikos: section %d special index %d out of range", j, idx)
+		}
+		g := b.Circuit.Gates[idx]
+		if g != sec.Special {
+			return fmt.Errorf("qubikos: section %d special mismatch: circuit has %v, metadata %v", j, g, sec.Special)
+		}
+		if b.Zone[idx] != j {
+			return fmt.Errorf("qubikos: section %d special sits in zone %d", j, b.Zone[idx])
+		}
+		if !b.Backbone[idx] {
+			return fmt.Errorf("qubikos: section %d special not flagged backbone", j)
+		}
+		// The special must be the last gate of its zone.
+		if idx+1 < nGates && b.Zone[idx+1] == j {
+			return fmt.Errorf("qubikos: gate %d follows section %d's special inside zone %d", idx+1, j, j)
+		}
+		if err := sec.MappingBefore.Validate(b.Device.NumQubits()); err != nil {
+			return fmt.Errorf("qubikos: section %d mapping: %w", j, err)
+		}
+	}
+
+	// (1) Upper bound: the solution executes with exactly n SWAPs.
+	if b.Solution.SwapCount != n {
+		return fmt.Errorf("qubikos: solution uses %d swaps, claimed optimum %d", b.Solution.SwapCount, n)
+	}
+	if err := router.Validate(b.Circuit, b.Device, b.Solution); err != nil {
+		return fmt.Errorf("qubikos: solution invalid: %w", err)
+	}
+
+	// (2) Per-section non-embeddability via the degree-pigeonhole
+	// certificate (sound; see graph.EmbeddingBlocked).
+	gc := b.Device.Graph()
+	for j := 0; j < n; j++ {
+		var idxs []int
+		for i, z := range b.Zone {
+			if z == j && b.Circuit.Gates[i].TwoQubit() {
+				idxs = append(idxs, i)
+			}
+		}
+		gi := b.Circuit.InteractionGraphOf(idxs)
+		if !graph.EmbeddingBlocked(gi, gc) {
+			return fmt.Errorf("qubikos: section %d interaction graph has no non-embeddability certificate", j)
+		}
+	}
+
+	// (3) Serialization: backbone gates sandwich between their section's
+	// boundary specials in the dependency DAG.
+	dag := circuit.NewDAG(b.Circuit)
+	reach := dag.Ancestors()
+	specialNode := make([]int, n)
+	for j, sec := range b.Sections {
+		node := dag.NodeOf[sec.SpecialIndex]
+		if node == -1 {
+			return fmt.Errorf("qubikos: section %d special is not a two-qubit gate", j)
+		}
+		specialNode[j] = node
+	}
+	for i, z := range b.Zone {
+		if !b.Backbone[i] || z >= n {
+			continue
+		}
+		node := dag.NodeOf[i]
+		if node == -1 {
+			continue // single-qubit backbone gates do not exist, but be safe
+		}
+		if node != specialNode[z] && !reach.MustPrecede(node, specialNode[z]) {
+			return fmt.Errorf("qubikos: backbone gate %d (%v) does not precede section %d's special",
+				i, b.Circuit.Gates[i], z)
+		}
+		if z > 0 && node != specialNode[z-1] && !reach.MustPrecede(specialNode[z-1], node) {
+			return fmt.Errorf("qubikos: backbone gate %d (%v) does not depend on section %d's special",
+				i, b.Circuit.Gates[i], z-1)
+		}
+	}
+	for j := 1; j < n; j++ {
+		if !reach.MustPrecede(specialNode[j-1], specialNode[j]) {
+			return fmt.Errorf("qubikos: special %d does not precede special %d", j-1, j)
+		}
+	}
+	return nil
+}

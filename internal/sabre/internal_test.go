@@ -1,0 +1,129 @@
+package sabre
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/router"
+)
+
+func TestLayoutSwapMaintainsInverse(t *testing.T) {
+	m := router.Mapping{2, 0, 3, 1}
+	lay := newLayout(m, 4)
+	lay.swap(0, 3)
+	if lay.m[0] != 1 || lay.m[3] != 2 {
+		t.Fatalf("mapping after swap: %v", lay.m)
+	}
+	for p, q := range lay.inv {
+		if q != -1 && lay.m[q] != p {
+			t.Fatalf("inverse broken at p=%d", p)
+		}
+	}
+}
+
+func TestReverseCircuit(t *testing.T) {
+	c := circuit.New(3)
+	c.MustAppend(circuit.NewCX(0, 1), circuit.NewCX(1, 2), circuit.NewCX(0, 2))
+	r := reverseCircuit(c)
+	if r.Gates[0].Q1 != 2 || r.Gates[2].Q1 != 1 {
+		t.Fatalf("reverse order wrong: %v", r.Gates)
+	}
+	if c.Gates[0].Q0 != 0 {
+		t.Fatal("reverse mutated the original")
+	}
+}
+
+func TestCollectExtendedSetBounded(t *testing.T) {
+	// A long chain: extended set from the root must stop at the limit.
+	c := circuit.New(2)
+	for i := 0; i < 50; i++ {
+		c.MustAppend(circuit.NewCX(0, 1))
+	}
+	e := newPassEngine(c, arch.Line(2), Options{ExtendedSetSize: 20}.withDefaults(), false)
+	indeg := make([]int, e.dag.N())
+	for v := range indeg {
+		indeg[v] = len(e.dag.Preds[v])
+	}
+	ext := e.collectExtendedSet([]int{0}, indeg)
+	if len(ext) != 20 {
+		t.Fatalf("extended set size %d want 20", len(ext))
+	}
+	for _, v := range ext {
+		if v == 0 {
+			t.Fatal("front gate leaked into the extended set")
+		}
+	}
+}
+
+func TestCollectExtendedSetShortCircuit(t *testing.T) {
+	c := circuit.New(4)
+	c.MustAppend(circuit.NewCX(0, 1), circuit.NewCX(1, 2), circuit.NewCX(2, 3))
+	e := newPassEngine(c, arch.Line(4), Options{}.withDefaults(), false)
+	indeg := make([]int, e.dag.N())
+	for v := range indeg {
+		indeg[v] = len(e.dag.Preds[v])
+	}
+	ext := e.collectExtendedSet([]int{0}, indeg)
+	if len(ext) != 2 {
+		t.Fatalf("extended set %v want the two successors", ext)
+	}
+}
+
+func TestForceRouteTerminates(t *testing.T) {
+	// Qubits at opposite ends of a line: forceRoute must emit exactly
+	// dist-1 swaps.
+	c := circuit.New(6)
+	c.MustAppend(circuit.NewCX(0, 5))
+	dev := arch.Line(6)
+	e := newPassEngine(c, dev, Options{}.withDefaults(), true)
+	e.out = circuit.New(6)
+	lay := newLayout(router.IdentityMapping(6), 6)
+	e.forceRoute(0, lay, dev.Distances())
+	if e.swaps != 4 {
+		t.Fatalf("forceRoute used %d swaps, want 4 (distance 5)", e.swaps)
+	}
+	if !dev.Graph().HasEdge(lay.m[0], lay.m[5]) {
+		t.Fatal("gate still not executable after forceRoute")
+	}
+}
+
+func TestWithDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Trials != DefaultTrials || o.ExtendedSetSize != DefaultExtendedSetSize {
+		t.Fatalf("defaults not applied: %+v", o)
+	}
+	if o.ExtendedSetWeight != DefaultExtendedSetWeight || o.DecayResetEvery != DefaultDecayResetEvery {
+		t.Fatalf("defaults not applied: %+v", o)
+	}
+	o2 := Options{MappingPasses: -1}.withDefaults()
+	if o2.MappingPasses != -1 {
+		t.Fatal("explicit negative MappingPasses overridden")
+	}
+}
+
+// Parallel trials must reproduce the sequential outcome: per-trial seeds
+// are fixed, so GOMAXPROCS must not affect the result.
+func TestTrialsIndependentOfScheduling(t *testing.T) {
+	c := circuit.New(8)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 60; i++ {
+		a, b := rng.Intn(8), rng.Intn(8)
+		if a != b {
+			c.MustAppend(circuit.NewCX(a, b))
+		}
+	}
+	dev := arch.Grid3x3()
+	var counts []int
+	for rep := 0; rep < 3; rep++ {
+		res, err := New(Options{Trials: 6, Seed: 4}).Route(c, dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts = append(counts, res.SwapCount)
+	}
+	if counts[0] != counts[1] || counts[1] != counts[2] {
+		t.Fatalf("swap counts varied across runs: %v", counts)
+	}
+}

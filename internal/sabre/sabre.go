@@ -1,0 +1,526 @@
+// Package sabre implements the SABRE swap-routing heuristic (Li, Ding,
+// Xie, ASPLOS 2019) with the LightSABRE-style enhancements the paper
+// evaluates through Qiskit 1.2.4: multi-trial random-restart search,
+// bidirectional initial-mapping refinement, the extended lookahead set
+// (size 20, weight 0.5) and qubit decay, plus the release valve that
+// breaks livelocks. It also implements the decay-weighted lookahead the
+// paper proposes in its Section IV-C case study, and an instrumentation
+// hook that exposes per-decision swap costs for that case study.
+package sabre
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/router"
+)
+
+// Defaults mirror Qiskit's SabreSwap configuration, which the paper's
+// case study dissects (extended set size 20, weight 0.5).
+const (
+	DefaultExtendedSetSize   = 20
+	DefaultExtendedSetWeight = 0.5
+	DefaultDecayIncrement    = 0.001
+	DefaultDecayResetEvery   = 5
+	DefaultTrials            = 32
+	DefaultMappingPasses     = 3
+)
+
+// Options configures the router.
+type Options struct {
+	// Trials is the number of random-restart attempts; the best (fewest
+	// SWAPs) wins. The paper runs LightSABRE with 1000.
+	Trials int
+	// Seed drives all randomness.
+	Seed int64
+	// ExtendedSetSize is the lookahead window size (gates beyond the
+	// front layer considered by the cost function).
+	ExtendedSetSize int
+	// ExtendedSetWeight scales the lookahead term.
+	ExtendedSetWeight float64
+	// DecayIncrement is added to a qubit's decay each time it swaps.
+	DecayIncrement float64
+	// DecayResetEvery resets decay factors after this many swap picks.
+	DecayResetEvery int
+	// LookaheadDecay, when in (0,1), weights extended-set gates by
+	// LookaheadDecay^i with i the BFS collection index — the fix the
+	// paper proposes after the Figure 5 analysis. 0 reproduces Qiskit's
+	// uniform lookahead.
+	LookaheadDecay float64
+	// MappingPasses is the number of forward/backward routing passes used
+	// to settle the initial mapping before the recorded run. Negative
+	// disables the passes entirely.
+	MappingPasses int
+	// Trace, when set, receives every swap decision of the final recorded
+	// pass of every trial; used by the case-study experiment.
+	Trace func(TraceStep)
+}
+
+// TraceStep describes one swap decision for instrumentation.
+type TraceStep struct {
+	Trial      int
+	FrontGates []circuit.Gate
+	Candidates []SwapCost
+	ChosenIdx  int
+}
+
+// SwapCost is the scored candidate swap of a decision point.
+type SwapCost struct {
+	ProgA, ProgB int     // program qubits swapped
+	PhysA, PhysB int     // their physical locations
+	Basic        float64 // front-layer term
+	Lookahead    float64 // extended-set term (already weighted)
+	Decay        float64 // decay multiplier applied
+	Total        float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Trials <= 0 {
+		o.Trials = DefaultTrials
+	}
+	if o.ExtendedSetSize <= 0 {
+		o.ExtendedSetSize = DefaultExtendedSetSize
+	}
+	if o.ExtendedSetWeight == 0 {
+		o.ExtendedSetWeight = DefaultExtendedSetWeight
+	}
+	if o.DecayIncrement == 0 {
+		o.DecayIncrement = DefaultDecayIncrement
+	}
+	if o.DecayResetEvery <= 0 {
+		o.DecayResetEvery = DefaultDecayResetEvery
+	}
+	if o.MappingPasses == 0 {
+		o.MappingPasses = DefaultMappingPasses
+	}
+	return o
+}
+
+// Router is a SABRE/LightSABRE layout synthesis tool.
+type Router struct {
+	opts  Options
+	name  string
+	fixed router.Mapping // non-nil: placement pinned, no restart search
+}
+
+// New returns a LightSABRE-style router.
+func New(opts Options) *Router {
+	name := "lightsabre"
+	if opts.LookaheadDecay > 0 {
+		name = "lightsabre+decay"
+	}
+	return &Router{opts: opts.withDefaults(), name: name}
+}
+
+// NewFixedMapping returns a SABRE routing engine pinned to the given
+// initial mapping: trials reuse the placement and differ only in
+// tie-breaking randomness. Used by tools (e.g. ML-QLS) that construct
+// their own placement and only need the swap router. The mapping must
+// cover the device-padded register.
+func NewFixedMapping(opts Options, mapping router.Mapping) *Router {
+	o := opts.withDefaults()
+	o.MappingPasses = -1 // placement is pinned; no settling passes
+	return &Router{opts: o, name: "sabre-fixed", fixed: mapping}
+}
+
+// Name implements router.Router.
+func (r *Router) Name() string { return r.name }
+
+// Route implements router.Router.
+func (r *Router) Route(c *circuit.Circuit, dev *arch.Device) (*router.Result, error) {
+	if c.NumQubits > dev.NumQubits() {
+		return nil, fmt.Errorf("sabre: circuit needs %d qubits, device has %d", c.NumQubits, dev.NumQubits())
+	}
+	work := router.PadToDevice(c, dev)
+	skeleton := router.TwoQubitSkeleton(work)
+
+	// Trials are independent; run them across the available CPUs with
+	// per-trial deterministic seeds. Ties break toward the lower trial
+	// index so results do not depend on scheduling.
+	results := make([]*trialResult, r.opts.Trials)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > r.opts.Trials {
+		workers = r.opts.Trials
+	}
+	if r.opts.Trace != nil {
+		workers = 1 // keep trace callbacks single-threaded and ordered
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for trial := range next {
+				rng := rand.New(rand.NewSource(r.opts.Seed + 1000003*int64(trial)))
+				results[trial] = r.runTrial(skeleton, dev, rng, trial)
+			}
+		}()
+	}
+	for trial := 0; trial < r.opts.Trials; trial++ {
+		next <- trial
+	}
+	close(next)
+	wg.Wait()
+
+	best := results[0]
+	for _, tr := range results[1:] {
+		if tr.swaps < best.swaps {
+			best = tr
+		}
+	}
+	woven, err := router.WeaveSingleQubitGates(work, best.out)
+	if err != nil {
+		return nil, fmt.Errorf("sabre: %w", err)
+	}
+	return &router.Result{
+		Tool:           r.name,
+		InitialMapping: best.initial,
+		Transpiled:     woven,
+		SwapCount:      best.swaps,
+		Trials:         r.opts.Trials,
+	}, nil
+}
+
+// RouteFrom implements router.PlacedRouter: the placement search is
+// skipped and every trial routes from the supplied mapping.
+func (r *Router) RouteFrom(c *circuit.Circuit, dev *arch.Device, initial router.Mapping) (*router.Result, error) {
+	pinned := &Router{opts: r.opts, name: r.name, fixed: router.PadMapping(initial, dev.NumQubits())}
+	pinned.opts.MappingPasses = -1
+	res, err := pinned.Route(c, dev)
+	if err != nil {
+		return nil, err
+	}
+	res.Tool = r.name
+	return res, nil
+}
+
+type trialResult struct {
+	initial router.Mapping
+	out     *circuit.Circuit
+	swaps   int
+}
+
+// runTrial performs one random-restart attempt: settle the initial
+// mapping with forward/backward passes, then record the final pass.
+func (r *Router) runTrial(skeleton *circuit.Circuit, dev *arch.Device, rng *rand.Rand, trial int) *trialResult {
+	var mapping router.Mapping
+	if r.fixed != nil {
+		mapping = r.fixed.Clone()
+	} else {
+		mapping = router.Mapping(rng.Perm(dev.NumQubits())[:skeleton.NumQubits])
+	}
+
+	fwd := newPassEngine(skeleton, dev, r.opts, false)
+	bwd := newPassEngine(reverseCircuit(skeleton), dev, r.opts, false)
+	for pass := 0; pass < r.opts.MappingPasses; pass++ {
+		final := fwd.run(mapping.Clone(), rng, nil, trial)
+		mapping = bwd.run(final, rng, nil, trial)
+	}
+
+	initial := mapping.Clone()
+	rec := newPassEngine(skeleton, dev, r.opts, true)
+	rec.run(mapping, rng, r.opts.Trace, trial)
+	return &trialResult{initial: initial, out: rec.out, swaps: rec.swaps}
+}
+
+// reverseCircuit returns the gates in reverse order (the dependency DAG
+// reversed), used by the bidirectional mapping passes.
+func reverseCircuit(c *circuit.Circuit) *circuit.Circuit {
+	out := circuit.New(c.NumQubits)
+	for i := len(c.Gates) - 1; i >= 0; i-- {
+		out.MustAppend(c.Gates[i])
+	}
+	return out
+}
+
+// passEngine routes one circuit once; construct fresh per pass (it keeps
+// DAG bookkeeping) but reuse across trials via reset.
+type passEngine struct {
+	c      *circuit.Circuit
+	dev    *arch.Device
+	dag    *circuit.DAG
+	opts   Options
+	record bool
+
+	out   *circuit.Circuit
+	swaps int
+}
+
+func newPassEngine(c *circuit.Circuit, dev *arch.Device, opts Options, record bool) *passEngine {
+	return &passEngine{c: c, dev: dev, dag: circuit.NewDAG(c), opts: opts, record: record}
+}
+
+// layout pairs a mapping with its inverse for O(1) occupant lookups.
+type layout struct {
+	m   router.Mapping // program -> physical
+	inv []int          // physical -> program (-1 unoccupied)
+}
+
+func newLayout(m router.Mapping, nPhys int) *layout {
+	return &layout{m: m, inv: m.Inverse(nPhys)}
+}
+
+func (l *layout) swap(qa, qb int) {
+	pa, pb := l.m[qa], l.m[qb]
+	l.m[qa], l.m[qb] = pb, pa
+	l.inv[pa], l.inv[pb] = qb, qa
+}
+
+// run routes the engine's circuit starting from mapping, returning the
+// final mapping. When recording, the transpiled skeleton and swap count
+// are left in e.out / e.swaps.
+func (e *passEngine) run(mapping router.Mapping, rng *rand.Rand, trace func(TraceStep), trial int) router.Mapping {
+	lay := newLayout(mapping, e.dev.NumQubits())
+	dag := e.dag
+	n := dag.N()
+	dist := e.dev.Distances()
+	g := e.dev.Graph()
+
+	if e.record {
+		e.out = circuit.New(e.c.NumQubits)
+		e.swaps = 0
+	}
+
+	indeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		indeg[v] = len(dag.Preds[v])
+	}
+	front := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			front = append(front, v)
+		}
+	}
+	executed := 0
+	decay := make([]float64, e.c.NumQubits)
+	resetDecay := func() {
+		for i := range decay {
+			decay[i] = 1.0
+		}
+	}
+	resetDecay()
+
+	swapPicks := 0
+	sinceProgress := 0
+	releaseThreshold := 10 * e.opts.ExtendedSetSize
+
+	for executed < n {
+		// Execute every front gate whose qubits are adjacent.
+		progressed := false
+		for i := 0; i < len(front); {
+			v := front[i]
+			gt := dag.Gate(v)
+			if g.HasEdge(mapping[gt.Q0], mapping[gt.Q1]) {
+				if e.record {
+					e.out.MustAppend(gt)
+				}
+				executed++
+				progressed = true
+				front[i] = front[len(front)-1]
+				front = front[:len(front)-1]
+				for _, s := range dag.Succs[v] {
+					indeg[s]--
+					if indeg[s] == 0 {
+						front = append(front, s)
+					}
+				}
+			} else {
+				i++
+			}
+		}
+		if progressed {
+			resetDecay()
+			sinceProgress = 0
+			continue
+		}
+		if executed >= n {
+			break
+		}
+
+		// Release valve: too long without executing anything — route the
+		// first front gate forcibly along a shortest path.
+		if sinceProgress >= releaseThreshold {
+			e.forceRoute(front[0], lay, dist)
+			sinceProgress = 0
+			continue
+		}
+
+		extended := e.collectExtendedSet(front, indeg)
+
+		// Candidate swaps: edges touching any front-gate qubit. The
+		// register is padded to the device size, so every neighbor is
+		// occupied (possibly by an ancilla).
+		type cd struct {
+			qa, qb int // program qubits
+		}
+		seen := map[[2]int]bool{}
+		var cands []cd
+		for _, v := range front {
+			gt := dag.Gate(v)
+			for _, q := range []int{gt.Q0, gt.Q1} {
+				p := mapping[q]
+				for _, pn := range g.Neighbors(p) {
+					qn := lay.inv[pn]
+					if qn == -1 {
+						continue
+					}
+					a, b := q, qn
+					if a > b {
+						a, b = b, a
+					}
+					key := [2]int{a, b}
+					if !seen[key] {
+						seen[key] = true
+						cands = append(cands, cd{a, b})
+					}
+				}
+			}
+		}
+
+		bestIdx := -1
+		var bestTotal float64
+		var costs []SwapCost
+		for ci, cand := range cands {
+			lay.swap(cand.qa, cand.qb)
+			basic := 0.0
+			for _, v := range front {
+				gt := dag.Gate(v)
+				basic += float64(dist[mapping[gt.Q0]][mapping[gt.Q1]])
+			}
+			basic /= float64(len(front))
+			look := 0.0
+			if len(extended) > 0 {
+				if e.opts.LookaheadDecay > 0 {
+					wSum := 0.0
+					w := 1.0
+					for _, v := range extended {
+						gt := dag.Gate(v)
+						look += w * float64(dist[mapping[gt.Q0]][mapping[gt.Q1]])
+						wSum += w
+						w *= e.opts.LookaheadDecay
+					}
+					look = e.opts.ExtendedSetWeight * look / wSum
+				} else {
+					for _, v := range extended {
+						gt := dag.Gate(v)
+						look += float64(dist[mapping[gt.Q0]][mapping[gt.Q1]])
+					}
+					look = e.opts.ExtendedSetWeight * look / float64(len(extended))
+				}
+			}
+			lay.swap(cand.qa, cand.qb)
+
+			dk := decay[cand.qa]
+			if decay[cand.qb] > dk {
+				dk = decay[cand.qb]
+			}
+			total := dk * (basic + look)
+			if trace != nil {
+				costs = append(costs, SwapCost{
+					ProgA: cand.qa, ProgB: cand.qb,
+					PhysA: mapping[cand.qa], PhysB: mapping[cand.qb],
+					Basic: basic, Lookahead: look, Decay: dk, Total: total,
+				})
+			}
+			if bestIdx == -1 || total < bestTotal || (total == bestTotal && rng.Intn(2) == 0) {
+				bestIdx, bestTotal = ci, total
+			}
+		}
+		if bestIdx == -1 {
+			// No candidates can only happen on a degenerate device; force.
+			e.forceRoute(front[0], lay, dist)
+			continue
+		}
+		if trace != nil {
+			trace(TraceStep{Trial: trial, FrontGates: frontGates(dag, front), Candidates: costs, ChosenIdx: bestIdx})
+		}
+		ch := cands[bestIdx]
+		if e.record {
+			e.out.MustAppend(circuit.NewSwap(ch.qa, ch.qb))
+			e.swaps++
+		}
+		lay.swap(ch.qa, ch.qb)
+		decay[ch.qa] += e.opts.DecayIncrement
+		decay[ch.qb] += e.opts.DecayIncrement
+		swapPicks++
+		sinceProgress++
+		if swapPicks%e.opts.DecayResetEvery == 0 {
+			resetDecay()
+		}
+	}
+	return mapping
+}
+
+// forceRoute emits SWAPs along a shortest path until the gate's qubits
+// are adjacent — SABRE's livelock release valve. The register is padded
+// to the device size, so every physical qubit on the path is occupied.
+func (e *passEngine) forceRoute(v int, lay *layout, dist [][]int) {
+	g := e.dev.Graph()
+	gt := e.dag.Gate(v)
+	for !g.HasEdge(lay.m[gt.Q0], lay.m[gt.Q1]) {
+		p0 := lay.m[gt.Q0]
+		p1 := lay.m[gt.Q1]
+		// Step q0 one hop toward q1.
+		next := -1
+		for _, pn := range g.Neighbors(p0) {
+			if dist[pn][p1] < dist[p0][p1] {
+				next = pn
+				break
+			}
+		}
+		if next == -1 {
+			panic("sabre: no descent step on a connected device") // unreachable
+		}
+		qn := lay.inv[next]
+		if qn == -1 {
+			panic("sabre: unoccupied physical qubit on forced path")
+		}
+		if e.record {
+			e.out.MustAppend(circuit.NewSwap(gt.Q0, qn))
+			e.swaps++
+		}
+		lay.swap(gt.Q0, qn)
+	}
+}
+
+// collectExtendedSet gathers up to ExtendedSetSize gates following the
+// front layer in the DAG (successors in BFS order, regardless of other
+// unmet dependencies — mirroring Qiskit's extended set).
+func (e *passEngine) collectExtendedSet(front []int, indeg []int) []int {
+	limit := e.opts.ExtendedSetSize
+	var out []int
+	visited := map[int]bool{}
+	queue := append([]int(nil), front...)
+	for _, v := range front {
+		visited[v] = true
+	}
+	for len(queue) > 0 && len(out) < limit {
+		v := queue[0]
+		queue = queue[1:]
+		for _, s := range e.dag.Succs[v] {
+			if visited[s] {
+				continue
+			}
+			visited[s] = true
+			out = append(out, s)
+			queue = append(queue, s)
+			if len(out) >= limit {
+				break
+			}
+		}
+	}
+	return out
+}
+
+func frontGates(dag *circuit.DAG, front []int) []circuit.Gate {
+	out := make([]circuit.Gate, len(front))
+	for i, v := range front {
+		out[i] = dag.Gate(v)
+	}
+	return out
+}

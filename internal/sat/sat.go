@@ -1,0 +1,728 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT
+// solver from scratch, sufficient to power the OLSQ2-style exact layout
+// synthesis used to verify QUBIKOS optimality. Features: two-watched-
+// literal propagation, first-UIP clause learning with recursive
+// minimization, VSIDS-style activity ordering, phase saving, Luby
+// restarts, and LBD-based learned-clause database reduction.
+//
+// Variables are 1-based ints; literals are represented as +v / -v.
+package sat
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Lit is a literal: +v for variable v, -v for its negation. Variable 0 is
+// invalid.
+type Lit int
+
+// Var returns the literal's variable (always positive).
+func (l Lit) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Neg returns the complementary literal.
+func (l Lit) Neg() Lit { return -l }
+
+// Sign reports whether the literal is positive.
+func (l Lit) Sign() bool { return l > 0 }
+
+// Status is the result of a solve call.
+type Status int
+
+const (
+	// Unknown means the solver stopped before reaching a verdict (budget).
+	Unknown Status = iota
+	// Sat means a satisfying assignment was found.
+	Sat
+	// Unsat means the formula is unsatisfiable (under any assumptions given).
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	}
+	return "UNKNOWN"
+}
+
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+// clause is a disjunction of literals. Learned clauses carry an LBD score
+// and an activity used for database reduction.
+type clause struct {
+	lits    []Lit
+	learned bool
+	lbd     int
+	act     float64
+}
+
+// watcher pairs a clause reference with its blocker literal (a literal
+// that, when true, lets propagation skip visiting the clause).
+type watcher struct {
+	c       *clause
+	blocker Lit
+}
+
+// Solver is a CDCL SAT solver. Create with NewSolver, add clauses with
+// AddClause, then call Solve or SolveAssuming. A solver whose formula was
+// proven unsatisfiable stays unsatisfiable; more clauses may still be
+// added (they are absorbed trivially).
+type Solver struct {
+	nVars   int
+	clauses []*clause
+	learnts []*clause
+	watches map[Lit][]watcher
+
+	assign  []lbool // var -> value
+	level   []int   // var -> decision level
+	reason  []*clause
+	trail   []Lit
+	trailLi []int // decision-level boundaries in trail
+	phase   []bool
+
+	activity []float64
+	varInc   float64
+	order    *varHeap
+
+	propHead int
+	unsat    bool // formula known UNSAT without assumptions
+
+	claInc       float64
+	maxLearnts   float64
+	conflicts    int64
+	decisions    int64
+	propagations int64
+
+	// Budget caps the number of conflicts per Solve call; 0 = unlimited.
+	Budget int64
+
+	seen      []bool
+	analyzeTs []Lit
+}
+
+// NewSolver returns a solver with no variables or clauses.
+func NewSolver() *Solver {
+	s := &Solver{
+		watches:    make(map[Lit][]watcher),
+		varInc:     1.0,
+		claInc:     1.0,
+		maxLearnts: 4000,
+	}
+	s.order = &varHeap{s: s}
+	// index 0 unused
+	s.assign = append(s.assign, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.phase = append(s.phase, false)
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, false)
+	return s
+}
+
+// NewVar allocates a fresh variable and returns its index (1-based).
+func (s *Solver) NewVar() int {
+	s.nVars++
+	s.assign = append(s.assign, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.phase = append(s.phase, false)
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, false)
+	s.order.push(s.nVars)
+	return s.nVars
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return s.nVars }
+
+// Stats returns (conflicts, decisions, propagations) accumulated so far.
+func (s *Solver) Stats() (int64, int64, int64) {
+	return s.conflicts, s.decisions, s.propagations
+}
+
+// AddClause adds a disjunction of literals. Tautologies are dropped;
+// duplicate literals are merged. Adding the empty clause (or a clause
+// falsified at level 0) makes the formula permanently UNSAT; that is not
+// an error — Solve simply reports Unsat. Errors are reserved for invalid
+// input (literals over unallocated variables).
+func (s *Solver) AddClause(lits ...Lit) error {
+	if s.unsat {
+		return nil // already unsat; absorbing
+	}
+	// Clauses are added at the root level; drop any leftover model state
+	// from a previous Solve call.
+	s.backtrackTo(0)
+	// Normalize: sort, dedupe, detect tautology, drop level-0 false lits.
+	ls := append([]Lit(nil), lits...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	out := ls[:0]
+	var prev Lit
+	for _, l := range ls {
+		v := l.Var()
+		if v < 1 || v > s.nVars {
+			return fmt.Errorf("sat: literal %d references unallocated variable", l)
+		}
+		if l == prev {
+			continue
+		}
+		if l == -prev && prev != 0 {
+			return nil // tautology: contains v and -v
+		}
+		switch s.valueLit(l) {
+		case lTrue:
+			if s.level[v] == 0 {
+				return nil // satisfied forever
+			}
+		case lFalse:
+			if s.level[v] == 0 {
+				prev = l
+				continue // falsified forever; drop literal
+			}
+		}
+		out = append(out, l)
+		prev = l
+	}
+	// Note: callers add clauses only at level 0 (before solving), so the
+	// level checks above are exact.
+	switch len(out) {
+	case 0:
+		s.unsat = true
+		return nil
+	case 1:
+		if !s.enqueue(out[0], nil) {
+			s.unsat = true
+			return nil
+		}
+		if s.propagate() != nil {
+			s.unsat = true
+		}
+		return nil
+	}
+	c := &clause{lits: append([]Lit(nil), out...)}
+	s.clauses = append(s.clauses, c)
+	s.watchClause(c)
+	return nil
+}
+
+func (s *Solver) watchClause(c *clause) {
+	s.watches[c.lits[0].Neg()] = append(s.watches[c.lits[0].Neg()], watcher{c, c.lits[1]})
+	s.watches[c.lits[1].Neg()] = append(s.watches[c.lits[1].Neg()], watcher{c, c.lits[0]})
+}
+
+func (s *Solver) valueLit(l Lit) lbool {
+	v := s.assign[l.Var()]
+	if v == lUndef {
+		return lUndef
+	}
+	if l.Sign() == (v == lTrue) {
+		return lTrue
+	}
+	return lFalse
+}
+
+// Value returns the model value of variable v after a Sat result.
+func (s *Solver) Value(v int) bool { return s.assign[v] == lTrue }
+
+func (s *Solver) decisionLevel() int { return len(s.trailLi) }
+
+func (s *Solver) enqueue(l Lit, from *clause) bool {
+	switch s.valueLit(l) {
+	case lTrue:
+		return true
+	case lFalse:
+		return false
+	}
+	v := l.Var()
+	if l.Sign() {
+		s.assign[v] = lTrue
+	} else {
+		s.assign[v] = lFalse
+	}
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.phase[v] = l.Sign()
+	s.trail = append(s.trail, l)
+	return true
+}
+
+// propagate runs unit propagation; returns the conflicting clause or nil.
+func (s *Solver) propagate() *clause {
+	for s.propHead < len(s.trail) {
+		p := s.trail[s.propHead]
+		s.propHead++
+		s.propagations++
+		ws := s.watches[p]
+		kept := ws[:0]
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if s.valueLit(w.blocker) == lTrue {
+				kept = append(kept, w)
+				continue
+			}
+			c := w.c
+			// Ensure c.lits[0] is the other watched literal.
+			if c.lits[0] == p.Neg() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.valueLit(first) == lTrue {
+				kept = append(kept, watcher{c, first})
+				continue
+			}
+			// Find a new literal to watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.valueLit(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Neg()] = append(s.watches[c.lits[1].Neg()], watcher{c, first})
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, watcher{c, first})
+			if s.valueLit(first) == lFalse {
+				// Conflict: restore remaining watchers and bail.
+				kept = append(kept, ws[i+1:]...)
+				s.watches[p] = kept
+				s.propHead = len(s.trail)
+				return c
+			}
+			if !s.enqueue(first, c) {
+				panic("sat: enqueue of unit literal failed") // unreachable
+			}
+		}
+		s.watches[p] = kept
+	}
+	return nil
+}
+
+// analyze performs first-UIP conflict analysis, returning the learned
+// clause (with the asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+	learnt := []Lit{0} // placeholder for asserting literal
+	counter := 0
+	var p Lit
+	idx := len(s.trail) - 1
+	s.analyzeTs = s.analyzeTs[:0]
+
+	c := confl
+	for {
+		start := 0
+		if p != 0 {
+			start = 1
+		}
+		if c.learned {
+			s.bumpClause(c)
+		}
+		for _, q := range c.lits[start:] {
+			v := q.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.analyzeTs = append(s.analyzeTs, q)
+			s.bumpVar(v)
+			if s.level[v] == s.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Find the next literal on the trail that is marked seen.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		v := p.Var()
+		s.seen[v] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		c = s.reason[v]
+	}
+	learnt[0] = p.Neg()
+
+	// Clause minimization: drop literals implied by the rest.
+	minimized := learnt[:1]
+	for _, q := range learnt[1:] {
+		if !s.redundant(q) {
+			minimized = append(minimized, q)
+		}
+	}
+	learnt = minimized
+
+	// Compute backtrack level = second-highest level in the clause.
+	btLevel := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = s.level[learnt[1].Var()]
+	}
+	// Clear seen flags.
+	for _, q := range s.analyzeTs {
+		s.seen[q.Var()] = false
+	}
+	return learnt, btLevel
+}
+
+// redundant reports whether literal q in a learned clause is implied by
+// the others (simple non-recursive check: q's reason exists and all its
+// literals are already seen or at level 0).
+func (s *Solver) redundant(q Lit) bool {
+	v := q.Var()
+	r := s.reason[v]
+	if r == nil {
+		return false
+	}
+	for _, l := range r.lits {
+		lv := l.Var()
+		if lv == v {
+			continue
+		}
+		if !s.seen[lv] && s.level[lv] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Solver) backtrackTo(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	bound := s.trailLi[level]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		s.assign[v] = lUndef
+		s.reason[v] = nil
+		s.order.pushIfAbsent(v)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLi = s.trailLi[:level]
+	s.propHead = len(s.trail)
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := 1; i <= s.nVars; i++ {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v)
+}
+
+func (s *Solver) decayVar() { s.varInc /= 0.95 }
+
+func (s *Solver) bumpClause(c *clause) {
+	c.act += s.claInc
+	if c.act > 1e20 {
+		for _, l := range s.learnts {
+			l.act *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+func (s *Solver) computeLBD(lits []Lit) int {
+	levels := map[int]bool{}
+	for _, l := range lits {
+		levels[s.level[l.Var()]] = true
+	}
+	return len(levels)
+}
+
+// reduceDB removes roughly half of the learned clauses, keeping low-LBD
+// (glue) and recently active ones. Clauses currently acting as reasons are
+// locked.
+func (s *Solver) reduceDB() {
+	locked := map[*clause]bool{}
+	for _, l := range s.trail {
+		if r := s.reason[l.Var()]; r != nil {
+			locked[r] = true
+		}
+	}
+	sort.Slice(s.learnts, func(i, j int) bool {
+		a, b := s.learnts[i], s.learnts[j]
+		if (a.lbd <= 2) != (b.lbd <= 2) {
+			return a.lbd <= 2
+		}
+		return a.act > b.act
+	})
+	keep := s.learnts[:0]
+	limit := len(s.learnts) / 2
+	for i, c := range s.learnts {
+		if i < limit || locked[c] || c.lbd <= 2 {
+			keep = append(keep, c)
+		} else {
+			s.detachClause(c)
+		}
+	}
+	s.learnts = keep
+}
+
+func (s *Solver) detachClause(c *clause) {
+	for _, wl := range []Lit{c.lits[0].Neg(), c.lits[1].Neg()} {
+		ws := s.watches[wl]
+		out := ws[:0]
+		for _, w := range ws {
+			if w.c != c {
+				out = append(out, w)
+			}
+		}
+		s.watches[wl] = out
+	}
+}
+
+// luby returns the Luby restart sequence value for index i (1-based).
+func luby(i int64) int64 {
+	// Find the subsequence containing i.
+	var k int64 = 1
+	for (1<<uint(k))-1 < i {
+		k++
+	}
+	for {
+		if (1<<uint(k))-1 == i {
+			return 1 << uint(k-1)
+		}
+		i = i - (1 << uint(k-1)) + 1
+		k = 1
+		for (1<<uint(k))-1 < i {
+			k++
+		}
+	}
+}
+
+// Solve decides the formula with no assumptions.
+func (s *Solver) Solve() Status { return s.SolveAssuming(nil) }
+
+// SolveAssuming decides the formula under the given assumption literals.
+// The assumptions behave like temporary unit clauses: Unsat means the
+// formula plus assumptions is unsatisfiable (the base formula may still be
+// satisfiable under other assumptions).
+func (s *Solver) SolveAssuming(assumptions []Lit) Status {
+	if s.unsat {
+		return Unsat
+	}
+	for _, a := range assumptions {
+		if v := a.Var(); v < 1 || v > s.nVars {
+			panic(fmt.Sprintf("sat: assumption %d references unallocated variable", a))
+		}
+	}
+	s.backtrackTo(0)
+	if s.propagate() != nil {
+		s.unsat = true
+		return Unsat
+	}
+
+	var restartNum int64 = 1
+	conflictsAtStart := s.conflicts
+	conflictBudget := luby(restartNum) * 100
+
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.conflicts++
+			if s.decisionLevel() == 0 {
+				s.unsat = true
+				return Unsat
+			}
+			// If the conflict depends only on assumption decisions we
+			// still learn and backtrack; when backtracking pops an
+			// assumption we detect failure at re-assumption below.
+			learnt, btLevel := s.analyze(confl)
+			s.backtrackTo(btLevel)
+			if len(learnt) == 1 {
+				if !s.enqueue(learnt[0], nil) {
+					s.unsat = true
+					return Unsat
+				}
+			} else {
+				c := &clause{lits: learnt, learned: true, lbd: s.computeLBD(learnt)}
+				s.learnts = append(s.learnts, c)
+				s.watchClause(c)
+				s.bumpClause(c)
+				if !s.enqueue(learnt[0], c) {
+					panic("sat: asserting literal not enqueueable") // unreachable
+				}
+			}
+			s.decayVar()
+			if int64(len(s.learnts)) > int64(s.maxLearnts) {
+				s.reduceDB()
+				s.maxLearnts *= 1.3
+			}
+			if s.Budget > 0 && s.conflicts-conflictsAtStart >= s.Budget {
+				s.backtrackTo(0)
+				return Unknown
+			}
+			if s.conflicts-conflictsAtStart >= conflictBudget {
+				// Luby restart.
+				restartNum++
+				conflictBudget = s.conflicts - conflictsAtStart + luby(restartNum)*100
+				s.backtrackTo(0)
+			}
+			continue
+		}
+
+		// Re-establish assumptions that are not yet on the trail.
+		allAssumed := true
+		failed := false
+		for _, a := range assumptions {
+			switch s.valueLit(a) {
+			case lTrue:
+				continue
+			case lFalse:
+				failed = true
+			default:
+				s.trailLi = append(s.trailLi, len(s.trail))
+				if !s.enqueue(a, nil) {
+					failed = true
+				}
+				allAssumed = false
+			}
+			break
+		}
+		if failed {
+			s.backtrackTo(0)
+			return Unsat
+		}
+		if !allAssumed {
+			continue
+		}
+
+		// Pick a branching variable.
+		v := s.pickBranchVar()
+		if v == 0 {
+			return Sat
+		}
+		s.decisions++
+		s.trailLi = append(s.trailLi, len(s.trail))
+		l := Lit(v)
+		if !s.phase[v] {
+			l = -l
+		}
+		if !s.enqueue(l, nil) {
+			panic("sat: decision enqueue failed") // unreachable
+		}
+	}
+}
+
+func (s *Solver) pickBranchVar() int {
+	for {
+		v := s.order.pop()
+		if v == 0 {
+			return 0
+		}
+		if s.assign[v] == lUndef {
+			return v
+		}
+	}
+}
+
+// varHeap is a max-heap of variables ordered by activity.
+type varHeap struct {
+	s     *Solver
+	heap  []int
+	index map[int]int
+}
+
+func (h *varHeap) less(a, b int) bool { return h.s.activity[a] > h.s.activity[b] }
+
+func (h *varHeap) push(v int) {
+	if h.index == nil {
+		h.index = make(map[int]int)
+	}
+	if _, ok := h.index[v]; ok {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.index[v] = len(h.heap) - 1
+	h.up(len(h.heap) - 1)
+}
+
+func (h *varHeap) pushIfAbsent(v int) { h.push(v) }
+
+func (h *varHeap) pop() int {
+	if len(h.heap) == 0 {
+		return 0
+	}
+	top := h.heap[0]
+	last := len(h.heap) - 1
+	h.heap[0] = h.heap[last]
+	h.index[h.heap[0]] = 0
+	h.heap = h.heap[:last]
+	delete(h.index, top)
+	if len(h.heap) > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+func (h *varHeap) update(v int) {
+	if i, ok := h.index[v]; ok {
+		h.up(i)
+		h.down(h.index[v])
+	}
+}
+
+func (h *varHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(h.heap[i], h.heap[p]) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *varHeap) down(i int) {
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && h.less(h.heap[l], h.heap[best]) {
+			best = l
+		}
+		if r < n && h.less(h.heap[r], h.heap[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}
+
+func (h *varHeap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.index[h.heap[i]] = i
+	h.index[h.heap[j]] = j
+}

@@ -1,0 +1,78 @@
+package tket
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/router"
+)
+
+func TestPlaceInjectiveAndDegreeAware(t *testing.T) {
+	c := circuit.New(9)
+	// A hub-heavy interaction graph.
+	for i := 1; i < 6; i++ {
+		c.MustAppend(circuit.NewCX(0, i))
+	}
+	dev := arch.Grid3x3()
+	m := place(router.TwoQubitSkeleton(c), dev, rand.New(rand.NewSource(1)))
+	if err := m.Validate(dev.NumQubits()); err != nil {
+		t.Fatal(err)
+	}
+	// The hub (q0, degree 5) should land on the grid center (degree 4).
+	if m[0] != 4 {
+		t.Errorf("hub placed at p%d, want the center p4", m[0])
+	}
+}
+
+func TestScoreDiscountsFutureSlices(t *testing.T) {
+	c := circuit.New(4)
+	c.MustAppend(circuit.NewCX(0, 1), circuit.NewCX(0, 2))
+	dev := arch.Line(4)
+	r := New(Options{LookaheadSlices: 1, LookaheadDiscount: 0.5})
+	dag := circuit.NewDAG(c)
+	slices := dag.Layers()
+	if len(slices) != 2 {
+		t.Fatalf("layers=%d", len(slices))
+	}
+	m := router.Mapping{0, 1, 3, 2} // cx(0,1) adjacent; cx(0,2) at distance 3
+	lay := &layout{m: m, inv: m.Inverse(4)}
+	got := r.score(slices[0], slices, 0, dag, lay, dev.Distances())
+	// Current slice distance 1 + 0.5 * future distance 3 = 2.5.
+	if got != 2.5 {
+		t.Fatalf("score=%v want 2.5", got)
+	}
+}
+
+func TestCandidatesTouchActiveQubits(t *testing.T) {
+	c := circuit.New(4)
+	c.MustAppend(circuit.NewCX(0, 3))
+	dev := arch.Line(4)
+	r := New(Options{})
+	dag := circuit.NewDAG(c)
+	m := router.IdentityMapping(4)
+	lay := &layout{m: m, inv: m.Inverse(4)}
+	cands := r.candidates([]int{0}, dag, lay, dev.Graph())
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	for _, cd := range cands {
+		if cd[0] != 0 && cd[1] != 0 && cd[0] != 3 && cd[1] != 3 {
+			t.Fatalf("candidate %v touches neither active qubit", cd)
+		}
+	}
+}
+
+func TestSliceDistance(t *testing.T) {
+	c := circuit.New(3)
+	c.MustAppend(circuit.NewCX(0, 2))
+	dev := arch.Line(3)
+	r := New(Options{})
+	dag := circuit.NewDAG(c)
+	m := router.IdentityMapping(3)
+	lay := &layout{m: m, inv: m.Inverse(3)}
+	if d := r.sliceDistance([]int{0}, dag, lay, dev.Distances()); d != 2 {
+		t.Fatalf("distance=%v want 2", d)
+	}
+}

@@ -1,0 +1,264 @@
+// Package tket implements a t|ket⟩-style qubit router (Cowtan et al.,
+// "On the qubit routing problem", TQC 2019): the circuit is cut into
+// timeslices of parallel two-qubit gates; while the current slice has
+// unroutable gates, the router greedily applies the SWAP that most
+// reduces the summed qubit distances of the current slice, with a
+// discounted contribution from the following slices. Placement is a
+// greedy interaction-degree embedding, mirroring t|ket⟩'s graph
+// placement.
+//
+// The rigid slice boundary — no gate from a later slice can execute
+// before the current slice completes — is the behaviour that drives
+// t|ket⟩'s large optimality gap in the paper, and is reproduced here.
+package tket
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/router"
+)
+
+// Options configures the router.
+type Options struct {
+	// LookaheadSlices is how many upcoming slices contribute to the swap
+	// score (discounted geometrically by LookaheadDiscount).
+	LookaheadSlices int
+	// LookaheadDiscount in (0,1] scales successive slices' contributions.
+	LookaheadDiscount float64
+	// Seed drives tie-breaking and the placement shuffle.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.LookaheadSlices <= 0 {
+		o.LookaheadSlices = 2
+	}
+	if o.LookaheadDiscount == 0 {
+		o.LookaheadDiscount = 0.5
+	}
+	return o
+}
+
+// Router is the t|ket⟩-style tool.
+type Router struct {
+	opts    Options
+	initial router.Mapping // non-nil: skip placement
+}
+
+// New returns a t|ket⟩-style router.
+func New(opts Options) *Router { return &Router{opts: opts.withDefaults()} }
+
+// RouteFrom implements router.PlacedRouter.
+func (r *Router) RouteFrom(c *circuit.Circuit, dev *arch.Device, initial router.Mapping) (*router.Result, error) {
+	pinned := &Router{opts: r.opts, initial: router.PadMapping(initial, dev.NumQubits())}
+	return pinned.Route(c, dev)
+}
+
+// Name implements router.Router.
+func (r *Router) Name() string { return "tket" }
+
+// Route implements router.Router.
+func (r *Router) Route(c *circuit.Circuit, dev *arch.Device) (*router.Result, error) {
+	if c.NumQubits > dev.NumQubits() {
+		return nil, fmt.Errorf("tket: circuit needs %d qubits, device has %d", c.NumQubits, dev.NumQubits())
+	}
+	work := router.PadToDevice(c, dev)
+	skeleton := router.TwoQubitSkeleton(work)
+	rng := rand.New(rand.NewSource(r.opts.Seed))
+
+	dag := circuit.NewDAG(skeleton)
+	slices := dag.Layers()
+
+	var mapping router.Mapping
+	if r.initial != nil {
+		mapping = r.initial.Clone()
+	} else {
+		mapping = place(skeleton, dev, rng)
+	}
+	initial := mapping.Clone()
+	inv := mapping.Inverse(dev.NumQubits())
+	lay := &layout{m: mapping, inv: inv}
+
+	g := dev.Graph()
+	dist := dev.Distances()
+	out := circuit.New(skeleton.NumQubits)
+	swaps := 0
+
+	for si := 0; si < len(slices); si++ {
+		pending := append([]int(nil), slices[si]...)
+		for len(pending) > 0 {
+			// Emit everything currently executable in this slice.
+			progressed := false
+			rest := pending[:0]
+			for _, v := range pending {
+				gt := dag.Gate(v)
+				if g.HasEdge(lay.m[gt.Q0], lay.m[gt.Q1]) {
+					out.MustAppend(gt)
+					progressed = true
+				} else {
+					rest = append(rest, v)
+				}
+			}
+			pending = rest
+			if len(pending) == 0 {
+				break
+			}
+			if progressed {
+				continue
+			}
+
+			// Greedy SWAP choice: candidates touch an active qubit.
+			cands := r.candidates(pending, dag, lay, g)
+			bestIdx, bestScore := -1, 0.0
+			for ci, cd := range cands {
+				lay.swap(cd[0], cd[1])
+				score := r.score(pending, slices, si, dag, lay, dist)
+				lay.swap(cd[0], cd[1])
+				if bestIdx == -1 || score < bestScore || (score == bestScore && rng.Intn(2) == 0) {
+					bestIdx, bestScore = ci, score
+				}
+			}
+			if bestIdx == -1 {
+				return nil, fmt.Errorf("tket: no candidate swaps for a pending slice")
+			}
+			// Only accept a swap that strictly improves the current-slice
+			// distance; otherwise force progress along a shortest path for
+			// the first pending gate (prevents oscillation).
+			cur := r.sliceDistance(pending, dag, lay, dist)
+			cd := cands[bestIdx]
+			lay.swap(cd[0], cd[1])
+			if r.sliceDistance(pending, dag, lay, dist) >= cur {
+				lay.swap(cd[0], cd[1]) // undo
+				v := pending[0]
+				gt := dag.Gate(v)
+				for !g.HasEdge(lay.m[gt.Q0], lay.m[gt.Q1]) {
+					p0, p1 := lay.m[gt.Q0], lay.m[gt.Q1]
+					for _, pn := range g.Neighbors(p0) {
+						if dist[pn][p1] < dist[p0][p1] {
+							qn := lay.inv[pn]
+							out.MustAppend(circuit.NewSwap(gt.Q0, qn))
+							swaps++
+							lay.swap(gt.Q0, qn)
+							break
+						}
+					}
+				}
+				continue
+			}
+			out.MustAppend(circuit.NewSwap(cd[0], cd[1]))
+			swaps++
+		}
+	}
+
+	woven, err := router.WeaveSingleQubitGates(work, out)
+	if err != nil {
+		return nil, fmt.Errorf("tket: %w", err)
+	}
+	return &router.Result{
+		Tool:           r.Name(),
+		InitialMapping: initial,
+		Transpiled:     woven,
+		SwapCount:      swaps,
+		Trials:         1,
+	}, nil
+}
+
+type layout struct {
+	m   router.Mapping
+	inv []int
+}
+
+func (l *layout) swap(qa, qb int) {
+	pa, pb := l.m[qa], l.m[qb]
+	l.m[qa], l.m[qb] = pb, pa
+	l.inv[pa], l.inv[pb] = qb, qa
+}
+
+// candidates returns the program-qubit pairs of coupler edges touching a
+// qubit active in the pending gates.
+func (r *Router) candidates(pending []int, dag *circuit.DAG, lay *layout, g interface {
+	Neighbors(int) []int
+}) [][2]int {
+	seen := map[[2]int]bool{}
+	var out [][2]int
+	for _, v := range pending {
+		gt := dag.Gate(v)
+		for _, q := range []int{gt.Q0, gt.Q1} {
+			for _, pn := range g.Neighbors(lay.m[q]) {
+				qn := lay.inv[pn]
+				a, b := q, qn
+				if a > b {
+					a, b = b, a
+				}
+				if !seen[[2]int{a, b}] {
+					seen[[2]int{a, b}] = true
+					out = append(out, [2]int{a, b})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (r *Router) sliceDistance(pending []int, dag *circuit.DAG, lay *layout, dist [][]int) float64 {
+	s := 0.0
+	for _, v := range pending {
+		gt := dag.Gate(v)
+		s += float64(dist[lay.m[gt.Q0]][lay.m[gt.Q1]])
+	}
+	return s
+}
+
+// score sums the current slice's distances plus geometrically discounted
+// contributions from the next LookaheadSlices slices.
+func (r *Router) score(pending []int, slices [][]int, si int, dag *circuit.DAG, lay *layout, dist [][]int) float64 {
+	total := r.sliceDistance(pending, dag, lay, dist)
+	w := r.opts.LookaheadDiscount
+	for d := 1; d <= r.opts.LookaheadSlices && si+d < len(slices); d++ {
+		total += w * r.sliceDistance(slices[si+d], dag, lay, dist)
+		w *= r.opts.LookaheadDiscount
+	}
+	return total
+}
+
+// place produces the initial mapping: program qubits in decreasing
+// interaction degree are assigned BFS-outward from the device's densest
+// qubit, so heavily interacting qubits cluster — a simplified version of
+// t|ket⟩'s graph placement.
+func place(skeleton *circuit.Circuit, dev *arch.Device, rng *rand.Rand) router.Mapping {
+	ig := skeleton.InteractionGraph()
+	nQ := skeleton.NumQubits
+	order := make([]int, nQ)
+	for i := range order {
+		order[i] = i
+	}
+	rng.Shuffle(nQ, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	sort.SliceStable(order, func(a, b int) bool {
+		return ig.Degree(order[a]) > ig.Degree(order[b])
+	})
+
+	// Physical qubits BFS-ordered from the maximum-degree location.
+	g := dev.Graph()
+	hub, best := 0, -1
+	for p := 0; p < g.N(); p++ {
+		if g.Degree(p) > best {
+			hub, best = p, g.Degree(p)
+		}
+	}
+	distFromHub := g.BFSFrom(hub)
+	phys := make([]int, g.N())
+	for i := range phys {
+		phys[i] = i
+	}
+	sort.SliceStable(phys, func(a, b int) bool { return distFromHub[phys[a]] < distFromHub[phys[b]] })
+
+	mapping := make(router.Mapping, nQ)
+	for i, q := range order {
+		mapping[q] = phys[i]
+	}
+	return mapping
+}
