@@ -262,7 +262,7 @@ func BenchmarkDistanceMatrixEagle127(b *testing.B) {
 	g := arch.IBMEagle127().Graph()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = g.AllPairsDistances()
+		_ = graph.NewDistanceMatrix(g)
 	}
 }
 

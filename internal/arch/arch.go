@@ -22,7 +22,7 @@ type Device struct {
 	g    *graph.Graph
 
 	distOnce sync.Once
-	dist     [][]int
+	dist     *graph.DistanceMatrix
 }
 
 // NewDevice wraps a coupling graph. The graph must be connected: layout
@@ -55,15 +55,17 @@ func (d *Device) NumQubits() int { return d.g.N() }
 // NumCouplers returns the number of coupling edges.
 func (d *Device) NumCouplers() int { return d.g.M() }
 
-// Distances returns the all-pairs shortest-path (hop) matrix. The matrix
-// is computed once and shared; callers must not modify it.
-func (d *Device) Distances() [][]int {
-	d.distOnce.Do(func() { d.dist = d.g.AllPairsDistances() })
+// Distances returns the all-pairs shortest-path (hop) matrix as a flat,
+// cache-friendly graph.DistanceMatrix. The matrix is computed once
+// (multi-source BFS into one contiguous buffer) and shared; callers must
+// not modify it.
+func (d *Device) Distances() *graph.DistanceMatrix {
+	d.distOnce.Do(func() { d.dist = graph.NewDistanceMatrix(d.g) })
 	return d.dist
 }
 
 // Distance returns the hop distance between physical qubits p and q.
-func (d *Device) Distance(p, q int) int { return d.Distances()[p][q] }
+func (d *Device) Distance(p, q int) int { return d.Distances().At(p, q) }
 
 // Line returns a 1-D chain of n qubits.
 func Line(n int) *Device {

@@ -183,17 +183,17 @@ func TestDistancesSymmetricOnPaperDevices(t *testing.T) {
 		dist := d.Distances()
 		n := d.NumQubits()
 		for i := 0; i < n; i++ {
-			if dist[i][i] != 0 {
-				t.Fatalf("%s: dist[%d][%d]=%d", d.Name(), i, i, dist[i][i])
+			if dist.At(i, i) != 0 {
+				t.Fatalf("%s: dist[%d][%d]=%d", d.Name(), i, i, dist.At(i, i))
 			}
 			for j := 0; j < n; j++ {
-				if dist[i][j] != dist[j][i] {
+				if dist.At(i, j) != dist.At(j, i) {
 					t.Fatalf("%s: asymmetric distances", d.Name())
 				}
-				if dist[i][j] < 0 {
+				if dist.At(i, j) < 0 {
 					t.Fatalf("%s: unreachable pair (%d,%d)", d.Name(), i, j)
 				}
-				if i != j && dist[i][j] == 1 != d.Graph().HasEdge(i, j) {
+				if i != j && dist.At(i, j) == 1 != d.Graph().HasEdge(i, j) {
 					t.Fatalf("%s: distance-1 does not match adjacency at (%d,%d)", d.Name(), i, j)
 				}
 			}

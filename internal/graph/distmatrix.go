@@ -1,0 +1,51 @@
+package graph
+
+// DistanceMatrix is the all-pairs hop-distance matrix of a graph stored as
+// a single contiguous row-major []int32 with stride indexing. One flat
+// allocation keeps rows adjacent in memory, so the routing hot loops that
+// stream distances (SABRE candidate scoring, t|ket⟩ slice distances, QMAP's
+// A* heuristic, token swapping) stay cache-friendly and never chase row
+// pointers. Unreachable pairs hold -1.
+type DistanceMatrix struct {
+	n int
+	d []int32
+}
+
+// NewDistanceMatrix runs a BFS from every vertex into the flat buffer and
+// returns the completed matrix. The queue is reused across sources, so
+// construction allocates exactly twice (matrix + queue).
+func NewDistanceMatrix(g *Graph) *DistanceMatrix {
+	n := g.n
+	m := &DistanceMatrix{n: n, d: make([]int32, n*n)}
+	queue := make([]int, 0, n)
+	for s := 0; s < n; s++ {
+		row := m.d[s*n : (s+1)*n]
+		for i := range row {
+			row[i] = -1
+		}
+		row[s] = 0
+		queue = append(queue[:0], s)
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			dv := row[v] + 1
+			for _, w := range g.adj[v] {
+				if row[w] == -1 {
+					row[w] = dv
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return m
+}
+
+// N returns the number of vertices the matrix covers.
+func (m *DistanceMatrix) N() int { return m.n }
+
+// At returns the hop distance between u and v (-1 if disconnected).
+func (m *DistanceMatrix) At(u, v int) int { return int(m.d[u*m.n+v]) }
+
+// Row returns the distances from u to every vertex as a shared sub-slice
+// of the flat buffer; callers must not modify it. Hoisting a row out of an
+// inner loop turns At's multiply into a plain index.
+func (m *DistanceMatrix) Row(u int) []int32 { return m.d[u*m.n : (u+1)*m.n] }

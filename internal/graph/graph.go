@@ -35,13 +35,17 @@ func (e Edge) Other(v int) int {
 }
 
 // Graph is a simple undirected graph on vertices 0..N-1 with adjacency-list
-// and adjacency-set representations maintained together. The zero value is
-// not usable; construct with New.
+// and adjacency-bitset representations maintained together: the lists give
+// ordered neighbor iteration, the flat bitset gives branch-cheap O(1)
+// HasEdge with no per-query allocation or hashing, which is what SABRE's
+// execute-front loop hammers. The zero value is not usable; construct with
+// New.
 type Graph struct {
-	n     int
-	adj   [][]int
-	set   []map[int]bool
-	edges []Edge
+	n      int
+	adj    [][]int
+	bits   []uint64 // n rows of stride words; bit v of row u set iff (u,v) is an edge
+	stride int      // words per bitset row: (n+63)/64
+	edges  []Edge
 }
 
 // New returns an empty graph on n vertices.
@@ -49,15 +53,13 @@ func New(n int) *Graph {
 	if n < 0 {
 		panic("graph: negative vertex count")
 	}
-	g := &Graph{
-		n:   n,
-		adj: make([][]int, n),
-		set: make([]map[int]bool, n),
+	stride := (n + 63) / 64
+	return &Graph{
+		n:      n,
+		adj:    make([][]int, n),
+		bits:   make([]uint64, n*stride),
+		stride: stride,
 	}
-	for i := range g.set {
-		g.set[i] = make(map[int]bool)
-	}
-	return g
 }
 
 // FromEdges builds a graph on n vertices containing the given edges.
@@ -97,15 +99,23 @@ func (g *Graph) AddEdge(u, v int) error {
 	if u == v {
 		return fmt.Errorf("graph: self-loop on vertex %d", u)
 	}
-	if g.set[u][v] {
+	if w, m := g.edgeBit(u, v); g.bits[w]&m != 0 {
 		return fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
 	}
-	g.set[u][v] = true
-	g.set[v][u] = true
+	w, m := g.edgeBit(u, v)
+	g.bits[w] |= m
+	w, m = g.edgeBit(v, u)
+	g.bits[w] |= m
 	g.adj[u] = append(g.adj[u], v)
 	g.adj[v] = append(g.adj[v], u)
 	g.edges = append(g.edges, Edge{u, v}.Normalize())
 	return nil
+}
+
+// edgeBit locates edge (u,v) in the flat adjacency bitset: the word
+// index of row u's block holding v, and the mask selecting v's bit.
+func (g *Graph) edgeBit(u, v int) (word int, mask uint64) {
+	return u*g.stride + v/64, 1 << (uint(v) & 63)
 }
 
 // HasEdge reports whether (u,v) is an edge. Out-of-range vertices are
@@ -114,7 +124,8 @@ func (g *Graph) HasEdge(u, v int) bool {
 	if u < 0 || u >= g.n || v < 0 || v >= g.n {
 		return false
 	}
-	return g.set[u][v]
+	w, m := g.edgeBit(u, v)
+	return g.bits[w]&m != 0
 }
 
 // Neighbors returns the adjacency list of v. The returned slice is owned by
@@ -265,16 +276,6 @@ func (g *Graph) BFSAllEdgeOrder(sources []int, skip map[Edge]bool) []Edge {
 		}
 	}
 	return order
-}
-
-// AllPairsDistances returns the matrix of BFS distances between every pair
-// of vertices (-1 where disconnected).
-func (g *Graph) AllPairsDistances() [][]int {
-	d := make([][]int, g.n)
-	for v := 0; v < g.n; v++ {
-		d[v] = g.BFSFrom(v)
-	}
-	return d
 }
 
 // Connected reports whether the graph is connected. The empty graph and the

@@ -183,18 +183,35 @@ func TestBFSEdgeOrderSkip(t *testing.T) {
 	}
 }
 
-func TestAllPairsDistancesSymmetric(t *testing.T) {
+func TestDistanceMatrixSymmetric(t *testing.T) {
 	g := cycle(8)
-	d := g.AllPairsDistances()
+	d := NewDistanceMatrix(g)
+	if d.N() != 8 {
+		t.Fatalf("matrix covers %d vertices want 8", d.N())
+	}
 	for i := 0; i < 8; i++ {
 		for j := 0; j < 8; j++ {
-			if d[i][j] != d[j][i] {
-				t.Fatalf("asymmetric distance d[%d][%d]=%d d[%d][%d]=%d", i, j, d[i][j], j, i, d[j][i])
+			if d.At(i, j) != d.At(j, i) {
+				t.Fatalf("asymmetric distance d[%d][%d]=%d d[%d][%d]=%d", i, j, d.At(i, j), j, i, d.At(j, i))
 			}
 		}
 	}
-	if d[0][4] != 4 {
-		t.Errorf("antipodal distance on C8: %d want 4", d[0][4])
+	if d.At(0, 4) != 4 {
+		t.Errorf("antipodal distance on C8: %d want 4", d.At(0, 4))
+	}
+}
+
+func TestDistanceMatrixMatchesBFS(t *testing.T) {
+	g := mustGraph(t, 7, [][2]int{{0, 1}, {1, 2}, {2, 3}, {0, 4}, {4, 5}}) // vertex 6 isolated
+	d := NewDistanceMatrix(g)
+	for v := 0; v < g.N(); v++ {
+		bfs := g.BFSFrom(v)
+		row := d.Row(v)
+		for w, want := range bfs {
+			if int(row[w]) != want {
+				t.Fatalf("d[%d][%d]=%d, BFS says %d", v, w, row[w], want)
+			}
+		}
 	}
 }
 

@@ -265,12 +265,12 @@ func placeGreedy(g *weightedGraph, dev *arch.Device, rng *rand.Rand) router.Mapp
 			cost := 0
 			for _, u := range g.adj[v] {
 				if place[u] != -1 {
-					cost += g.edgeWeight(v, u) * dist[p][place[u]]
+					cost += g.edgeWeight(v, u) * dist.At(p, place[u])
 				}
 			}
 			if place[v] == -1 && cost == 0 {
 				// No placed neighbors: prefer closeness to the hub.
-				cost = dist[p][hub]
+				cost = dist.At(p, hub)
 			}
 			if bestP == -1 || cost < bestCost {
 				bestP, bestCost = p, cost
@@ -338,7 +338,7 @@ func refine(g *weightedGraph, place router.Mapping, dev *arch.Device, passes int
 		c := 0
 		for _, u := range g.adj[v] {
 			if u != v && place[u] != -1 {
-				c += g.edgeWeight(v, u) * dist[p][place[u]]
+				c += g.edgeWeight(v, u) * dist.At(p, place[u])
 			}
 		}
 		return c

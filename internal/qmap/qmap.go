@@ -102,7 +102,7 @@ func (r *Router) Route(c *circuit.Circuit, dev *arch.Device) (*router.Result, er
 				for !g.HasEdge(mapping[gt.Q0], mapping[gt.Q1]) {
 					p0, p1 := mapping[gt.Q0], mapping[gt.Q1]
 					for _, pn := range g.Neighbors(p0) {
-						if dist[pn][p1] < dist[p0][p1] {
+						if dist.At(pn, p1) < dist.At(p0, p1) {
 							qn := inv[pn]
 							out.MustAppend(circuit.NewSwap(gt.Q0, qn))
 							swaps++
@@ -199,12 +199,12 @@ func (r *Router) searchLayer(start router.Mapping, layer, next []int, dag *circu
 		s := 0.0
 		for _, v := range layer {
 			gt := dag.Gate(v)
-			s += float64(dist[m[gt.Q0]][m[gt.Q1]] - 1)
+			s += float64(dist.At(m[gt.Q0], m[gt.Q1]) - 1)
 		}
 		look := 0.0
 		for _, v := range next {
 			gt := dag.Gate(v)
-			look += float64(dist[m[gt.Q0]][m[gt.Q1]] - 1)
+			look += float64(dist.At(m[gt.Q0], m[gt.Q1]) - 1)
 		}
 		return s + r.opts.LookaheadWeight*look
 	}
@@ -229,7 +229,7 @@ func (r *Router) searchLayer(start router.Mapping, layer, next []int, dag *circu
 			} else if q1 == b {
 				o1 = pbOld
 			}
-			d += weight * float64(dist[p0][p1]-dist[o0][o1])
+			d += weight * float64(dist.At(p0, p1)-dist.At(o0, o1))
 		}
 		seenGate := map[int]bool{}
 		for _, q := range []int{a, b} {

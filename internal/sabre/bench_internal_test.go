@@ -1,0 +1,45 @@
+package sabre
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/router"
+)
+
+// BenchmarkSabreDecisionLoop isolates the swap-decision inner loop: one
+// full routing pass over a warm engine, no recording, no trial setup.
+// Run with -benchmem; the engine is allocation-free in steady state, so
+// B/op and allocs/op must both report 0.
+//
+//	go test ./internal/sabre -bench BenchmarkSabreDecisionLoop -benchmem
+func BenchmarkSabreDecisionLoop(b *testing.B) {
+	dev := arch.IBMEagle127()
+	nQ := dev.NumQubits()
+	c := circuit.New(nQ)
+	rng := rand.New(rand.NewSource(1))
+	for len(c.Gates) < 3000 {
+		q0, q1 := rng.Intn(nQ), rng.Intn(nQ)
+		if q0 != q1 {
+			c.MustAppend(circuit.NewCX(q0, q1))
+		}
+	}
+	work := router.PadToDevice(c, dev)
+	skeleton := router.TwoQubitSkeleton(work)
+	dag := circuit.NewDAG(skeleton)
+	e := newPassEngine(dev, Options{}.withDefaults(), dag.N())
+	identity := router.IdentityMapping(nQ)
+	mapping := identity.Clone()
+	e.run(dag, mapping, rng, false, nil, 0) // warm the scratch buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// run mutates the mapping in place; restore the identity start so
+		// every iteration routes the same workload (copy allocates nothing,
+		// keeping the 0 B/op contract observable).
+		copy(mapping, identity)
+		e.run(dag, mapping, rng, false, nil, 0)
+	}
+}

@@ -41,12 +41,9 @@ func TestCollectExtendedSetBounded(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		c.MustAppend(circuit.NewCX(0, 1))
 	}
-	e := newPassEngine(c, arch.Line(2), Options{ExtendedSetSize: 20}.withDefaults(), false)
-	indeg := make([]int, e.dag.N())
-	for v := range indeg {
-		indeg[v] = len(e.dag.Preds[v])
-	}
-	ext := e.collectExtendedSet([]int{0}, indeg)
+	dag := circuit.NewDAG(c)
+	e := newPassEngine(arch.Line(2), Options{ExtendedSetSize: 20}.withDefaults(), dag.N())
+	ext := e.collectExtendedSet(dag, []int{0})
 	if len(ext) != 20 {
 		t.Fatalf("extended set size %d want 20", len(ext))
 	}
@@ -60,14 +57,32 @@ func TestCollectExtendedSetBounded(t *testing.T) {
 func TestCollectExtendedSetShortCircuit(t *testing.T) {
 	c := circuit.New(4)
 	c.MustAppend(circuit.NewCX(0, 1), circuit.NewCX(1, 2), circuit.NewCX(2, 3))
-	e := newPassEngine(c, arch.Line(4), Options{}.withDefaults(), false)
-	indeg := make([]int, e.dag.N())
-	for v := range indeg {
-		indeg[v] = len(e.dag.Preds[v])
-	}
-	ext := e.collectExtendedSet([]int{0}, indeg)
+	dag := circuit.NewDAG(c)
+	e := newPassEngine(arch.Line(4), Options{}.withDefaults(), dag.N())
+	ext := e.collectExtendedSet(dag, []int{0})
 	if len(ext) != 2 {
 		t.Fatalf("extended set %v want the two successors", ext)
+	}
+}
+
+func TestCollectExtendedSetScratchReuse(t *testing.T) {
+	// Repeated collections must not leak stamps between decisions: the
+	// same call repeated gives the same set.
+	c := circuit.New(4)
+	c.MustAppend(circuit.NewCX(0, 1), circuit.NewCX(1, 2), circuit.NewCX(2, 3))
+	dag := circuit.NewDAG(c)
+	e := newPassEngine(arch.Line(4), Options{}.withDefaults(), dag.N())
+	first := append([]int(nil), e.collectExtendedSet(dag, []int{0})...)
+	for rep := 0; rep < 5; rep++ {
+		got := e.collectExtendedSet(dag, []int{0})
+		if len(got) != len(first) {
+			t.Fatalf("rep %d: extended set %v, first collection gave %v", rep, got, first)
+		}
+		for i := range got {
+			if got[i] != first[i] {
+				t.Fatalf("rep %d: extended set %v, first collection gave %v", rep, got, first)
+			}
+		}
 	}
 }
 
@@ -76,11 +91,12 @@ func TestForceRouteTerminates(t *testing.T) {
 	// dist-1 swaps.
 	c := circuit.New(6)
 	c.MustAppend(circuit.NewCX(0, 5))
+	dag := circuit.NewDAG(c)
 	dev := arch.Line(6)
-	e := newPassEngine(c, dev, Options{}.withDefaults(), true)
+	e := newPassEngine(dev, Options{}.withDefaults(), dag.N())
 	e.out = circuit.New(6)
 	lay := newLayout(router.IdentityMapping(6), 6)
-	e.forceRoute(0, lay, dev.Distances())
+	e.forceRoute(dag, 0, lay, true)
 	if e.swaps != 4 {
 		t.Fatalf("forceRoute used %d swaps, want 4 (distance 5)", e.swaps)
 	}
@@ -100,6 +116,81 @@ func TestWithDefaults(t *testing.T) {
 	o2 := Options{MappingPasses: -1}.withDefaults()
 	if o2.MappingPasses != -1 {
 		t.Fatal("explicit negative MappingPasses overridden")
+	}
+}
+
+func TestWithDefaultsDisabledSentinel(t *testing.T) {
+	o := Options{ExtendedSetWeight: Disabled, DecayIncrement: Disabled}.withDefaults()
+	if o.ExtendedSetWeight != 0 {
+		t.Fatalf("Disabled ExtendedSetWeight resolved to %v, want 0", o.ExtendedSetWeight)
+	}
+	if o.DecayIncrement != 0 {
+		t.Fatalf("Disabled DecayIncrement resolved to %v, want 0", o.DecayIncrement)
+	}
+	// Any negative value is the sentinel, not just -1.
+	o = Options{ExtendedSetWeight: -0.25, DecayIncrement: -3}.withDefaults()
+	if o.ExtendedSetWeight != 0 || o.DecayIncrement != 0 {
+		t.Fatalf("negative sentinel values not zeroed: %+v", o)
+	}
+}
+
+// TestDisabledLookaheadChangesRouting checks the sentinel reaches the
+// cost function: with ExtendedSetWeight disabled, the lookahead term is
+// genuinely off, which must be able to change routing relative to the
+// default weight (on a corpus where lookahead matters).
+func TestDisabledLookaheadChangesRouting(t *testing.T) {
+	dev := arch.Grid3x3()
+	differs := false
+	for seed := int64(0); seed < 8 && !differs; seed++ {
+		c := circuit.New(9)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 80; i++ {
+			a, b := rng.Intn(9), rng.Intn(9)
+			if a != b {
+				c.MustAppend(circuit.NewCX(a, b))
+			}
+		}
+		on, err := New(Options{Trials: 2, Seed: seed}).Route(c, dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off, err := New(Options{Trials: 2, Seed: seed, ExtendedSetWeight: Disabled}).Route(c, dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if on.SwapCount != off.SwapCount {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("Disabled lookahead never changed any routing outcome; the sentinel is not reaching the cost function")
+	}
+}
+
+// TestRunSteadyStateAllocs pins the tentpole property: a routing pass
+// over a warm engine performs zero heap allocations — no per-decision
+// maps, candidate slices, or cleared scratch.
+func TestRunSteadyStateAllocs(t *testing.T) {
+	dev := arch.Grid3x3()
+	c := circuit.New(9)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		a, b := rng.Intn(9), rng.Intn(9)
+		if a != b {
+			c.MustAppend(circuit.NewCX(a, b))
+		}
+	}
+	work := router.PadToDevice(c, dev)
+	skeleton := router.TwoQubitSkeleton(work)
+	dag := circuit.NewDAG(skeleton)
+	e := newPassEngine(dev, Options{}.withDefaults(), dag.N())
+	mapping := router.IdentityMapping(dev.NumQubits())
+	e.run(dag, mapping, rng, false, nil, 0) // warm the scratch buffers
+	allocs := testing.AllocsPerRun(10, func() {
+		e.run(dag, mapping, rng, false, nil, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("routing pass allocated %v objects per run, want 0", allocs)
 	}
 }
 

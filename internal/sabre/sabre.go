@@ -6,6 +6,16 @@
 // breaks livelocks. It also implements the decay-weighted lookahead the
 // paper proposes in its Section IV-C case study, and an instrumentation
 // hook that exposes per-decision swap costs for that case study.
+//
+// The routing engine is built for throughput: the forward/backward DAGs
+// are constructed once per Route call and shared read-only across trial
+// goroutines, distances come from the device's flat DistanceMatrix, and
+// the per-swap-decision inner loop is allocation-free — epoch-stamped
+// scratch buffers replace the per-decision maps, and the front-layer
+// cost of a candidate swap is evaluated as an integer delta over the two
+// touched qubits instead of re-summing the whole front layer. See
+// docs/performance.md for the layout of the hot path and how to compare
+// benchmarks.
 package sabre
 
 import (
@@ -16,6 +26,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/circuit"
+	"repro/internal/graph"
 	"repro/internal/router"
 )
 
@@ -30,6 +41,14 @@ const (
 	DefaultMappingPasses     = 3
 )
 
+// Disabled marks a float option as explicitly zero. The zero value of
+// Options selects the documented defaults, which makes a literal 0
+// ambiguous — it used to be silently replaced by the default, so
+// ablations could never actually switch a term off. Pass Disabled (any
+// negative value works) for ExtendedSetWeight or DecayIncrement to get a
+// genuine zero.
+const Disabled = -1.0
+
 // Options configures the router.
 type Options struct {
 	// Trials is the number of random-restart attempts; the best (fewest
@@ -40,9 +59,12 @@ type Options struct {
 	// ExtendedSetSize is the lookahead window size (gates beyond the
 	// front layer considered by the cost function).
 	ExtendedSetSize int
-	// ExtendedSetWeight scales the lookahead term.
+	// ExtendedSetWeight scales the lookahead term. Leave 0 for the
+	// default; pass Disabled for a genuine zero (no lookahead term).
 	ExtendedSetWeight float64
 	// DecayIncrement is added to a qubit's decay each time it swaps.
+	// Leave 0 for the default; pass Disabled for a genuine zero (decay
+	// switched off).
 	DecayIncrement float64
 	// DecayResetEvery resets decay factors after this many swap picks.
 	DecayResetEvery int
@@ -87,9 +109,13 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ExtendedSetWeight == 0 {
 		o.ExtendedSetWeight = DefaultExtendedSetWeight
+	} else if o.ExtendedSetWeight < 0 {
+		o.ExtendedSetWeight = 0 // Disabled sentinel: explicit zero
 	}
 	if o.DecayIncrement == 0 {
 		o.DecayIncrement = DefaultDecayIncrement
+	} else if o.DecayIncrement < 0 {
+		o.DecayIncrement = 0 // Disabled sentinel: explicit zero
 	}
 	if o.DecayResetEvery <= 0 {
 		o.DecayResetEvery = DefaultDecayResetEvery
@@ -138,6 +164,13 @@ func (r *Router) Route(c *circuit.Circuit, dev *arch.Device) (*router.Result, er
 	work := router.PadToDevice(c, dev)
 	skeleton := router.TwoQubitSkeleton(work)
 
+	// The dependency DAGs and the reversed skeleton are deterministic
+	// functions of the circuit: build them once and share them read-only
+	// across every trial goroutine instead of reconstructing them inside
+	// each trial.
+	fwdDAG := circuit.NewDAG(skeleton)
+	bwdDAG := circuit.NewDAG(reverseCircuit(skeleton))
+
 	// Trials are independent; run them across the available CPUs with
 	// per-trial deterministic seeds. Ties break toward the lower trial
 	// index so results do not depend on scheduling.
@@ -155,9 +188,10 @@ func (r *Router) Route(c *circuit.Circuit, dev *arch.Device) (*router.Result, er
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			e := newPassEngine(dev, r.opts, fwdDAG.N())
 			for trial := range next {
 				rng := rand.New(rand.NewSource(r.opts.Seed + 1000003*int64(trial)))
-				results[trial] = r.runTrial(skeleton, dev, rng, trial)
+				results[trial] = r.runTrial(e, skeleton, fwdDAG, bwdDAG, dev, rng, trial)
 			}
 		}()
 	}
@@ -206,8 +240,9 @@ type trialResult struct {
 }
 
 // runTrial performs one random-restart attempt: settle the initial
-// mapping with forward/backward passes, then record the final pass.
-func (r *Router) runTrial(skeleton *circuit.Circuit, dev *arch.Device, rng *rand.Rand, trial int) *trialResult {
+// mapping with forward/backward passes, then record the final pass. The
+// engine's scratch buffers are reused across passes and trials.
+func (r *Router) runTrial(e *passEngine, skeleton *circuit.Circuit, fwdDAG, bwdDAG *circuit.DAG, dev *arch.Device, rng *rand.Rand, trial int) *trialResult {
 	var mapping router.Mapping
 	if r.fixed != nil {
 		mapping = r.fixed.Clone()
@@ -215,17 +250,14 @@ func (r *Router) runTrial(skeleton *circuit.Circuit, dev *arch.Device, rng *rand
 		mapping = router.Mapping(rng.Perm(dev.NumQubits())[:skeleton.NumQubits])
 	}
 
-	fwd := newPassEngine(skeleton, dev, r.opts, false)
-	bwd := newPassEngine(reverseCircuit(skeleton), dev, r.opts, false)
 	for pass := 0; pass < r.opts.MappingPasses; pass++ {
-		final := fwd.run(mapping.Clone(), rng, nil, trial)
-		mapping = bwd.run(final, rng, nil, trial)
+		final := e.run(fwdDAG, mapping.Clone(), rng, false, nil, trial)
+		mapping = e.run(bwdDAG, final, rng, false, nil, trial)
 	}
 
 	initial := mapping.Clone()
-	rec := newPassEngine(skeleton, dev, r.opts, true)
-	rec.run(mapping, rng, r.opts.Trace, trial)
-	return &trialResult{initial: initial, out: rec.out, swaps: rec.swaps}
+	e.run(fwdDAG, mapping, rng, true, r.opts.Trace, trial)
+	return &trialResult{initial: initial, out: e.out, swaps: e.swaps}
 }
 
 // reverseCircuit returns the gates in reverse order (the dependency DAG
@@ -238,21 +270,74 @@ func reverseCircuit(c *circuit.Circuit) *circuit.Circuit {
 	return out
 }
 
-// passEngine routes one circuit once; construct fresh per pass (it keeps
-// DAG bookkeeping) but reuse across trials via reset.
+// passEngine routes one circuit per run call. All scratch is sized once
+// at construction and stamped with a per-decision epoch, so the
+// swap-decision loop performs zero heap allocations in steady state:
+// no maps, no per-candidate slices, no cleared arrays.
 type passEngine struct {
-	c      *circuit.Circuit
-	dev    *arch.Device
-	dag    *circuit.DAG
-	opts   Options
-	record bool
+	dev  *arch.Device
+	g    *graph.Graph
+	dist *graph.DistanceMatrix
+	opts Options
+	nQ   int // padded register size == device qubit count
 
+	// Per-pass state, reset at the top of run.
+	indeg []int
+	front []int
+	decay []float64
+	inv   []int // layout inverse scratch
+
+	// Per-decision scratch. epoch increments once per swap decision;
+	// every stamp array compares against it instead of being cleared.
+	epoch     int32
+	visited   []int32    // DAG node -> epoch it entered the extended-set BFS
+	extended  []int      // collected extended set (backing reused)
+	extQueue  []int      // BFS queue for the extended set (backing reused)
+	extOld    []int32    // extended index -> gate distance at decision start
+	extHead   []int32    // program qubit -> head of its extended-gate list
+	extStamp  []int32    // program qubit -> epoch extHead is valid for
+	extNodeID []int32    // list node -> index into extended
+	extNext   []int32    // list node -> next list node (-1 ends)
+	candSeen  []int32    // program-qubit pair (a*nQ+b) -> epoch it was emitted
+	cands     [][2]int32 // candidate swaps (program qubits, a < b)
+	frontNode []int32    // program qubit -> front DAG node touching it
+	frontDist []int32    // program qubit -> that gate's distance at decision start
+	frontStmp []int32    // program qubit -> epoch frontNode/frontDist are valid for
+
+	// Recorded output of the last run with record=true.
 	out   *circuit.Circuit
 	swaps int
 }
 
-func newPassEngine(c *circuit.Circuit, dev *arch.Device, opts Options, record bool) *passEngine {
-	return &passEngine{c: c, dev: dev, dag: circuit.NewDAG(c), opts: opts, record: record}
+func newPassEngine(dev *arch.Device, opts Options, dagN int) *passEngine {
+	nQ := dev.NumQubits()
+	es := opts.ExtendedSetSize
+	return &passEngine{
+		dev:  dev,
+		g:    dev.Graph(),
+		dist: dev.Distances(),
+		opts: opts,
+		nQ:   nQ,
+
+		indeg: make([]int, dagN),
+		front: make([]int, 0, dagN),
+		decay: make([]float64, nQ),
+		inv:   make([]int, nQ),
+
+		visited:   make([]int32, dagN),
+		extended:  make([]int, 0, es),
+		extQueue:  make([]int, 0, dagN+es),
+		extOld:    make([]int32, es),
+		extHead:   make([]int32, nQ),
+		extStamp:  make([]int32, nQ),
+		extNodeID: make([]int32, 2*es),
+		extNext:   make([]int32, 2*es),
+		candSeen:  make([]int32, nQ*nQ),
+		cands:     make([][2]int32, 0, dev.NumCouplers()),
+		frontNode: make([]int32, nQ),
+		frontDist: make([]int32, nQ),
+		frontStmp: make([]int32, nQ),
+	}
 }
 
 // layout pairs a mapping with its inverse for O(1) occupant lookups.
@@ -271,33 +356,39 @@ func (l *layout) swap(qa, qb int) {
 	l.inv[pa], l.inv[pb] = qb, qa
 }
 
-// run routes the engine's circuit starting from mapping, returning the
-// final mapping. When recording, the transpiled skeleton and swap count
-// are left in e.out / e.swaps.
-func (e *passEngine) run(mapping router.Mapping, rng *rand.Rand, trace func(TraceStep), trial int) router.Mapping {
-	lay := newLayout(mapping, e.dev.NumQubits())
-	dag := e.dag
+// run routes dag's circuit starting from mapping, returning the final
+// mapping. When recording, the transpiled skeleton and swap count are
+// left in e.out / e.swaps.
+func (e *passEngine) run(dag *circuit.DAG, mapping router.Mapping, rng *rand.Rand, record bool, trace func(TraceStep), trial int) router.Mapping {
 	n := dag.N()
-	dist := e.dev.Distances()
-	g := e.dev.Graph()
+	dist := e.dist
+	g := e.g
+	inv := e.inv
+	for i := range inv {
+		inv[i] = -1
+	}
+	for q, p := range mapping {
+		inv[p] = q
+	}
+	lay := &layout{m: mapping, inv: inv}
 
-	if e.record {
-		e.out = circuit.New(e.c.NumQubits)
+	if record {
+		e.out = circuit.New(e.nQ)
 		e.swaps = 0
 	}
 
-	indeg := make([]int, n)
+	indeg := e.indeg[:n]
 	for v := 0; v < n; v++ {
 		indeg[v] = len(dag.Preds[v])
 	}
-	front := make([]int, 0, n)
+	front := e.front[:0]
 	for v := 0; v < n; v++ {
 		if indeg[v] == 0 {
 			front = append(front, v)
 		}
 	}
 	executed := 0
-	decay := make([]float64, e.c.NumQubits)
+	decay := e.decay
 	resetDecay := func() {
 		for i := range decay {
 			decay[i] = 1.0
@@ -316,7 +407,7 @@ func (e *passEngine) run(mapping router.Mapping, rng *rand.Rand, trace func(Trac
 			v := front[i]
 			gt := dag.Gate(v)
 			if g.HasEdge(mapping[gt.Q0], mapping[gt.Q1]) {
-				if e.record {
+				if record {
 					e.out.MustAppend(gt)
 				}
 				executed++
@@ -345,24 +436,76 @@ func (e *passEngine) run(mapping router.Mapping, rng *rand.Rand, trace func(Trac
 		// Release valve: too long without executing anything — route the
 		// first front gate forcibly along a shortest path.
 		if sinceProgress >= releaseThreshold {
-			e.forceRoute(front[0], lay, dist)
+			e.forceRoute(dag, front[0], lay, record)
 			sinceProgress = 0
 			continue
 		}
 
-		extended := e.collectExtendedSet(front, indeg)
+		// One swap decision. collectExtendedSet opens the decision epoch;
+		// every stamp array below keys off it.
+		extended := e.collectExtendedSet(dag, front)
+		ep := e.epoch
+
+		// Index the front layer by program qubit and take its distance
+		// sum once. Front gates are pairwise qubit-disjoint (two gates
+		// sharing a qubit are ordered by that qubit's dependency chain),
+		// so each qubit belongs to at most one front gate and a candidate
+		// swap (qa,qb) changes at most the two gates indexed at qa and qb
+		// — basic cost is then an integer delta, not a re-sum.
+		baseFront := 0
+		for _, v := range front {
+			gt := dag.Gate(v)
+			d := int32(dist.At(mapping[gt.Q0], mapping[gt.Q1]))
+			e.frontNode[gt.Q0], e.frontNode[gt.Q1] = int32(v), int32(v)
+			e.frontDist[gt.Q0], e.frontDist[gt.Q1] = d, d
+			e.frontStmp[gt.Q0], e.frontStmp[gt.Q1] = ep, ep
+			baseFront += int(d)
+		}
+
+		// With uniform lookahead the extended-set term is an integer sum
+		// too: record its base value and per-qubit gate lists so each
+		// candidate evaluates a delta over the few gates touching the
+		// swapped qubits. (The decay-weighted variant keeps the ordered
+		// full walk: its weights depend on collection index, and the walk
+		// is capped at ExtendedSetSize gates anyway.)
+		extBase := 0
+		uniformLook := e.opts.LookaheadDecay <= 0
+		if uniformLook {
+			nodeCnt := int32(0)
+			for i, v := range extended {
+				gt := dag.Gate(v)
+				d := int32(dist.At(mapping[gt.Q0], mapping[gt.Q1]))
+				e.extOld[i] = d
+				extBase += int(d)
+				for k := 0; k < 2; k++ {
+					q := gt.Q0
+					if k == 1 {
+						q = gt.Q1
+					}
+					if e.extStamp[q] != ep {
+						e.extHead[q] = -1
+						e.extStamp[q] = ep
+					}
+					e.extNodeID[nodeCnt] = int32(i)
+					e.extNext[nodeCnt] = e.extHead[q]
+					e.extHead[q] = nodeCnt
+					nodeCnt++
+				}
+			}
+		}
 
 		// Candidate swaps: edges touching any front-gate qubit. The
 		// register is padded to the device size, so every neighbor is
-		// occupied (possibly by an ancilla).
-		type cd struct {
-			qa, qb int // program qubits
-		}
-		seen := map[[2]int]bool{}
-		var cands []cd
+		// occupied (possibly by an ancilla). Dedup is an epoch stamp on
+		// the program-qubit pair, preserving first-seen order.
+		cands := e.cands[:0]
 		for _, v := range front {
 			gt := dag.Gate(v)
-			for _, q := range []int{gt.Q0, gt.Q1} {
+			for k := 0; k < 2; k++ {
+				q := gt.Q0
+				if k == 1 {
+					q = gt.Q1
+				}
 				p := mapping[q]
 				for _, pn := range g.Neighbors(p) {
 					qn := lay.inv[pn]
@@ -373,57 +516,80 @@ func (e *passEngine) run(mapping router.Mapping, rng *rand.Rand, trace func(Trac
 					if a > b {
 						a, b = b, a
 					}
-					key := [2]int{a, b}
-					if !seen[key] {
-						seen[key] = true
-						cands = append(cands, cd{a, b})
+					if e.candSeen[a*e.nQ+b] != ep {
+						e.candSeen[a*e.nQ+b] = ep
+						cands = append(cands, [2]int32{int32(a), int32(b)})
 					}
 				}
 			}
 		}
+		e.cands = cands
 
 		bestIdx := -1
 		var bestTotal float64
 		var costs []SwapCost
-		for ci, cand := range cands {
-			lay.swap(cand.qa, cand.qb)
-			basic := 0.0
-			for _, v := range front {
-				gt := dag.Gate(v)
-				basic += float64(dist[mapping[gt.Q0]][mapping[gt.Q1]])
+		for ci := range cands {
+			qa, qb := int(cands[ci][0]), int(cands[ci][1])
+			lay.swap(qa, qb)
+			// Front-layer term as a delta over the (at most two) front
+			// gates whose qubits moved. A front gate on exactly (qa,qb)
+			// keeps its distance, so both branches contribute zero and
+			// double-counting is harmless.
+			deltaF := 0
+			if e.frontStmp[qa] == ep {
+				gt := dag.Gate(int(e.frontNode[qa]))
+				deltaF += dist.At(mapping[gt.Q0], mapping[gt.Q1]) - int(e.frontDist[qa])
 			}
-			basic /= float64(len(front))
+			if e.frontStmp[qb] == ep {
+				gt := dag.Gate(int(e.frontNode[qb]))
+				deltaF += dist.At(mapping[gt.Q0], mapping[gt.Q1]) - int(e.frontDist[qb])
+			}
+			basic := float64(baseFront+deltaF) / float64(len(front))
 			look := 0.0
 			if len(extended) > 0 {
-				if e.opts.LookaheadDecay > 0 {
+				if uniformLook {
+					// Delta over the extended gates touching qa or qb: a
+					// gate on exactly (qa,qb) appears in both lists with a
+					// zero delta, so no dedup is needed.
+					deltaE := 0
+					for k := 0; k < 2; k++ {
+						q := qa
+						if k == 1 {
+							q = qb
+						}
+						if e.extStamp[q] != ep {
+							continue
+						}
+						for node := e.extHead[q]; node != -1; node = e.extNext[node] {
+							i := e.extNodeID[node]
+							gt := dag.Gate(extended[i])
+							deltaE += dist.At(mapping[gt.Q0], mapping[gt.Q1]) - int(e.extOld[i])
+						}
+					}
+					look = e.opts.ExtendedSetWeight * float64(extBase+deltaE) / float64(len(extended))
+				} else {
 					wSum := 0.0
 					w := 1.0
 					for _, v := range extended {
 						gt := dag.Gate(v)
-						look += w * float64(dist[mapping[gt.Q0]][mapping[gt.Q1]])
+						look += w * float64(dist.At(mapping[gt.Q0], mapping[gt.Q1]))
 						wSum += w
 						w *= e.opts.LookaheadDecay
 					}
 					look = e.opts.ExtendedSetWeight * look / wSum
-				} else {
-					for _, v := range extended {
-						gt := dag.Gate(v)
-						look += float64(dist[mapping[gt.Q0]][mapping[gt.Q1]])
-					}
-					look = e.opts.ExtendedSetWeight * look / float64(len(extended))
 				}
 			}
-			lay.swap(cand.qa, cand.qb)
+			lay.swap(qa, qb)
 
-			dk := decay[cand.qa]
-			if decay[cand.qb] > dk {
-				dk = decay[cand.qb]
+			dk := decay[qa]
+			if decay[qb] > dk {
+				dk = decay[qb]
 			}
 			total := dk * (basic + look)
 			if trace != nil {
 				costs = append(costs, SwapCost{
-					ProgA: cand.qa, ProgB: cand.qb,
-					PhysA: mapping[cand.qa], PhysB: mapping[cand.qb],
+					ProgA: qa, ProgB: qb,
+					PhysA: mapping[qa], PhysB: mapping[qb],
 					Basic: basic, Lookahead: look, Decay: dk, Total: total,
 				})
 			}
@@ -433,42 +599,44 @@ func (e *passEngine) run(mapping router.Mapping, rng *rand.Rand, trace func(Trac
 		}
 		if bestIdx == -1 {
 			// No candidates can only happen on a degenerate device; force.
-			e.forceRoute(front[0], lay, dist)
+			e.forceRoute(dag, front[0], lay, record)
 			continue
 		}
 		if trace != nil {
 			trace(TraceStep{Trial: trial, FrontGates: frontGates(dag, front), Candidates: costs, ChosenIdx: bestIdx})
 		}
-		ch := cands[bestIdx]
-		if e.record {
-			e.out.MustAppend(circuit.NewSwap(ch.qa, ch.qb))
+		qa, qb := int(cands[bestIdx][0]), int(cands[bestIdx][1])
+		if record {
+			e.out.MustAppend(circuit.NewSwap(qa, qb))
 			e.swaps++
 		}
-		lay.swap(ch.qa, ch.qb)
-		decay[ch.qa] += e.opts.DecayIncrement
-		decay[ch.qb] += e.opts.DecayIncrement
+		lay.swap(qa, qb)
+		decay[qa] += e.opts.DecayIncrement
+		decay[qb] += e.opts.DecayIncrement
 		swapPicks++
 		sinceProgress++
 		if swapPicks%e.opts.DecayResetEvery == 0 {
 			resetDecay()
 		}
 	}
+	e.front = front[:0]
 	return mapping
 }
 
 // forceRoute emits SWAPs along a shortest path until the gate's qubits
 // are adjacent — SABRE's livelock release valve. The register is padded
 // to the device size, so every physical qubit on the path is occupied.
-func (e *passEngine) forceRoute(v int, lay *layout, dist [][]int) {
-	g := e.dev.Graph()
-	gt := e.dag.Gate(v)
+func (e *passEngine) forceRoute(dag *circuit.DAG, v int, lay *layout, record bool) {
+	g := e.g
+	dist := e.dist
+	gt := dag.Gate(v)
 	for !g.HasEdge(lay.m[gt.Q0], lay.m[gt.Q1]) {
 		p0 := lay.m[gt.Q0]
 		p1 := lay.m[gt.Q1]
 		// Step q0 one hop toward q1.
 		next := -1
 		for _, pn := range g.Neighbors(p0) {
-			if dist[pn][p1] < dist[p0][p1] {
+			if dist.At(pn, p1) < dist.At(p0, p1) {
 				next = pn
 				break
 			}
@@ -480,7 +648,7 @@ func (e *passEngine) forceRoute(v int, lay *layout, dist [][]int) {
 		if qn == -1 {
 			panic("sabre: unoccupied physical qubit on forced path")
 		}
-		if e.record {
+		if record {
 			e.out.MustAppend(circuit.NewSwap(gt.Q0, qn))
 			e.swaps++
 		}
@@ -490,23 +658,25 @@ func (e *passEngine) forceRoute(v int, lay *layout, dist [][]int) {
 
 // collectExtendedSet gathers up to ExtendedSetSize gates following the
 // front layer in the DAG (successors in BFS order, regardless of other
-// unmet dependencies — mirroring Qiskit's extended set).
-func (e *passEngine) collectExtendedSet(front []int, indeg []int) []int {
+// unmet dependencies — mirroring Qiskit's extended set). It opens a new
+// decision epoch: the visited stamps, the reused queue, and the reused
+// output backing make the collection allocation-free.
+func (e *passEngine) collectExtendedSet(dag *circuit.DAG, front []int) []int {
+	e.epoch++
+	ep := e.epoch
 	limit := e.opts.ExtendedSetSize
-	var out []int
-	visited := map[int]bool{}
-	queue := append([]int(nil), front...)
+	out := e.extended[:0]
+	queue := append(e.extQueue[:0], front...)
 	for _, v := range front {
-		visited[v] = true
+		e.visited[v] = ep
 	}
-	for len(queue) > 0 && len(out) < limit {
-		v := queue[0]
-		queue = queue[1:]
-		for _, s := range e.dag.Succs[v] {
-			if visited[s] {
+	for head := 0; head < len(queue) && len(out) < limit; head++ {
+		v := queue[head]
+		for _, s := range dag.Succs[v] {
+			if e.visited[s] == ep {
 				continue
 			}
-			visited[s] = true
+			e.visited[s] = ep
 			out = append(out, s)
 			queue = append(queue, s)
 			if len(out) >= limit {
@@ -514,6 +684,8 @@ func (e *passEngine) collectExtendedSet(front []int, indeg []int) []int {
 			}
 		}
 	}
+	e.extended = out
+	e.extQueue = queue[:0]
 	return out
 }
 

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/circuit"
+	"repro/internal/graph"
 	"repro/internal/router"
 )
 
@@ -138,7 +139,7 @@ func (r *Router) Route(c *circuit.Circuit, dev *arch.Device) (*router.Result, er
 				for !g.HasEdge(lay.m[gt.Q0], lay.m[gt.Q1]) {
 					p0, p1 := lay.m[gt.Q0], lay.m[gt.Q1]
 					for _, pn := range g.Neighbors(p0) {
-						if dist[pn][p1] < dist[p0][p1] {
+						if dist.At(pn, p1) < dist.At(p0, p1) {
 							qn := lay.inv[pn]
 							out.MustAppend(circuit.NewSwap(gt.Q0, qn))
 							swaps++
@@ -204,18 +205,18 @@ func (r *Router) candidates(pending []int, dag *circuit.DAG, lay *layout, g inte
 	return out
 }
 
-func (r *Router) sliceDistance(pending []int, dag *circuit.DAG, lay *layout, dist [][]int) float64 {
+func (r *Router) sliceDistance(pending []int, dag *circuit.DAG, lay *layout, dist *graph.DistanceMatrix) float64 {
 	s := 0.0
 	for _, v := range pending {
 		gt := dag.Gate(v)
-		s += float64(dist[lay.m[gt.Q0]][lay.m[gt.Q1]])
+		s += float64(dist.At(lay.m[gt.Q0], lay.m[gt.Q1]))
 	}
 	return s
 }
 
 // score sums the current slice's distances plus geometrically discounted
 // contributions from the next LookaheadSlices slices.
-func (r *Router) score(pending []int, slices [][]int, si int, dag *circuit.DAG, lay *layout, dist [][]int) float64 {
+func (r *Router) score(pending []int, slices [][]int, si int, dag *circuit.DAG, lay *layout, dist *graph.DistanceMatrix) float64 {
 	total := r.sliceDistance(pending, dag, lay, dist)
 	w := r.opts.LookaheadDiscount
 	for d := 1; d <= r.opts.LookaheadSlices && si+d < len(slices); d++ {

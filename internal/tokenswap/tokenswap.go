@@ -44,7 +44,7 @@ func Solve(g *graph.Graph, tokenAt []int) ([]Swap, error) {
 		}
 		seen[t] = true
 	}
-	dist := g.AllPairsDistances()
+	dist := graph.NewDistanceMatrix(g)
 	var out []Swap
 
 	apply := func(u, v int) {
@@ -52,7 +52,7 @@ func Solve(g *graph.Graph, tokenAt []int) ([]Swap, error) {
 		out = append(out, Swap{u, v})
 	}
 	// Distance of the token at vertex v to its home.
-	tokDist := func(v int) int { return dist[v][at[v]] }
+	tokDist := func(v int) int { return dist.At(v, at[v]) }
 
 	// Greedy phase: prefer swaps with total improvement 2, then 1. Cap
 	// iterations defensively; the tree phase below is always complete.
@@ -65,7 +65,7 @@ func Solve(g *graph.Graph, tokenAt []int) ([]Swap, error) {
 				continue
 			}
 			before := tokDist(u) + tokDist(v)
-			after := dist[u][at[v]] + dist[v][at[u]]
+			after := dist.At(u, at[v]) + dist.At(v, at[u])
 			if gain := before - after; gain > bestGain {
 				bestU, bestV, bestGain = u, v, gain
 				if gain == 2 {
@@ -213,10 +213,10 @@ func Transition(g *graph.Graph, from, to []int) ([]Swap, error) {
 // bound max(Σ d_i / 2, max d_i): every swap reduces the total distance by
 // at most 2, and the farthest token needs at least its distance in swaps.
 func LowerBound(g *graph.Graph, tokenAt []int) int {
-	dist := g.AllPairsDistances()
+	dist := graph.NewDistanceMatrix(g)
 	total, far := 0, 0
 	for v, t := range tokenAt {
-		d := dist[v][t]
+		d := dist.At(v, t)
 		total += d
 		if d > far {
 			far = d
