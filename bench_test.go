@@ -237,6 +237,58 @@ func BenchmarkExactDecideGrid3x3(b *testing.B) {
 	}
 }
 
+// BenchmarkOlsqVerify compares the incremental exact-verification path
+// (one persistent solver, grown encoding, assumption-selected bounds)
+// against the legacy per-k re-encode baseline on the paper's Section IV-A
+// style instances: VerifyOptimal's UNSAT(n-1)+SAT(n) certificate and
+// MinSwaps' full linear sweep. Run with -benchmem; the incremental path
+// must be at least 2x faster (see docs/performance.md for recorded
+// numbers).
+func BenchmarkOlsqVerify(b *testing.B) {
+	verify, err := qubikos.Generate(arch.Grid3x3(), qubikos.Options{
+		NumSwaps: 2, MaxTwoQubitGates: 30, TargetTwoQubitGates: 30, PreferHighDegree: true, Seed: 5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sweep, err := qubikos.Generate(arch.RigettiAspen4(), qubikos.Options{
+		NumSwaps: 3, MaxTwoQubitGates: 30, TargetTwoQubitGates: 30, PreferHighDegree: true, Seed: 100007,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	runVerify := func(b *testing.B, opts olsq.Options) {
+		for i := 0; i < b.N; i++ {
+			s, err := olsq.New(verify.Circuit, verify.Device, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.VerifyOptimal(verify.OptSwaps); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	runSweep := func(b *testing.B, opts olsq.Options) {
+		for i := 0; i < b.N; i++ {
+			s, err := olsq.New(sweep.Circuit, sweep.Device, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := s.MinSwaps(sweep.OptSwaps + 3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.SwapCount != sweep.OptSwaps {
+				b.Fatalf("MinSwaps=%d want %d", res.SwapCount, sweep.OptSwaps)
+			}
+		}
+	}
+	b.Run("verify-optimal/incremental", func(b *testing.B) { runVerify(b, olsq.Options{}) })
+	b.Run("verify-optimal/per-k-reencode", func(b *testing.B) { runVerify(b, olsq.Options{NonIncremental: true}) })
+	b.Run("min-swaps/incremental", func(b *testing.B) { runSweep(b, olsq.Options{}) })
+	b.Run("min-swaps/per-k-reencode", func(b *testing.B) { runSweep(b, olsq.Options{NonIncremental: true}) })
+}
+
 func BenchmarkVF2SectionCheck(b *testing.B) {
 	bench, err := qubikos.Generate(arch.RigettiAspen4(), qubikos.Options{NumSwaps: 3, Seed: 11})
 	if err != nil {

@@ -5,9 +5,14 @@
 // zero-deviation table reproduces the paper's "no deviations observed"
 // result. It can also verify a single QASM file against a claimed count.
 //
+// Certification fans out over a worker pool (-workers, default all
+// CPUs); each instance owns its incremental SAT solver, so the table is
+// identical for any worker count.
+//
 // Usage:
 //
 //	qubikos-verify -circuits 10 -seed 7          # the study
+//	qubikos-verify -circuits 10 -workers 4       # bounded parallelism
 //	qubikos-verify -qasm bench.qasm -arch aspen4 -claim 3
 package main
 
@@ -32,6 +37,7 @@ func main() {
 	archName := flag.String("arch", "aspen4", "device for -qasm mode")
 	claim := flag.Int("claim", -1, "claimed optimal swap count for -qasm mode")
 	maxK := flag.Int("maxk", 8, "search bound when no -claim is given")
+	workers := flag.Int("workers", 0, "parallel certification workers (0 = all CPUs)")
 	flag.Parse()
 
 	if *qasm != "" {
@@ -40,6 +46,7 @@ func main() {
 	}
 
 	cfg := harness.DefaultOptimalityConfig(*circuits, *seed)
+	cfg.Workers = *workers
 	counts, err := parseCounts(*swapList)
 	if err != nil {
 		fatal(err)

@@ -9,8 +9,11 @@ package harness
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/arch"
 	"repro/internal/mlqls"
@@ -300,6 +303,10 @@ type OptimalityConfig struct {
 	CircuitsPerCount int
 	MaxTwoQubitGates int
 	Seed             int64
+	// Workers bounds the certification worker pool; 0 means GOMAXPROCS.
+	// Each instance gets its own SAT solver, so results are identical for
+	// any worker count (the instance seeds are fixed up front).
+	Workers int
 }
 
 // DefaultOptimalityConfig returns the paper's Section IV-A setting with a
@@ -324,38 +331,111 @@ type OptimalityRow struct {
 }
 
 // RunOptimalityStudy generates capped instances and certifies each with
-// the exact SAT solver: UNSAT at n-1 and SAT at n.
+// the exact SAT solver: UNSAT at n-1 and SAT at n. Instances are
+// independent — every one carries its own deterministic seed and its own
+// persistent incremental solver — so certification fans out over a
+// bounded worker pool (cfg.Workers, defaulting to GOMAXPROCS) and the
+// aggregated rows are identical for any worker count.
 func RunOptimalityStudy(cfg OptimalityConfig) ([]OptimalityRow, error) {
+	type job struct {
+		dev *arch.Device
+		n   int
+		i   int
+		row int
+	}
+	type outcome struct {
+		verified bool
+		err      error
+	}
+	var jobs []job
 	var rows []OptimalityRow
 	for _, dev := range cfg.Devices {
 		for _, n := range cfg.SwapCounts {
-			row := OptimalityRow{Device: dev.Name(), OptSwaps: n}
+			rows = append(rows, OptimalityRow{Device: dev.Name(), OptSwaps: n})
 			for i := 0; i < cfg.CircuitsPerCount; i++ {
-				b, err := qubikos.Generate(dev, qubikos.Options{
-					NumSwaps:            n,
-					MaxTwoQubitGates:    cfg.MaxTwoQubitGates,
-					TargetTwoQubitGates: cfg.MaxTwoQubitGates,
-					PreferHighDegree:    true,
-					Seed:                cfg.Seed + int64(n)*100_000 + int64(i),
-				})
-				if err != nil {
-					return nil, fmt.Errorf("harness: optimality generate %s n=%d: %w", dev.Name(), n, err)
-				}
-				if err := qubikos.Verify(b); err != nil {
-					return nil, fmt.Errorf("harness: optimality structural verify: %w", err)
-				}
-				row.Circuits++
-				s, err := olsq.New(b.Circuit, dev, olsq.Options{})
-				if err != nil {
-					return nil, err
-				}
-				if err := s.VerifyOptimal(n); err != nil {
-					row.Deviation++
-				} else {
-					row.Verified++
-				}
+				jobs = append(jobs, job{dev: dev, n: n, i: i, row: len(rows) - 1})
 			}
-			rows = append(rows, row)
+		}
+	}
+
+	run := func(j job) outcome {
+		b, err := qubikos.Generate(j.dev, qubikos.Options{
+			NumSwaps:            j.n,
+			MaxTwoQubitGates:    cfg.MaxTwoQubitGates,
+			TargetTwoQubitGates: cfg.MaxTwoQubitGates,
+			PreferHighDegree:    true,
+			Seed:                cfg.Seed + int64(j.n)*100_000 + int64(j.i),
+		})
+		if err != nil {
+			return outcome{err: fmt.Errorf("harness: optimality generate %s n=%d: %w", j.dev.Name(), j.n, err)}
+		}
+		if err := qubikos.Verify(b); err != nil {
+			return outcome{err: fmt.Errorf("harness: optimality structural verify: %w", err)}
+		}
+		s, err := olsq.New(b.Circuit, j.dev, olsq.Options{})
+		if err != nil {
+			return outcome{err: err}
+		}
+		return outcome{verified: s.VerifyOptimal(j.n) == nil}
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	outcomes := make([]outcome, len(jobs))
+	if workers <= 1 {
+		for ji, j := range jobs {
+			outcomes[ji] = run(j)
+			if outcomes[ji].err != nil {
+				return nil, outcomes[ji].err
+			}
+		}
+	} else {
+		// A failed instance aborts the pool: remaining jobs are skipped
+		// rather than paying their certifications. Which error surfaces
+		// may vary with scheduling, but success/failure (and, on success,
+		// every row) is deterministic.
+		var next atomic.Int64
+		var failed atomic.Bool
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for !failed.Load() {
+					ji := int(next.Add(1)) - 1
+					if ji >= len(jobs) {
+						return
+					}
+					outcomes[ji] = run(jobs[ji])
+					if outcomes[ji].err != nil {
+						failed.Store(true)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Surface the lowest-indexed recorded error, then aggregate in job
+	// order so counts are deterministic.
+	for _, o := range outcomes {
+		if o.err != nil {
+			return nil, o.err
+		}
+	}
+	for ji, o := range outcomes {
+		r := &rows[jobs[ji].row]
+		r.Circuits++
+		if o.verified {
+			r.Verified++
+		} else {
+			r.Deviation++
 		}
 	}
 	return rows, nil

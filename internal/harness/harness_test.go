@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -130,6 +131,31 @@ func TestOptimalityStudySmall(t *testing.T) {
 	RenderOptimality(&sb, rows)
 	if !strings.Contains(sb.String(), "grid-3x3") && !strings.Contains(sb.String(), "grid") {
 		t.Error("optimality table missing grid device")
+	}
+}
+
+// The certification worker pool must reproduce the serial rows exactly
+// for any worker count (also exercised with -race in CI).
+func TestOptimalityStudyParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("SAT study in -short mode")
+	}
+	cfg := DefaultOptimalityConfig(2, 5)
+	cfg.SwapCounts = []int{1, 2}
+	cfg.Workers = 1
+	serial, err := RunOptimalityStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, 16} {
+		cfg.Workers = workers
+		parallel, err := RunOptimalityStudy(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("workers=%d rows differ:\nserial:   %+v\nparallel: %+v", workers, serial, parallel)
+		}
 	}
 }
 

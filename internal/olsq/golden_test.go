@@ -1,0 +1,125 @@
+package olsq_test
+
+// Golden corpus for the exact-verification engine. The expected values
+// below were recorded from the pre-refactor engine (per-k re-encode, cold
+// solver per bound, pointer-based CDCL core) on a fixed QUBIKOS corpus;
+// the flat-arena incremental engine must reproduce every SAT/UNSAT
+// verdict, MinSwaps value, and extracted swap count bit-for-bit, on both
+// the incremental and the legacy per-k path.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/olsq"
+	"repro/internal/qubikos"
+	"repro/internal/router"
+)
+
+type goldenCase struct {
+	device    string
+	numSwaps  int
+	instance  int
+	decideLow bool // Decide(n-1) verdict
+	decideAt  bool // Decide(n) verdict
+	atCount   int  // swap count extracted from the Decide(n) witness
+	minSwaps  int  // MinSwaps(n+2) result
+}
+
+// Recorded 2026-07-28 from the seed engine (commit f7754fb); instance
+// seeds follow the optimality study's convention 7 + n*100_000 + i.
+var goldenCorpus = []goldenCase{
+	{"grid3x3", 1, 0, false, true, 1, 1},
+	{"grid3x3", 1, 1, false, true, 1, 1},
+	{"grid3x3", 2, 0, false, true, 2, 2},
+	{"grid3x3", 2, 1, false, true, 2, 2},
+	{"grid3x3", 3, 0, false, true, 3, 3},
+	{"grid3x3", 3, 1, false, true, 3, 3},
+	{"aspen4", 1, 0, false, true, 1, 1},
+	{"aspen4", 1, 1, false, true, 1, 1},
+	{"aspen4", 2, 0, false, true, 2, 2},
+	{"aspen4", 2, 1, false, true, 2, 2},
+	{"aspen4", 3, 0, false, true, 3, 3},
+	{"aspen4", 3, 1, false, true, 3, 3},
+}
+
+func goldenDevice(t *testing.T, name string) *arch.Device {
+	t.Helper()
+	dev, err := arch.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev
+}
+
+func runGoldenCase(t *testing.T, gc goldenCase, opts olsq.Options) {
+	t.Helper()
+	dev := goldenDevice(t, gc.device)
+	b, err := qubikos.Generate(dev, qubikos.Options{
+		NumSwaps:            gc.numSwaps,
+		MaxTwoQubitGates:    30,
+		TargetTwoQubitGates: 30,
+		PreferHighDegree:    true,
+		Seed:                7 + int64(gc.numSwaps)*100_000 + int64(gc.instance),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := olsq.New(b.Circuit, dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	okLow, _, err := s.Decide(gc.numSwaps - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if okLow != gc.decideLow {
+		t.Errorf("Decide(%d)=%v want %v", gc.numSwaps-1, okLow, gc.decideLow)
+	}
+	okAt, resAt, err := s.Decide(gc.numSwaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if okAt != gc.decideAt {
+		t.Fatalf("Decide(%d)=%v want %v", gc.numSwaps, okAt, gc.decideAt)
+	}
+	if resAt.SwapCount != gc.atCount {
+		t.Errorf("extracted swap count %d want %d", resAt.SwapCount, gc.atCount)
+	}
+	if err := router.Validate(b.Circuit, dev, &resAt.Result); err != nil {
+		t.Errorf("extracted witness invalid: %v", err)
+	}
+	res, err := s.MinSwaps(gc.numSwaps + 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwapCount != gc.minSwaps {
+		t.Errorf("MinSwaps=%d want %d", res.SwapCount, gc.minSwaps)
+	}
+	if err := s.VerifyOptimal(gc.numSwaps); err != nil {
+		t.Errorf("VerifyOptimal(%d): %v", gc.numSwaps, err)
+	}
+}
+
+func TestGoldenCorpusIncremental(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exact golden corpus in -short mode")
+	}
+	for _, gc := range goldenCorpus {
+		gc := gc
+		name := fmt.Sprintf("%s/n%d/i%d", gc.device, gc.numSwaps, gc.instance)
+		t.Run(name, func(t *testing.T) { runGoldenCase(t, gc, olsq.Options{}) })
+	}
+}
+
+func TestGoldenCorpusPerKReencode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exact golden corpus in -short mode")
+	}
+	for _, gc := range goldenCorpus {
+		gc := gc
+		name := fmt.Sprintf("%s/n%d/i%d", gc.device, gc.numSwaps, gc.instance)
+		t.Run(name, func(t *testing.T) { runGoldenCase(t, gc, olsq.Options{NonIncremental: true}) })
+	}
+}

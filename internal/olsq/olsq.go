@@ -12,6 +12,13 @@
 // swapped. Each two-qubit gate is assigned to a block (order-encoded),
 // gate dependencies force non-decreasing blocks, and a gate's two qubits
 // must be physically adjacent in its block's mapping.
+//
+// The bound sweep is incremental in the style of Shaik & van de Pol's
+// planning-based layout synthesis: one persistent solver carries a
+// single encoding that grows block by block, per-transition activation
+// literals and per-bound finalization literals select the bound via
+// SolveAssuming, and clauses learned at one bound are reused at every
+// later one. See docs/performance.md for the design and measurements.
 package olsq
 
 import (
@@ -29,6 +36,17 @@ import (
 type Options struct {
 	// MaxConflicts bounds the SAT search per Decide call; 0 = unlimited.
 	MaxConflicts int64
+	// UseLowerBound starts MinSwaps' linear search at LowerBound() instead
+	// of 0. Off by default: the paper's optimality study certifies with a
+	// full UNSAT sweep from zero, so skipping provably-infeasible bounds is
+	// an opt-in shortcut.
+	UseLowerBound bool
+	// NonIncremental restores the legacy search strategy: every Decide call
+	// re-encodes the formula at its own bound and solves it on a cold
+	// solver. Kept as the baseline for benchmarks and cross-checks; the
+	// default incremental path encodes once at the largest bound and
+	// re-solves under activation assumptions.
+	NonIncremental bool
 }
 
 // Solver is the exact layout-synthesis engine for one circuit/device pair.
@@ -37,6 +55,9 @@ type Solver struct {
 	circ *circuit.Circuit
 	dev  *arch.Device
 	dag  *circuit.DAG
+	// inc is the persistent incremental encoding (largest bound seen so
+	// far); learned clauses and VSIDS activity carry across Decide calls.
+	inc *encoding
 }
 
 // New prepares an exact solver. The circuit may contain single-qubit
@@ -65,6 +86,23 @@ type Result struct {
 	SwapEdges []*graph.Edge
 }
 
+// ensureEncoded returns the persistent incremental encoding, growing it
+// in place when the requested bound exceeds the encoded one. Every block
+// is encoded exactly once across the solver's lifetime; Decide selects a
+// bound by assuming activation and finalization literals, so learned
+// clauses and variable activity survive the whole bound sweep.
+func (s *Solver) ensureEncoded(k int) *encoding {
+	if s.inc == nil {
+		enc := s.newEncoding()
+		enc.solver = sat.NewSolver()
+		s.inc = enc
+	}
+	if s.inc.k < k {
+		s.growEncoding(s.inc, s.inc.solver, k)
+	}
+	return s.inc
+}
+
 // Decide reports whether the circuit is executable with at most k SWAPs;
 // when satisfiable it returns the witness result. A third "unknown" state
 // is reported via err when the conflict budget is exhausted.
@@ -72,7 +110,51 @@ func (s *Solver) Decide(k int) (bool, *Result, error) {
 	if k < 0 {
 		return false, nil, fmt.Errorf("olsq: negative swap bound %d", k)
 	}
+	if s.opts.NonIncremental {
+		return s.decideFresh(k)
+	}
+	enc := s.ensureEncoded(k)
+	enc.solver.Budget = s.opts.MaxConflicts
+	// Transitions below k are enabled, transitions k..enc.k-1 disabled (a
+	// disabled transition swaps no edge, so its mapping carries over
+	// unchanged), and fin[k] forces every gate into blocks 0..k — under
+	// these assumptions the formula is exactly the ≤k decision.
+	asm := make([]sat.Lit, 0, enc.k+1)
+	asm = append(asm, enc.fin[k])
+	for b := 0; b < enc.k; b++ {
+		if b < k {
+			asm = append(asm, enc.act[b])
+		} else {
+			asm = append(asm, enc.act[b].Neg())
+		}
+	}
+	switch enc.solver.SolveAssuming(asm) {
+	case sat.Sat:
+		res, err := s.extract(enc, k)
+		if err != nil {
+			return false, nil, err
+		}
+		return true, res, nil
+	case sat.Unsat:
+		return false, nil, nil
+	default:
+		return false, nil, fmt.Errorf("olsq: conflict budget exhausted at k=%d", k)
+	}
+}
+
+// decideFresh is the legacy per-bound path: encode at exactly k, assert
+// every activation and the finalization literal, and solve on a cold
+// solver.
+func (s *Solver) decideFresh(k int) (bool, *Result, error) {
 	enc := s.encode(k)
+	for _, a := range enc.act {
+		if err := enc.solver.AddClause(a); err != nil {
+			return false, nil, err
+		}
+	}
+	if err := enc.solver.AddClause(enc.fin[k]); err != nil {
+		return false, nil, err
+	}
 	enc.solver.Budget = s.opts.MaxConflicts
 	switch enc.solver.Solve() {
 	case sat.Sat:
@@ -88,11 +170,22 @@ func (s *Solver) Decide(k int) (bool, *Result, error) {
 	}
 }
 
-// MinSwaps finds the minimal SWAP count in [0, maxK] by linear search from
-// 0 (each infeasible k is a full UNSAT proof, matching how OLSQ2 certifies
-// optimality). It returns an error if even maxK is infeasible.
+// MinSwaps finds the minimal SWAP count in [0, maxK] by linear search
+// (each infeasible k is a full UNSAT proof, matching how OLSQ2 certifies
+// optimality). The default incremental path grows one persistent encoding
+// block by block, so each bound reuses everything learned at the bounds
+// below it. With Options.UseLowerBound the search starts at LowerBound()
+// instead of 0. It returns an error if even maxK is infeasible.
 func (s *Solver) MinSwaps(maxK int) (*Result, error) {
-	for k := 0; k <= maxK; k++ {
+	start := 0
+	if s.opts.UseLowerBound {
+		lb := s.LowerBound()
+		if lb > maxK {
+			return nil, fmt.Errorf("olsq: no solution with at most %d swaps (lower bound %d)", maxK, lb)
+		}
+		start = lb
+	}
+	for k := start; k <= maxK; k++ {
 		ok, res, err := s.Decide(k)
 		if err != nil {
 			return nil, err
@@ -104,10 +197,72 @@ func (s *Solver) MinSwaps(maxK int) (*Result, error) {
 	return nil, fmt.Errorf("olsq: no solution with at most %d swaps", maxK)
 }
 
+// LowerBound returns a sound initial-mapping-free lower bound on the
+// optimal SWAP count, the mapping-free analogue of the token-swapping
+// distance bound (max of Σd/2 and max d): since the minimum over initial
+// placements of the summed gate distances is the layout problem itself,
+// the bound combines its computable relaxations.
+//
+//   - Embeddability (the zero test of the distance minimum): if the
+//     circuit's interaction graph embeds into the coupling graph, some
+//     placement runs every gate at distance 1 and the bound is 0; if VF2
+//     proves no embedding exists, at least one SWAP is required. When the
+//     VF2 search exhausts its node budget this term falls back to 0.
+//   - Adjacency-capacity counting (the Σd/2 analogue): a mapping realizes
+//     at most M (coupling edges) adjacent program pairs, and one swap
+//     creates at most 2Δ-2 new adjacent pairs (the edges incident to the
+//     two moved qubits, minus the swapped edge itself whose occupant pair
+//     survives the swap), so k ≥ ⌈(m_I - M) / (2Δ-2)⌉.
+//   - Degree excess (the max d analogue): a program qubit sees at most Δ
+//     partners per placement, and one transition changes its partner set
+//     by at most max(Δ-1, 2) (Δ-1 fresh neighbors when it moves; two
+//     refreshed neighbors when both swapped vertices are adjacent to its
+//     stationary position), so k ≥ ⌈(deg_I(q) - Δ) / max(Δ-1, 2)⌉.
+func (s *Solver) LowerBound() int {
+	ig := s.circ.InteractionGraph()
+	if ig.M() == 0 {
+		return 0
+	}
+	g := s.dev.Graph()
+	lb := 0
+	if _, ok, truncated := graph.SubgraphIsomorphism(ig, g, lowerBoundVF2Nodes); !ok && !truncated {
+		lb = 1
+	}
+	maxDeg := 0
+	for p := 0; p < g.N(); p++ {
+		if d := len(g.Neighbors(p)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg >= 2 {
+		if excess := ig.M() - g.M(); excess > 0 {
+			if b := (excess + 2*maxDeg - 3) / (2*maxDeg - 2); b > lb {
+				lb = b
+			}
+		}
+		growth := maxDeg - 1
+		if growth < 2 {
+			growth = 2
+		}
+		for q := 0; q < ig.N(); q++ {
+			if excess := len(ig.Neighbors(q)) - maxDeg; excess > 0 {
+				if b := (excess + growth - 1) / growth; b > lb {
+					lb = b
+				}
+			}
+		}
+	}
+	return lb
+}
+
+// lowerBoundVF2Nodes caps the VF2 search used by LowerBound.
+const lowerBoundVF2Nodes = 2_000_000
+
 // VerifyOptimal certifies that the circuit's optimal SWAP count is exactly
 // n: satisfiable at n and (for n > 0) unsatisfiable at n-1. Because the
 // encoding permits unused transitions, "≤ n-1 UNSAT" covers every count
-// below n.
+// below n. Both checks run on the same persistent solver: the n-1 UNSAT
+// proof's learned clauses are reused by the satisfiable check at n.
 func (s *Solver) VerifyOptimal(n int) error {
 	if n > 0 {
 		ok, _, err := s.Decide(n - 1)
@@ -142,6 +297,16 @@ type encoding struct {
 	sw [][]sat.Lit
 	// moved[b][p]: some swapped edge at transition b touches physical p.
 	moved [][]sat.Lit
+	// act[b]: transition b is enabled. ¬act[b] forces every sw[b][e]
+	// false, freezing the mapping across the transition. Decide assumes
+	// act[0..k-1] and ¬act[k..] to select a bound without re-encoding;
+	// DIMACS export asserts them all as unit clauses.
+	act []sat.Lit
+	// fin[b]: every gate is scheduled by block b. Decide(k) assumes
+	// fin[k] instead of the formula carrying an unconditional final-block
+	// unit clause, so the encoding can grow to larger bounds while every
+	// clause learned at smaller bounds stays sound.
+	fin   []sat.Lit
 	edges []graph.Edge
 }
 
@@ -155,11 +320,32 @@ func (s *Solver) encode(k int) *encoding {
 // encodeInto builds the ≤k-SWAP decision formula against any clause sink
 // (a live solver for Decide, a Recorder for DIMACS export).
 func (s *Solver) encodeInto(sv sat.ClauseAdder, k int) *encoding {
+	enc := s.newEncoding()
+	s.growEncoding(enc, sv, k)
+	return enc
+}
+
+func (s *Solver) newEncoding() *encoding {
+	nG := s.dag.N()
+	return &encoding{
+		k:     -1,
+		u:     make([][]sat.Lit, nG),
+		t:     make([][]sat.Lit, nG),
+		edges: s.dev.Graph().Edges(),
+	}
+}
+
+// growEncoding appends blocks enc.k+1 .. k (and the transitions between
+// them) to the formula. Growth is strictly additive — no existing clause
+// is retracted, and per-bound constraints (which transitions may swap,
+// which block all gates must have finished by) live behind the act/fin
+// assumption literals — so clauses a persistent solver learned at smaller
+// bounds remain sound after the encoding grows.
+func (s *Solver) growEncoding(enc *encoding, sv sat.ClauseAdder, k int) {
 	nQ := s.circ.NumQubits
 	nP := s.dev.NumQubits()
 	nG := s.dag.N()
 	g := s.dev.Graph()
-	enc := &encoding{k: k, edges: g.Edges()}
 
 	newLit := func() sat.Lit { return sat.Lit(sv.NewVar()) }
 	check := func(err error) {
@@ -168,129 +354,150 @@ func (s *Solver) encodeInto(sv sat.ClauseAdder, k int) *encoding {
 		}
 	}
 
-	// Mapping variables and bijectivity per block.
-	enc.x = make([][][]sat.Lit, k+1)
-	for b := 0; b <= k; b++ {
-		enc.x[b] = make([][]sat.Lit, nQ)
+	for b := enc.k + 1; b <= k; b++ {
+		// Mapping variables and bijectivity for block b.
+		xb := make([][]sat.Lit, nQ)
 		for q := 0; q < nQ; q++ {
-			enc.x[b][q] = make([]sat.Lit, nP)
+			xb[q] = make([]sat.Lit, nP)
 			for p := 0; p < nP; p++ {
-				enc.x[b][q][p] = newLit()
+				xb[q][p] = newLit()
 			}
-			check(sat.AddExactlyOne(sv, enc.x[b][q]))
+			check(sat.AddExactlyOne(sv, xb[q]))
 		}
 		for p := 0; p < nP; p++ {
 			col := make([]sat.Lit, nQ)
 			for q := 0; q < nQ; q++ {
-				col[q] = enc.x[b][q][p]
+				col[q] = xb[q][p]
 			}
 			check(sat.AddAtMostOne(sv, col))
 		}
-	}
+		enc.x = append(enc.x, xb)
 
-	// Gate scheduling: order encoding over blocks.
-	enc.u = make([][]sat.Lit, nG)
-	enc.t = make([][]sat.Lit, nG)
-	for gi := 0; gi < nG; gi++ {
-		enc.u[gi] = make([]sat.Lit, k+1)
-		enc.t[gi] = make([]sat.Lit, k+1)
-		for b := 0; b <= k; b++ {
-			enc.u[gi][b] = newLit()
-			enc.t[gi][b] = newLit()
+		// Gate scheduling: one order-encoding column per block.
+		for gi := 0; gi < nG; gi++ {
+			enc.u[gi] = append(enc.u[gi], newLit())
+			enc.t[gi] = append(enc.t[gi], newLit())
 		}
-		// Monotone: u[b] -> u[b+1]; final block certain.
-		for b := 0; b < k; b++ {
-			check(sat.AddImplies(sv, enc.u[gi][b], enc.u[gi][b+1]))
-		}
-		check(sv.AddClause(enc.u[gi][k]))
-		// t[0] <-> u[0]; t[b] <-> u[b] & !u[b-1].
-		check(sat.AddIff(sv, enc.t[gi][0], enc.u[gi][0]))
-		for b := 1; b <= k; b++ {
-			check(sat.AddIffAnd(sv, enc.t[gi][b], enc.u[gi][b], enc.u[gi][b-1].Neg()))
-		}
-	}
-	// Dependencies: an immediate predecessor must be scheduled no later.
-	// u[g][b] -> u[pred][b]; transitivity extends this to all ancestors.
-	for gi := 0; gi < nG; gi++ {
-		for _, pr := range s.dag.Preds[gi] {
-			for b := 0; b <= k; b++ {
+		for gi := 0; gi < nG; gi++ {
+			if b == 0 {
+				// t[0] <-> u[0].
+				check(sat.AddIff(sv, enc.t[gi][0], enc.u[gi][0]))
+			} else {
+				// Monotone: u[b-1] -> u[b]; t[b] <-> u[b] & !u[b-1].
+				check(sat.AddImplies(sv, enc.u[gi][b-1], enc.u[gi][b]))
+				check(sat.AddIffAnd(sv, enc.t[gi][b], enc.u[gi][b], enc.u[gi][b-1].Neg()))
+			}
+			// Dependencies: an immediate predecessor must be scheduled no
+			// later: u[g][b] -> u[pred][b]; transitivity extends this to
+			// all ancestors.
+			for _, pr := range s.dag.Preds[gi] {
 				check(sat.AddImplies(sv, enc.u[gi][b], enc.u[pr][b]))
 			}
 		}
-	}
 
-	// Executability: if gate gi runs in block b and its first qubit is at
-	// p, its second qubit must be at a neighbor of p.
-	for gi := 0; gi < nG; gi++ {
-		gt := s.dag.Gate(gi)
-		q0, q1 := gt.Q0, gt.Q1
-		for b := 0; b <= k; b++ {
+		// Executability: if gate gi runs in block b and its first qubit is
+		// at p, its second qubit must be at a neighbor of p.
+		for gi := 0; gi < nG; gi++ {
+			gt := s.dag.Gate(gi)
+			q0, q1 := gt.Q0, gt.Q1
 			for p := 0; p < nP; p++ {
 				nbrs := g.Neighbors(p)
 				cl := make([]sat.Lit, 0, len(nbrs)+2)
-				cl = append(cl, enc.t[gi][b].Neg(), enc.x[b][q0][p].Neg())
+				cl = append(cl, enc.t[gi][b].Neg(), xb[q0][p].Neg())
 				for _, pn := range nbrs {
-					cl = append(cl, enc.x[b][q1][pn])
+					cl = append(cl, xb[q1][pn])
 				}
 				check(sv.AddClause(cl...))
 			}
 		}
-	}
 
-	// Transitions: at most one swapped edge each; mapping evolves by that
-	// transposition, and unmoved physical qubits keep their occupants.
-	enc.sw = make([][]sat.Lit, k)
-	enc.moved = make([][]sat.Lit, k)
-	for b := 0; b < k; b++ {
-		enc.sw[b] = make([]sat.Lit, len(enc.edges))
-		for e := range enc.edges {
-			enc.sw[b][e] = newLit()
-		}
-		check(sat.AddAtMostOne(sv, enc.sw[b]))
+		// Transition b-1 between blocks b-1 and b: at most one swapped
+		// edge; the mapping evolves by that transposition, and unmoved
+		// physical qubits keep their occupants.
+		if b > 0 {
+			tr := b - 1
+			xa := enc.x[tr]
+			swb := make([]sat.Lit, len(enc.edges))
+			for e := range enc.edges {
+				swb[e] = newLit()
+			}
+			enc.sw = append(enc.sw, swb)
+			check(sat.AddAtMostOne(sv, swb))
 
-		enc.moved[b] = make([]sat.Lit, nP)
-		for p := 0; p < nP; p++ {
-			var touching []sat.Lit
+			// Activation: a disabled transition swaps nothing.
+			actb := newLit()
+			enc.act = append(enc.act, actb)
+			for e := range enc.edges {
+				check(sat.AddImplies(sv, swb[e], actb))
+			}
+
+			movedb := make([]sat.Lit, nP)
+			for p := 0; p < nP; p++ {
+				var touching []sat.Lit
+				for e, ed := range enc.edges {
+					if ed.U == p || ed.V == p {
+						touching = append(touching, swb[e])
+					}
+				}
+				movedb[p] = newLit()
+				check(sat.AddIffOr(sv, movedb[p], touching))
+			}
+			enc.moved = append(enc.moved, movedb)
+
 			for e, ed := range enc.edges {
-				if ed.U == p || ed.V == p {
-					touching = append(touching, enc.sw[b][e])
+				for q := 0; q < nQ; q++ {
+					// sw -> (x[b][q][U] <-> x[b-1][q][V]) and symmetrically.
+					check(sv.AddClause(swb[e].Neg(), xa[q][ed.V].Neg(), xb[q][ed.U]))
+					check(sv.AddClause(swb[e].Neg(), xa[q][ed.V], xb[q][ed.U].Neg()))
+					check(sv.AddClause(swb[e].Neg(), xa[q][ed.U].Neg(), xb[q][ed.V]))
+					check(sv.AddClause(swb[e].Neg(), xa[q][ed.U], xb[q][ed.V].Neg()))
 				}
 			}
-			enc.moved[b][p] = newLit()
-			check(sat.AddIffOr(sv, enc.moved[b][p], touching))
+			for p := 0; p < nP; p++ {
+				for q := 0; q < nQ; q++ {
+					check(sv.AddClause(movedb[p], xa[q][p].Neg(), xb[q][p]))
+					check(sv.AddClause(movedb[p], xa[q][p], xb[q][p].Neg()))
+				}
+			}
 		}
 
-		for e, ed := range enc.edges {
-			for q := 0; q < nQ; q++ {
-				// sw -> (x[b+1][q][U] <-> x[b][q][V]) and symmetrically.
-				check(sv.AddClause(enc.sw[b][e].Neg(), enc.x[b][q][ed.V].Neg(), enc.x[b+1][q][ed.U]))
-				check(sv.AddClause(enc.sw[b][e].Neg(), enc.x[b][q][ed.V], enc.x[b+1][q][ed.U].Neg()))
-				check(sv.AddClause(enc.sw[b][e].Neg(), enc.x[b][q][ed.U].Neg(), enc.x[b+1][q][ed.V]))
-				check(sv.AddClause(enc.sw[b][e].Neg(), enc.x[b][q][ed.U], enc.x[b+1][q][ed.V].Neg()))
-			}
-		}
-		for p := 0; p < nP; p++ {
-			for q := 0; q < nQ; q++ {
-				check(sv.AddClause(enc.moved[b][p], enc.x[b][q][p].Neg(), enc.x[b+1][q][p]))
-				check(sv.AddClause(enc.moved[b][p], enc.x[b][q][p], enc.x[b+1][q][p].Neg()))
-			}
+		// Finalization: fin[b] forces every gate to finish by block b.
+		finb := newLit()
+		enc.fin = append(enc.fin, finb)
+		for gi := 0; gi < nG; gi++ {
+			check(sat.AddImplies(sv, finb, enc.u[gi][b]))
 		}
 	}
-	return enc
+	enc.k = k
 }
 
 // ExportDIMACS writes the ≤k-SWAP decision formula in DIMACS CNF format,
-// for archiving or cross-checking with external SAT solvers.
+// for archiving or cross-checking with external SAT solvers. The emitted
+// formula is exactly what the incremental encoder builds at bound k, with
+// every activation assumption asserted as a unit clause, so an external
+// solver reproduces Decide(k)'s verdict.
 func (s *Solver) ExportDIMACS(w io.Writer, k int) error {
 	if k < 0 {
 		return fmt.Errorf("olsq: negative swap bound %d", k)
 	}
 	rec := sat.NewRecorder()
-	s.encodeInto(rec, k)
+	enc := s.encodeInto(rec, k)
+	for _, a := range enc.act {
+		if err := rec.AddClause(a); err != nil {
+			return err
+		}
+	}
+	if err := rec.AddClause(enc.fin[k]); err != nil {
+		return err
+	}
 	return sat.WriteDIMACS(w, &rec.Formula)
 }
 
 // extract reads the SAT model into a Result with a transpiled circuit.
+// The encoding may be built at a larger bound than the decided k (the
+// incremental path), but the assumed fin[k] forces u[g][k] true for every
+// gate, so no gate is scheduled past block k and transitions at and
+// beyond k are disabled — only blocks 0..k need reading.
 func (s *Solver) extract(enc *encoding, k int) (*Result, error) {
 	sv := enc.solver
 	nQ := s.circ.NumQubits

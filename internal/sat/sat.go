@@ -5,12 +5,19 @@
 // minimization, VSIDS-style activity ordering, phase saving, Luby
 // restarts, and LBD-based learned-clause database reduction.
 //
-// Variables are 1-based ints; literals are represented as +v / -v.
+// The public interface speaks 1-based signed literals (+v / -v);
+// internally the solver is laid out MiniSat-style for speed: literals
+// are packed as 2v / 2v+1, all clause literals live in a single flat
+// arena addressed by uint32 clause references (see arena.go), and the
+// watch table is a flat slice indexed by packed literal. The search
+// loop performs no map lookups and — once slice capacities are warm —
+// no heap allocations, which is what makes repeated assumption-based
+// solving (SolveAssuming across many swap bounds) cheap.
 package sat
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Lit is a literal: +v for variable v, -v for its negation. Variable 0 is
@@ -61,20 +68,11 @@ const (
 	lFalse
 )
 
-// clause is a disjunction of literals. Learned clauses carry an LBD score
-// and an activity used for database reduction.
-type clause struct {
-	lits    []Lit
-	learned bool
-	lbd     int
-	act     float64
-}
-
 // watcher pairs a clause reference with its blocker literal (a literal
 // that, when true, lets propagation skip visiting the clause).
 type watcher struct {
-	c       *clause
-	blocker Lit
+	c       cref
+	blocker plit
 }
 
 // Solver is a CDCL SAT solver. Create with NewSolver, add clauses with
@@ -83,20 +81,21 @@ type watcher struct {
 // added (they are absorbed trivially).
 type Solver struct {
 	nVars   int
-	clauses []*clause
-	learnts []*clause
-	watches map[Lit][]watcher
+	ca      clauseArena
+	clauses []cref
+	learnts []cref
+	watches [][]watcher // indexed by packed literal
 
 	assign  []lbool // var -> value
-	level   []int   // var -> decision level
-	reason  []*clause
-	trail   []Lit
+	level   []int32 // var -> decision level
+	reasonC []cref  // var -> implying clause, crefUndef when none
+	trail   []plit
 	trailLi []int // decision-level boundaries in trail
 	phase   []bool
 
 	activity []float64
 	varInc   float64
-	order    *varHeap
+	order    varHeap
 
 	propHead int
 	unsat    bool // formula known UNSAT without assumptions
@@ -110,26 +109,35 @@ type Solver struct {
 	// Budget caps the number of conflicts per Solve call; 0 = unlimited.
 	Budget int64
 
+	// Reusable scratch: none of these allocate once capacities are warm.
 	seen      []bool
-	analyzeTs []Lit
+	analyzeTs []plit
+	learntBuf []plit
+	addBuf    []Lit
+	packBuf   []plit
+	assumeBuf []plit
+	lbdStamp  []uint32 // level -> epoch mark for allocation-free LBD
+	lbdEpoch  uint32
 }
 
 // NewSolver returns a solver with no variables or clauses.
 func NewSolver() *Solver {
 	s := &Solver{
-		watches:    make(map[Lit][]watcher),
 		varInc:     1.0,
 		claInc:     1.0,
 		maxLearnts: 4000,
 	}
-	s.order = &varHeap{s: s}
-	// index 0 unused
+	s.order.s = s
+	// Index 0 is unused for variables; packed literals 0 and 1 likewise.
 	s.assign = append(s.assign, lUndef)
 	s.level = append(s.level, 0)
-	s.reason = append(s.reason, nil)
+	s.reasonC = append(s.reasonC, crefUndef)
 	s.phase = append(s.phase, false)
 	s.activity = append(s.activity, 0)
 	s.seen = append(s.seen, false)
+	s.lbdStamp = append(s.lbdStamp, 0)
+	s.order.pos = append(s.order.pos, -1)
+	s.watches = append(s.watches, nil, nil)
 	return s
 }
 
@@ -138,11 +146,14 @@ func (s *Solver) NewVar() int {
 	s.nVars++
 	s.assign = append(s.assign, lUndef)
 	s.level = append(s.level, 0)
-	s.reason = append(s.reason, nil)
+	s.reasonC = append(s.reasonC, crefUndef)
 	s.phase = append(s.phase, false)
 	s.activity = append(s.activity, 0)
 	s.seen = append(s.seen, false)
-	s.order.push(s.nVars)
+	s.lbdStamp = append(s.lbdStamp, 0)
+	s.order.pos = append(s.order.pos, -1)
+	s.watches = append(s.watches, nil, nil)
+	s.order.pushIfAbsent(s.nVars)
 	return s.nVars
 }
 
@@ -167,8 +178,9 @@ func (s *Solver) AddClause(lits ...Lit) error {
 	// from a previous Solve call.
 	s.backtrackTo(0)
 	// Normalize: sort, dedupe, detect tautology, drop level-0 false lits.
-	ls := append([]Lit(nil), lits...)
-	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	ls := append(s.addBuf[:0], lits...)
+	s.addBuf = ls
+	slices.Sort(ls)
 	out := ls[:0]
 	var prev Lit
 	for _, l := range ls {
@@ -203,24 +215,32 @@ func (s *Solver) AddClause(lits ...Lit) error {
 		s.unsat = true
 		return nil
 	case 1:
-		if !s.enqueue(out[0], nil) {
+		if !s.enqueue(packLit(out[0]), crefUndef) {
 			s.unsat = true
 			return nil
 		}
-		if s.propagate() != nil {
+		if s.propagate() != crefUndef {
 			s.unsat = true
 		}
 		return nil
 	}
-	c := &clause{lits: append([]Lit(nil), out...)}
+	pk := s.packBuf[:0]
+	for _, l := range out {
+		pk = append(pk, packLit(l))
+	}
+	s.packBuf = pk
+	c := s.ca.alloc(pk, false)
 	s.clauses = append(s.clauses, c)
-	s.watchClause(c)
+	s.attach(c)
 	return nil
 }
 
-func (s *Solver) watchClause(c *clause) {
-	s.watches[c.lits[0].Neg()] = append(s.watches[c.lits[0].Neg()], watcher{c, c.lits[1]})
-	s.watches[c.lits[1].Neg()] = append(s.watches[c.lits[1].Neg()], watcher{c, c.lits[0]})
+// attach registers the clause's first two literals in the watch table.
+func (s *Solver) attach(c cref) {
+	ls := s.ca.lits(c)
+	l0, l1 := plit(ls[0]), plit(ls[1])
+	s.watches[l0.neg()] = append(s.watches[l0.neg()], watcher{c, l1})
+	s.watches[l1.neg()] = append(s.watches[l1.neg()], watcher{c, l0})
 }
 
 func (s *Solver) valueLit(l Lit) lbool {
@@ -234,61 +254,77 @@ func (s *Solver) valueLit(l Lit) lbool {
 	return lFalse
 }
 
+func (s *Solver) valueP(p plit) lbool {
+	v := s.assign[p>>1]
+	if v == lUndef {
+		return lUndef
+	}
+	if (p&1 == 0) == (v == lTrue) {
+		return lTrue
+	}
+	return lFalse
+}
+
 // Value returns the model value of variable v after a Sat result.
 func (s *Solver) Value(v int) bool { return s.assign[v] == lTrue }
 
 func (s *Solver) decisionLevel() int { return len(s.trailLi) }
 
-func (s *Solver) enqueue(l Lit, from *clause) bool {
-	switch s.valueLit(l) {
+func (s *Solver) enqueue(p plit, from cref) bool {
+	switch s.valueP(p) {
 	case lTrue:
 		return true
 	case lFalse:
 		return false
 	}
-	v := l.Var()
-	if l.Sign() {
+	v := p.varIdx()
+	if p.pos() {
 		s.assign[v] = lTrue
 	} else {
 		s.assign[v] = lFalse
 	}
-	s.level[v] = s.decisionLevel()
-	s.reason[v] = from
-	s.phase[v] = l.Sign()
-	s.trail = append(s.trail, l)
+	s.level[v] = int32(s.decisionLevel())
+	s.reasonC[v] = from
+	s.phase[v] = p.pos()
+	s.trail = append(s.trail, p)
 	return true
 }
 
-// propagate runs unit propagation; returns the conflicting clause or nil.
-func (s *Solver) propagate() *clause {
+// propagate runs unit propagation; returns the conflicting clause or
+// crefUndef. The inner loop touches only flat slices: no maps, no
+// per-clause pointers, no allocations beyond amortized watch-list growth.
+func (s *Solver) propagate() cref {
 	for s.propHead < len(s.trail) {
 		p := s.trail[s.propHead]
 		s.propHead++
 		s.propagations++
+		np := p.neg() // the literal that just became false
 		ws := s.watches[p]
 		kept := ws[:0]
 		for i := 0; i < len(ws); i++ {
 			w := ws[i]
-			if s.valueLit(w.blocker) == lTrue {
+			if s.valueP(w.blocker) == lTrue {
 				kept = append(kept, w)
 				continue
 			}
 			c := w.c
-			// Ensure c.lits[0] is the other watched literal.
-			if c.lits[0] == p.Neg() {
-				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			ls := s.ca.lits(c)
+			// Ensure ls[0] is the other watched literal.
+			if plit(ls[0]) == np {
+				ls[0], ls[1] = ls[1], ls[0]
 			}
-			first := c.lits[0]
-			if first != w.blocker && s.valueLit(first) == lTrue {
+			first := plit(ls[0])
+			if first != w.blocker && s.valueP(first) == lTrue {
 				kept = append(kept, watcher{c, first})
 				continue
 			}
 			// Find a new literal to watch.
 			found := false
-			for k := 2; k < len(c.lits); k++ {
-				if s.valueLit(c.lits[k]) != lFalse {
-					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
-					s.watches[c.lits[1].Neg()] = append(s.watches[c.lits[1].Neg()], watcher{c, first})
+			for k := 2; k < len(ls); k++ {
+				if s.valueP(plit(ls[k])) != lFalse {
+					ls[1], ls[k] = ls[k], ls[1]
+					nw := plit(ls[1]).neg()
+					s.watches[nw] = append(s.watches[nw], watcher{c, first})
 					found = true
 					break
 				}
@@ -298,7 +334,7 @@ func (s *Solver) propagate() *clause {
 			}
 			// Clause is unit or conflicting.
 			kept = append(kept, watcher{c, first})
-			if s.valueLit(first) == lFalse {
+			if s.valueP(first) == lFalse {
 				// Conflict: restore remaining watchers and bail.
 				kept = append(kept, ws[i+1:]...)
 				s.watches[p] = kept
@@ -311,15 +347,16 @@ func (s *Solver) propagate() *clause {
 		}
 		s.watches[p] = kept
 	}
-	return nil
+	return crefUndef
 }
 
 // analyze performs first-UIP conflict analysis, returning the learned
-// clause (with the asserting literal first) and the backtrack level.
-func (s *Solver) analyze(confl *clause) ([]Lit, int) {
-	learnt := []Lit{0} // placeholder for asserting literal
+// clause (with the asserting literal first) and the backtrack level. The
+// returned slice aliases an internal buffer valid until the next call.
+func (s *Solver) analyze(confl cref) ([]plit, int) {
+	learnt := append(s.learntBuf[:0], 0) // placeholder for asserting literal
 	counter := 0
-	var p Lit
+	var p plit
 	idx := len(s.trail) - 1
 	s.analyzeTs = s.analyzeTs[:0]
 
@@ -329,38 +366,40 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 		if p != 0 {
 			start = 1
 		}
-		if c.learned {
+		if s.ca.learned(c) {
 			s.bumpClause(c)
 		}
-		for _, q := range c.lits[start:] {
-			v := q.Var()
+		ls := s.ca.lits(c)
+		for _, qw := range ls[start:] {
+			q := plit(qw)
+			v := q.varIdx()
 			if s.seen[v] || s.level[v] == 0 {
 				continue
 			}
 			s.seen[v] = true
 			s.analyzeTs = append(s.analyzeTs, q)
 			s.bumpVar(v)
-			if s.level[v] == s.decisionLevel() {
+			if int(s.level[v]) == s.decisionLevel() {
 				counter++
 			} else {
 				learnt = append(learnt, q)
 			}
 		}
 		// Find the next literal on the trail that is marked seen.
-		for !s.seen[s.trail[idx].Var()] {
+		for !s.seen[s.trail[idx].varIdx()] {
 			idx--
 		}
 		p = s.trail[idx]
 		idx--
-		v := p.Var()
+		v := p.varIdx()
 		s.seen[v] = false
 		counter--
 		if counter == 0 {
 			break
 		}
-		c = s.reason[v]
+		c = s.reasonC[v]
 	}
-	learnt[0] = p.Neg()
+	learnt[0] = p.neg()
 
 	// Clause minimization: drop literals implied by the rest.
 	minimized := learnt[:1]
@@ -370,22 +409,23 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 		}
 	}
 	learnt = minimized
+	s.learntBuf = learnt
 
 	// Compute backtrack level = second-highest level in the clause.
 	btLevel := 0
 	if len(learnt) > 1 {
 		maxI := 1
 		for i := 2; i < len(learnt); i++ {
-			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+			if s.level[learnt[i].varIdx()] > s.level[learnt[maxI].varIdx()] {
 				maxI = i
 			}
 		}
 		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
-		btLevel = s.level[learnt[1].Var()]
+		btLevel = int(s.level[learnt[1].varIdx()])
 	}
 	// Clear seen flags.
 	for _, q := range s.analyzeTs {
-		s.seen[q.Var()] = false
+		s.seen[q.varIdx()] = false
 	}
 	return learnt, btLevel
 }
@@ -393,14 +433,14 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 // redundant reports whether literal q in a learned clause is implied by
 // the others (simple non-recursive check: q's reason exists and all its
 // literals are already seen or at level 0).
-func (s *Solver) redundant(q Lit) bool {
-	v := q.Var()
-	r := s.reason[v]
-	if r == nil {
+func (s *Solver) redundant(q plit) bool {
+	v := q.varIdx()
+	r := s.reasonC[v]
+	if r == crefUndef {
 		return false
 	}
-	for _, l := range r.lits {
-		lv := l.Var()
+	for _, lw := range s.ca.lits(r) {
+		lv := plit(lw).varIdx()
 		if lv == v {
 			continue
 		}
@@ -417,9 +457,9 @@ func (s *Solver) backtrackTo(level int) {
 	}
 	bound := s.trailLi[level]
 	for i := len(s.trail) - 1; i >= bound; i-- {
-		v := s.trail[i].Var()
+		v := s.trail[i].varIdx()
 		s.assign[v] = lUndef
-		s.reason[v] = nil
+		s.reasonC[v] = crefUndef
 		s.order.pushIfAbsent(v)
 	}
 	s.trail = s.trail[:bound]
@@ -440,64 +480,132 @@ func (s *Solver) bumpVar(v int) {
 
 func (s *Solver) decayVar() { s.varInc /= 0.95 }
 
-func (s *Solver) bumpClause(c *clause) {
-	c.act += s.claInc
-	if c.act > 1e20 {
+func (s *Solver) bumpClause(c cref) {
+	na := s.ca.act(c) + float32(s.claInc)
+	s.ca.setAct(c, na)
+	if na > 1e20 {
 		for _, l := range s.learnts {
-			l.act *= 1e-20
+			s.ca.setAct(l, s.ca.act(l)*1e-20)
 		}
 		s.claInc *= 1e-20
 	}
 }
 
-func (s *Solver) computeLBD(lits []Lit) int {
-	levels := map[int]bool{}
+// computeLBD counts distinct decision levels via an epoch-stamped level
+// mark (no map, no allocation).
+func (s *Solver) computeLBD(lits []plit) int {
+	s.lbdEpoch++
+	n := 0
 	for _, l := range lits {
-		levels[s.level[l.Var()]] = true
+		lv := s.level[l.varIdx()]
+		if s.lbdStamp[lv] != s.lbdEpoch {
+			s.lbdStamp[lv] = s.lbdEpoch
+			n++
+		}
 	}
-	return len(levels)
+	return n
 }
 
 // reduceDB removes roughly half of the learned clauses, keeping low-LBD
 // (glue) and recently active ones. Clauses currently acting as reasons are
-// locked.
+// locked via a header bit.
 func (s *Solver) reduceDB() {
-	locked := map[*clause]bool{}
-	for _, l := range s.trail {
-		if r := s.reason[l.Var()]; r != nil {
-			locked[r] = true
+	for _, p := range s.trail {
+		if r := s.reasonC[p.varIdx()]; r != crefUndef {
+			s.ca.data[r] |= hdrLocked
 		}
 	}
-	sort.Slice(s.learnts, func(i, j int) bool {
-		a, b := s.learnts[i], s.learnts[j]
-		if (a.lbd <= 2) != (b.lbd <= 2) {
-			return a.lbd <= 2
+	slices.SortFunc(s.learnts, func(a, b cref) int {
+		ga, gb := s.ca.lbd(a) <= 2, s.ca.lbd(b) <= 2
+		if ga != gb {
+			if ga {
+				return -1
+			}
+			return 1
 		}
-		return a.act > b.act
+		switch aa, ba := s.ca.act(a), s.ca.act(b); {
+		case aa > ba:
+			return -1
+		case aa < ba:
+			return 1
+		}
+		return 0
 	})
 	keep := s.learnts[:0]
 	limit := len(s.learnts) / 2
 	for i, c := range s.learnts {
-		if i < limit || locked[c] || c.lbd <= 2 {
+		if i < limit || s.ca.data[c]&hdrLocked != 0 || s.ca.lbd(c) <= 2 {
 			keep = append(keep, c)
 		} else {
-			s.detachClause(c)
+			s.detach(c)
+			s.ca.free(c)
 		}
 	}
 	s.learnts = keep
+	for _, p := range s.trail {
+		if r := s.reasonC[p.varIdx()]; r != crefUndef {
+			s.ca.data[r] &^= hdrLocked
+		}
+	}
+	// Compact the arena once deleted clauses waste a third of it.
+	if 3*s.ca.wasted > len(s.ca.data) {
+		s.garbageCollect()
+	}
 }
 
-func (s *Solver) detachClause(c *clause) {
-	for _, wl := range []Lit{c.lits[0].Neg(), c.lits[1].Neg()} {
-		ws := s.watches[wl]
-		out := ws[:0]
-		for _, w := range ws {
-			if w.c != c {
-				out = append(out, w)
-			}
+func (s *Solver) detach(c cref) {
+	ls := s.ca.lits(c)
+	s.removeWatch(plit(ls[0]).neg(), c)
+	s.removeWatch(plit(ls[1]).neg(), c)
+}
+
+func (s *Solver) removeWatch(w plit, c cref) {
+	ws := s.watches[w]
+	out := ws[:0]
+	for _, x := range ws {
+		if x.c != c {
+			out = append(out, x)
 		}
-		s.watches[wl] = out
 	}
+	s.watches[w] = out
+}
+
+// garbageCollect compacts the clause arena, dropping deleted clauses and
+// rewriting every live reference (problem/learned lists, reasons,
+// watchers). Triggered deterministically from reduceDB, so solver runs
+// stay reproducible.
+func (s *Solver) garbageCollect() {
+	to := clauseArena{data: make([]uint32, 0, len(s.ca.data)-s.ca.wasted)}
+	move := func(c cref) cref {
+		if s.ca.data[c]&hdrMoved != 0 {
+			return cref(s.ca.data[c+1])
+		}
+		w := s.ca.words(c)
+		nc := cref(len(to.data))
+		to.data = append(to.data, s.ca.data[c:int(c)+w]...)
+		to.data[nc] &^= hdrMoved | hdrLocked
+		s.ca.data[c] |= hdrMoved
+		s.ca.data[c+1] = uint32(nc)
+		return nc
+	}
+	for i, c := range s.clauses {
+		s.clauses[i] = move(c)
+	}
+	for i, c := range s.learnts {
+		s.learnts[i] = move(c)
+	}
+	for _, p := range s.trail {
+		if v := p.varIdx(); s.reasonC[v] != crefUndef {
+			s.reasonC[v] = move(s.reasonC[v])
+		}
+	}
+	for i := range s.watches {
+		ws := s.watches[i]
+		for j := range ws {
+			ws[j].c = move(ws[j].c)
+		}
+	}
+	s.ca = to
 }
 
 // luby returns the Luby restart sequence value for index i (1-based).
@@ -525,18 +633,23 @@ func (s *Solver) Solve() Status { return s.SolveAssuming(nil) }
 // SolveAssuming decides the formula under the given assumption literals.
 // The assumptions behave like temporary unit clauses: Unsat means the
 // formula plus assumptions is unsatisfiable (the base formula may still be
-// satisfiable under other assumptions).
+// satisfiable under other assumptions). Repeated calls reuse the solver's
+// learned clauses and activity state, which is what makes the OLSQ
+// bound sweep incremental.
 func (s *Solver) SolveAssuming(assumptions []Lit) Status {
 	if s.unsat {
 		return Unsat
 	}
+	asm := s.assumeBuf[:0]
 	for _, a := range assumptions {
 		if v := a.Var(); v < 1 || v > s.nVars {
 			panic(fmt.Sprintf("sat: assumption %d references unallocated variable", a))
 		}
+		asm = append(asm, packLit(a))
 	}
+	s.assumeBuf = asm
 	s.backtrackTo(0)
-	if s.propagate() != nil {
+	if s.propagate() != crefUndef {
 		s.unsat = true
 		return Unsat
 	}
@@ -547,7 +660,7 @@ func (s *Solver) SolveAssuming(assumptions []Lit) Status {
 
 	for {
 		confl := s.propagate()
-		if confl != nil {
+		if confl != crefUndef {
 			s.conflicts++
 			if s.decisionLevel() == 0 {
 				s.unsat = true
@@ -559,14 +672,15 @@ func (s *Solver) SolveAssuming(assumptions []Lit) Status {
 			learnt, btLevel := s.analyze(confl)
 			s.backtrackTo(btLevel)
 			if len(learnt) == 1 {
-				if !s.enqueue(learnt[0], nil) {
+				if !s.enqueue(learnt[0], crefUndef) {
 					s.unsat = true
 					return Unsat
 				}
 			} else {
-				c := &clause{lits: learnt, learned: true, lbd: s.computeLBD(learnt)}
+				c := s.ca.alloc(learnt, true)
+				s.ca.setLBD(c, s.computeLBD(learnt))
 				s.learnts = append(s.learnts, c)
-				s.watchClause(c)
+				s.attach(c)
 				s.bumpClause(c)
 				if !s.enqueue(learnt[0], c) {
 					panic("sat: asserting literal not enqueueable") // unreachable
@@ -593,15 +707,15 @@ func (s *Solver) SolveAssuming(assumptions []Lit) Status {
 		// Re-establish assumptions that are not yet on the trail.
 		allAssumed := true
 		failed := false
-		for _, a := range assumptions {
-			switch s.valueLit(a) {
+		for _, a := range asm {
+			switch s.valueP(a) {
 			case lTrue:
 				continue
 			case lFalse:
 				failed = true
 			default:
 				s.trailLi = append(s.trailLi, len(s.trail))
-				if !s.enqueue(a, nil) {
+				if !s.enqueue(a, crefUndef) {
 					failed = true
 				}
 				allAssumed = false
@@ -623,11 +737,11 @@ func (s *Solver) SolveAssuming(assumptions []Lit) Status {
 		}
 		s.decisions++
 		s.trailLi = append(s.trailLi, len(s.trail))
-		l := Lit(v)
+		p := plit(v << 1)
 		if !s.phase[v] {
-			l = -l
+			p |= 1
 		}
-		if !s.enqueue(l, nil) {
+		if !s.enqueue(p, crefUndef) {
 			panic("sat: decision enqueue failed") // unreachable
 		}
 	}
@@ -645,28 +759,29 @@ func (s *Solver) pickBranchVar() int {
 	}
 }
 
-// varHeap is a max-heap of variables ordered by activity.
+// varHeap is a max-heap of variables ordered by activity. pos holds each
+// variable's heap index (-1 when absent), so membership checks — needed
+// every time backtracking re-inserts variables — are O(1) array reads
+// and the heap can never accumulate duplicates.
 type varHeap struct {
-	s     *Solver
-	heap  []int
-	index map[int]int
+	s    *Solver
+	heap []int32
+	pos  []int32 // var -> heap index, -1 when absent
 }
 
-func (h *varHeap) less(a, b int) bool { return h.s.activity[a] > h.s.activity[b] }
+func (h *varHeap) less(a, b int32) bool { return h.s.activity[a] > h.s.activity[b] }
 
-func (h *varHeap) push(v int) {
-	if h.index == nil {
-		h.index = make(map[int]int)
-	}
-	if _, ok := h.index[v]; ok {
+func (h *varHeap) inHeap(v int) bool { return h.pos[v] >= 0 }
+
+// pushIfAbsent inserts v unless it is already queued.
+func (h *varHeap) pushIfAbsent(v int) {
+	if h.pos[v] >= 0 {
 		return
 	}
-	h.heap = append(h.heap, v)
-	h.index[v] = len(h.heap) - 1
+	h.heap = append(h.heap, int32(v))
+	h.pos[v] = int32(len(h.heap) - 1)
 	h.up(len(h.heap) - 1)
 }
-
-func (h *varHeap) pushIfAbsent(v int) { h.push(v) }
 
 func (h *varHeap) pop() int {
 	if len(h.heap) == 0 {
@@ -675,19 +790,19 @@ func (h *varHeap) pop() int {
 	top := h.heap[0]
 	last := len(h.heap) - 1
 	h.heap[0] = h.heap[last]
-	h.index[h.heap[0]] = 0
+	h.pos[h.heap[0]] = 0
 	h.heap = h.heap[:last]
-	delete(h.index, top)
+	h.pos[top] = -1
 	if len(h.heap) > 0 {
 		h.down(0)
 	}
-	return top
+	return int(top)
 }
 
 func (h *varHeap) update(v int) {
-	if i, ok := h.index[v]; ok {
-		h.up(i)
-		h.down(h.index[v])
+	if i := h.pos[v]; i >= 0 {
+		h.up(int(i))
+		h.down(int(h.pos[v]))
 	}
 }
 
@@ -723,6 +838,6 @@ func (h *varHeap) down(i int) {
 
 func (h *varHeap) swap(i, j int) {
 	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
-	h.index[h.heap[i]] = i
-	h.index[h.heap[j]] = j
+	h.pos[h.heap[i]] = int32(i)
+	h.pos[h.heap[j]] = int32(j)
 }

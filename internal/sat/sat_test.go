@@ -263,7 +263,7 @@ func brute(n int, cnf [][]Lit) bool {
 func TestRandomCNFAgainstBruteForce(t *testing.T) {
 	rng := rand.New(rand.NewSource(123))
 	for iter := 0; iter < 300; iter++ {
-		n := 3 + rng.Intn(8) // 3..10 vars
+		n := 3 + rng.Intn(10) // 3..12 vars
 		m := 3 + rng.Intn(40)
 		var cnf [][]Lit
 		s := NewSolver()
@@ -351,6 +351,133 @@ func TestAssumptionsMatchUnits(t *testing.T) {
 		want := s2.Solve()
 		if got != want {
 			t.Fatalf("iter %d: assuming=%v units=%v (asm=%v)", iter, got, want, asm)
+		}
+	}
+}
+
+// Property test: on one persistent solver, SolveAssuming verdicts are a
+// pure function of the assumption set — independent of the order in which
+// the sets are queried and of whatever was learned by earlier queries.
+func TestSolveAssumingOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	randLit := func(n int) Lit {
+		l := Lit(1 + rng.Intn(n))
+		if rng.Intn(2) == 0 {
+			l = -l
+		}
+		return l
+	}
+	for iter := 0; iter < 40; iter++ {
+		n := 5 + rng.Intn(6)
+		m := 8 + rng.Intn(25)
+		var cnf [][]Lit
+		for c := 0; c < m; c++ {
+			k := 1 + rng.Intn(3)
+			cl := make([]Lit, 0, k)
+			for i := 0; i < k; i++ {
+				cl = append(cl, randLit(n))
+			}
+			cnf = append(cnf, cl)
+		}
+		mk := func() *Solver {
+			s := NewSolver()
+			newVars(s, n)
+			for _, cl := range cnf {
+				_ = s.AddClause(cl...)
+			}
+			return s
+		}
+		// Several assumption sets over the same formula.
+		sets := make([][]Lit, 4)
+		for i := range sets {
+			for j := 0; j < 1+rng.Intn(2); j++ {
+				sets[i] = append(sets[i], randLit(n))
+			}
+		}
+		// Reference verdict per set: a fresh solver each.
+		want := make([]Status, len(sets))
+		for i, asm := range sets {
+			want[i] = mk().SolveAssuming(asm)
+		}
+		// One persistent solver queried in several different orders.
+		orders := [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}, {2, 0, 3, 1}, {1, 3, 0, 2}}
+		for _, ord := range orders {
+			s := mk()
+			for _, i := range ord {
+				if got := s.SolveAssuming(sets[i]); got != want[i] {
+					t.Fatalf("iter %d order %v: set %d got %v want %v (asm=%v)",
+						iter, ord, i, got, want[i], sets[i])
+				}
+			}
+			// Re-query every set on the now clause-rich solver.
+			for i, asm := range sets {
+				if got := s.SolveAssuming(asm); got != want[i] {
+					t.Fatalf("iter %d re-query: set %d got %v want %v", iter, i, got, want[i])
+				}
+			}
+		}
+	}
+}
+
+// Regression: the VSIDS order heap must never accumulate duplicate
+// entries when backtracking re-inserts variables; the position index
+// makes pushIfAbsent a real membership check.
+func TestVarHeapNoDuplicates(t *testing.T) {
+	s := NewSolver()
+	newVars(s, 20)
+	h := &s.order
+	// All 20 variables are queued by NewVar. Re-pushing queued variables
+	// must be a no-op.
+	for v := 1; v <= 20; v++ {
+		h.pushIfAbsent(v)
+		h.pushIfAbsent(v)
+	}
+	if len(h.heap) != 20 {
+		t.Fatalf("heap size %d after duplicate pushes, want 20", len(h.heap))
+	}
+	// Pop half, re-push everything (as backtracking does), and check each
+	// variable appears exactly once.
+	for i := 0; i < 10; i++ {
+		v := h.pop()
+		if h.inHeap(v) {
+			t.Fatalf("popped var %d still reported in heap", v)
+		}
+	}
+	for v := 1; v <= 20; v++ {
+		h.pushIfAbsent(v)
+		h.pushIfAbsent(v)
+	}
+	if len(h.heap) != 20 {
+		t.Fatalf("heap size %d after re-insertion, want 20", len(h.heap))
+	}
+	count := map[int]int{}
+	for {
+		v := h.pop()
+		if v == 0 {
+			break
+		}
+		count[v]++
+	}
+	for v := 1; v <= 20; v++ {
+		if count[v] != 1 {
+			t.Fatalf("variable %d appeared %d times in heap, want 1", v, count[v])
+		}
+	}
+	// End-to-end: a solve with heavy backtracking keeps the invariant.
+	s2 := pigeonhole(5)
+	if s2.Solve() != Unsat {
+		t.Fatal("PHP(5) should be UNSAT")
+	}
+	seen := map[int]bool{}
+	for _, v := range s2.order.heap {
+		if seen[int(v)] {
+			t.Fatalf("duplicate variable %d in order heap after solve", v)
+		}
+		seen[int(v)] = true
+	}
+	for v := 1; v <= s2.nVars; v++ {
+		if p := s2.order.pos[v]; p >= 0 && s2.order.heap[p] != int32(v) {
+			t.Fatalf("position index out of sync for var %d", v)
 		}
 	}
 }
