@@ -1,13 +1,24 @@
-// Command qubikos-eval reproduces the paper's Figure 4: it generates
+// Command qubikos-eval reproduces the paper's Figure 4: it obtains
 // QUBIKOS suites on the chosen architectures, runs the four QLS tools
 // (LightSABRE, ML-QLS, QMAP-style, t|ket⟩-style), and prints per-cell
 // optimality-gap tables plus the abstract-style per-tool averages.
+//
+// With -cache-dir the suites come from the content-addressed store:
+// generated on the first run, reused bit-identically afterwards — a
+// second evaluation of the same configuration generates nothing. Each
+// evaluation streams per-instance rows into a JSONL log inside the suite
+// directory (keyed by tool set, trials and seed), so an interrupted run
+// resumes where it stopped; -jsonl additionally copies the rows to a
+// file of your choosing. With -suite the command evaluates one stored
+// suite by content hash instead of the Figure-4 configurations.
 //
 // Usage:
 //
 //	qubikos-eval                                  # CI-scale run, all devices
 //	qubikos-eval -circuits 10 -trials 64          # closer to paper scale
 //	qubikos-eval -arch rochester53 -csv out.csv   # one subplot, CSV export
+//	qubikos-eval -cache-dir cache                 # store-backed, resumable
+//	qubikos-eval -cache-dir cache -suite <hash>   # one stored suite
 package main
 
 import (
@@ -19,6 +30,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/harness"
+	"repro/internal/suite"
 )
 
 func main() {
@@ -28,6 +40,10 @@ func main() {
 	swapList := flag.String("swaps", "5,10,15,20", "comma-separated optimal swap counts")
 	seed := flag.Int64("seed", 1, "base random seed")
 	csvPath := flag.String("csv", "", "also write the cells as CSV to this file")
+	cacheDir := flag.String("cache-dir", "", "suite store root; empty regenerates suites inline (legacy)")
+	suiteHash := flag.String("suite", "", "evaluate one stored suite by content hash (requires -cache-dir)")
+	jsonlPath := flag.String("jsonl", "", "also stream per-instance result rows to this JSONL file (store mode)")
+	workers := flag.Int("workers", 1, "parallel evaluation workers (store mode)")
 	flag.Parse()
 
 	counts, err := parseCounts(*swapList)
@@ -35,39 +51,77 @@ func main() {
 		fatal(err)
 	}
 
-	suites := harness.PaperSuites(*circuits, *seed)
-	if *archName != "all" {
-		dev, err := arch.ByName(*archName)
-		if err != nil {
-			fatal(err)
-		}
-		kept := suites[:0]
-		for _, s := range suites {
-			if s.Device.Name() == dev.Name() {
-				kept = append(kept, s)
-			}
-		}
-		if len(kept) == 0 {
-			fatal(fmt.Errorf("device %q is not part of the Figure 4 suites", *archName))
-		}
-		suites = kept
-	}
-	for i := range suites {
-		suites[i].SwapCounts = counts
+	if *suiteHash != "" && *cacheDir == "" {
+		fatal(fmt.Errorf("-suite requires -cache-dir"))
 	}
 
+	var store *suite.Store
+	if *cacheDir != "" {
+		// Verify mirrors the inline path: PaperSuites runs the structural
+		// verifier on every generated benchmark, so store-backed
+		// generation does too (cache hits cost nothing either way).
+		if store, err = suite.Open(*cacheDir, suite.StoreOptions{Verify: true}); err != nil {
+			fatal(err)
+		}
+	}
 	tools := harness.DefaultTools(*trials)
+
 	var figs []*harness.Figure
-	for _, cfg := range suites {
-		t0 := time.Now()
-		fig, err := harness.RunFigure(cfg, tools)
+	if *suiteHash != "" {
+		st, err := store.Lookup(*suiteHash)
 		if err != nil {
 			fatal(err)
 		}
+		fig := evalStored(store, st, tools, *trials, *seed, *workers, *jsonlPath)
 		figs = append(figs, fig)
 		harness.RenderFigure(os.Stdout, fig)
-		fmt.Printf("(%s in %v)\n\n", cfg.Device.Name(), time.Since(t0).Round(time.Millisecond))
+	} else {
+		suites := harness.PaperSuites(*circuits, *seed)
+		if *archName != "all" {
+			dev, err := arch.ByName(*archName)
+			if err != nil {
+				fatal(err)
+			}
+			kept := suites[:0]
+			for _, s := range suites {
+				if s.Device.Name() == dev.Name() {
+					kept = append(kept, s)
+				}
+			}
+			if len(kept) == 0 {
+				fatal(fmt.Errorf("device %q is not part of the Figure 4 suites", *archName))
+			}
+			suites = kept
+		}
+		for i := range suites {
+			suites[i].SwapCounts = counts
+		}
+
+		for _, cfg := range suites {
+			t0 := time.Now()
+			var fig *harness.Figure
+			if store != nil {
+				st, err := store.Ensure(cfg.Manifest())
+				if err != nil {
+					fatal(err)
+				}
+				status := "generated"
+				if st.Cached {
+					status = "cache hit"
+				}
+				fmt.Printf("suite %s (%s)\n", st.Hash, status)
+				fig = evalStored(store, st, tools, *trials, *seed, *workers, *jsonlPath)
+			} else {
+				if fig, err = harness.RunFigure(cfg, tools); err != nil {
+					fatal(err)
+				}
+			}
+			figs = append(figs, fig)
+			harness.RenderFigure(os.Stdout, fig)
+			fmt.Printf("(%s in %v)\n\n", cfg.Device.Name(), time.Since(t0).Round(time.Millisecond))
+		}
 	}
+
 	harness.RenderAbstract(os.Stdout, harness.AbstractGaps(figs))
 	fmt.Println("\nBest-tool gap per device:")
 	for _, d := range harness.DeviceGaps(figs) {
@@ -95,6 +149,39 @@ func main() {
 		}
 		fmt.Println("wrote", *csvPath)
 	}
+}
+
+// evalStored runs the resumable store-backed evaluation of one suite,
+// optionally mirroring new rows to an external JSONL file.
+func evalStored(store *suite.Store, st *suite.Suite, tools []harness.ToolSpec, trials int, seed int64, workers int, jsonlPath string) *harness.Figure {
+	var keyParts []string
+	for _, t := range tools {
+		keyParts = append(keyParts, t.Name)
+	}
+	keyParts = append(keyParts, fmt.Sprintf("trials=%d", trials), fmt.Sprintf("seed=%d", seed))
+	opts := harness.StoredEvalOptions{
+		Seed:    seed,
+		Workers: workers,
+		Key:     harness.EvalKey(keyParts...),
+	}
+	var mirror *suite.EvalLog
+	if jsonlPath != "" {
+		var err error
+		if mirror, err = suite.OpenEvalLog(jsonlPath); err != nil {
+			fatal(err)
+		}
+		defer mirror.Close()
+		opts.OnRow = func(r suite.Row) {
+			if err := mirror.Append(r); err != nil {
+				fatal(fmt.Errorf("writing %s: %w", jsonlPath, err))
+			}
+		}
+	}
+	fig, err := harness.RunStoredEval(store, st, tools, opts)
+	if err != nil {
+		fatal(err)
+	}
+	return fig
 }
 
 func parseCounts(s string) ([]int, error) {

@@ -1,34 +1,66 @@
 // Command qubikos-gen generates QUBIKOS benchmark circuits with provably
-// optimal SWAP counts and writes them as OpenQASM 2.0 plus a JSON
-// metadata sidecar (optimal count, initial mapping, swap schedule).
+// optimal SWAP counts. It has two modes:
+//
+// Loose-file mode (default) writes each instance as OpenQASM 2.0 plus a
+// JSON metadata sidecar (optimal count, initial mapping, swap schedule)
+// into -out, exactly as earlier releases did.
+//
+// Suite mode (-suite) writes a whole suite — the -swaps grid times
+// -count instances — into the content-addressed store at -cache-dir and
+// prints the suite's content hash. Re-running with the same parameters
+// finds the stored suite and generates nothing; qubikos-eval,
+// qubikos-verify and qubikos-serve consume the same store.
 //
 // Usage:
 //
 //	qubikos-gen -arch aspen4 -swaps 5 -gates 300 -count 10 -seed 1 -out bench/
 //	qubikos-gen -arch grid3x3 -swaps 2 -max-gates 30 -prefer-high-degree -verify
+//	qubikos-gen -suite -cache-dir cache -arch aspen4 -swaps 5,10,15,20 -gates 300 -count 10 -seed 1
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/arch"
 	"repro/internal/qubikos"
+	"repro/internal/suite"
 )
 
 func main() {
 	archName := flag.String("arch", "aspen4", "device: aspen4, sycamore54, rochester53, eagle127, grid3x3")
-	swaps := flag.Int("swaps", 5, "provably optimal SWAP count")
+	swaps := flag.String("swaps", "5", "provably optimal SWAP count, or a comma-separated grid")
 	gates := flag.Int("gates", 300, "target two-qubit gate total (padding)")
 	maxGates := flag.Int("max-gates", 0, "hard cap on two-qubit gates (0 = none)")
 	oneQ := flag.Int("oneq", 0, "single-qubit gates to sprinkle in")
-	count := flag.Int("count", 1, "number of circuits")
+	count := flag.Int("count", 1, "number of circuits per swap count")
 	seed := flag.Int64("seed", 1, "base random seed")
-	out := flag.String("out", ".", "output directory")
+	out := flag.String("out", ".", "output directory (loose-file mode)")
 	preferHigh := flag.Bool("prefer-high-degree", false, "bias sections toward max-degree qubits (smaller backbones)")
 	verify := flag.Bool("verify", true, "run the structural verifier on each instance")
+	suiteMode := flag.Bool("suite", false, "write a content-addressed suite into -cache-dir instead of loose files")
+	cacheDir := flag.String("cache-dir", "qubikos-cache", "suite store root (suite mode)")
+	workers := flag.Int("workers", 0, "parallel generation workers in suite mode (0 = all CPUs)")
 	flag.Parse()
+
+	counts, err := parseCounts(*swaps)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *suiteMode {
+		runSuiteMode(*cacheDir, *archName, counts, *count, qubikos.Options{
+			TargetTwoQubitGates: *gates,
+			MaxTwoQubitGates:    *maxGates,
+			SingleQubitGates:    *oneQ,
+			PreferHighDegree:    *preferHigh,
+			Seed:                *seed,
+		}, *workers, *verify)
+		return
+	}
 
 	dev, err := arch.ByName(*archName)
 	if err != nil {
@@ -38,30 +70,64 @@ func main() {
 		fatal(err)
 	}
 
-	for i := 0; i < *count; i++ {
-		b, err := qubikos.Generate(dev, qubikos.Options{
-			NumSwaps:            *swaps,
-			TargetTwoQubitGates: *gates,
-			MaxTwoQubitGates:    *maxGates,
-			SingleQubitGates:    *oneQ,
-			PreferHighDegree:    *preferHigh,
-			Seed:                *seed + int64(i),
-		})
-		if err != nil {
-			fatal(err)
-		}
-		if *verify {
-			if err := qubikos.Verify(b); err != nil {
-				fatal(fmt.Errorf("instance %d failed verification: %w", i, err))
+	for _, n := range counts {
+		for i := 0; i < *count; i++ {
+			b, err := qubikos.Generate(dev, qubikos.Options{
+				NumSwaps:            n,
+				TargetTwoQubitGates: *gates,
+				MaxTwoQubitGates:    *maxGates,
+				SingleQubitGates:    *oneQ,
+				PreferHighDegree:    *preferHigh,
+				Seed:                *seed + int64(i),
+			})
+			if err != nil {
+				fatal(err)
 			}
+			if *verify {
+				if err := qubikos.Verify(b); err != nil {
+					fatal(fmt.Errorf("instance %d failed verification: %w", i, err))
+				}
+			}
+			base := fmt.Sprintf("qubikos_%s_s%d_g%d_i%03d", dev.Name(), n, b.Circuit.TwoQubitGateCount(), i)
+			if _, err := qubikos.WriteInstance(*out, base, b); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s: %d qubits, %d gates (%d two-qubit), optimal swaps %d\n",
+				base, b.Circuit.NumQubits, b.Circuit.NumGates(), b.Circuit.TwoQubitGateCount(), b.OptSwaps)
 		}
-		base := fmt.Sprintf("qubikos_%s_s%d_g%d_i%03d", dev.Name(), *swaps, b.Circuit.TwoQubitGateCount(), i)
-		if _, err := qubikos.WriteInstance(*out, base, b); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("wrote %s: %d qubits, %d gates (%d two-qubit), optimal swaps %d\n",
-			base, b.Circuit.NumQubits, b.Circuit.NumGates(), b.Circuit.TwoQubitGateCount(), b.OptSwaps)
 	}
+}
+
+func runSuiteMode(cacheDir, archName string, counts []int, perCount int, opts qubikos.Options, workers int, verify bool) {
+	store, err := suite.Open(cacheDir, suite.StoreOptions{Workers: workers, Verify: verify})
+	if err != nil {
+		fatal(err)
+	}
+	m := suite.NewManifest(archName, counts, perCount, opts)
+	st, err := store.Ensure(m)
+	if err != nil {
+		fatal(err)
+	}
+	status := "generated"
+	if st.Cached {
+		status = "cache hit"
+	}
+	fmt.Printf("suite %s (%s)\n", st.Hash, status)
+	fmt.Printf("  device=%s swap-grid=%v circuits-per-count=%d instances=%d\n",
+		m.Device, m.SwapCounts, m.CircuitsPerCount, len(st.Instances))
+	fmt.Printf("  dir: %s\n", st.Dir)
+}
+
+func parseCounts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad swap count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func fatal(err error) {

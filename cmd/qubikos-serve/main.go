@@ -1,0 +1,56 @@
+// Command qubikos-serve exposes the content-addressed benchmark-suite
+// store over HTTP: clients POST a suite manifest and receive the suite —
+// generated on the first request, served bit-identically from cache on
+// every later one — then fetch instance files or stream an evaluation as
+// JSONL. An in-memory LRU keeps hot suites resident.
+//
+// Usage:
+//
+//	qubikos-serve -cache-dir /var/lib/qubikos -addr :8080
+//	curl -s localhost:8080/healthz
+//	curl -s -XPOST localhost:8080/v1/suites -d '{"device":"aspen4","swap_counts":[2],"circuits_per_count":1,"target_two_qubit_gates":40,"seed":1}'
+//	curl -s -XPOST "localhost:8080/v1/suites/<hash>/eval?tools=lightsabre&trials=4"
+//
+// See docs/cli.md for the full endpoint reference.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/suite"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheDir := flag.String("cache-dir", "qubikos-cache", "suite store root directory")
+	lruSuites := flag.Int("lru-suites", 8, "suites kept resident in memory")
+	genWorkers := flag.Int("gen-workers", 0, "parallel generation workers per suite (0 = all CPUs)")
+	evalWorkers := flag.Int("eval-workers", 1, "parallel evaluation workers per request")
+	maxInstances := flag.Int("max-instances", 4096, "largest suite a single request may ask for")
+	verify := flag.Bool("verify", false, "run the structural verifier on every generated instance")
+	flag.Parse()
+
+	store, err := suite.Open(*cacheDir, suite.StoreOptions{Workers: *genWorkers, Verify: *verify})
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(store, server.Options{LRUSuites: *lruSuites, MaxInstances: *maxInstances, EvalWorkers: *evalWorkers}),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Printf("qubikos-serve: store %s, listening on %s\n", store.Root(), *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qubikos-serve:", err)
+	os.Exit(1)
+}

@@ -9,17 +9,25 @@
 // CPUs); each instance owns its incremental SAT solver, so the table is
 // identical for any worker count.
 //
+// With -suite and -cache-dir it instead certifies every instance of a
+// stored suite from the content-addressed store: each instance's claimed
+// optimum (from its sidecar) is checked exactly, plus the store's
+// checksum index — end-to-end assurance that the cached bytes still
+// carry the guarantee they were generated with.
+//
 // Usage:
 //
 //	qubikos-verify -circuits 10 -seed 7          # the study
 //	qubikos-verify -circuits 10 -workers 4       # bounded parallelism
 //	qubikos-verify -qasm bench.qasm -arch aspen4 -claim 3
+//	qubikos-verify -cache-dir cache -suite <hash>
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -27,6 +35,8 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/harness"
 	"repro/internal/olsq"
+	"repro/internal/pool"
+	"repro/internal/suite"
 )
 
 func main() {
@@ -38,7 +48,17 @@ func main() {
 	claim := flag.Int("claim", -1, "claimed optimal swap count for -qasm mode")
 	maxK := flag.Int("maxk", 8, "search bound when no -claim is given")
 	workers := flag.Int("workers", 0, "parallel certification workers (0 = all CPUs)")
+	suiteHash := flag.String("suite", "", "certify a stored suite by content hash (requires -cache-dir)")
+	cacheDir := flag.String("cache-dir", "", "suite store root for -suite mode")
 	flag.Parse()
+
+	if *suiteHash != "" {
+		if *cacheDir == "" {
+			fatal(fmt.Errorf("-suite requires -cache-dir"))
+		}
+		verifySuite(*cacheDir, *suiteHash, *workers)
+		return
+	}
 
 	if *qasm != "" {
 		verifyFile(*qasm, *archName, *claim, *maxK)
@@ -66,6 +86,62 @@ func main() {
 	}
 	fmt.Printf("\n%d circuits verified in %v; deviations: %d\n", total, time.Since(t0).Round(time.Millisecond), dev)
 	if dev > 0 {
+		os.Exit(1)
+	}
+}
+
+// verifySuite certifies a stored suite end to end: the checksum index
+// first (the bytes are the bytes that were generated), then each
+// instance's claimed optimum with the exact SAT solver, fanned over a
+// worker pool. Any deviation exits non-zero.
+func verifySuite(cacheDir, hash string, workers int) {
+	store, err := suite.Open(cacheDir, suite.StoreOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	st, err := store.Lookup(hash)
+	if err != nil {
+		fatal(err)
+	}
+	if err := store.VerifyChecksums(hash); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("suite %s: checksums OK (%d instances)\n", hash, len(st.Instances))
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	t0 := time.Now()
+	// Every instance is attempted (certification failures are collected,
+	// not fail-fast), so the per-index fn always returns nil.
+	errs := make([]error, len(st.Instances))
+	pool.ParallelFor(len(st.Instances), workers, func(ji int) error {
+		ref := st.Instances[ji]
+		li, err := store.LoadInstance(hash, ref)
+		if err != nil {
+			errs[ji] = err
+			return nil
+		}
+		s, err := olsq.New(li.Circuit, li.Device, olsq.Options{})
+		if err != nil {
+			errs[ji] = fmt.Errorf("%s: %w", ref.Base, err)
+			return nil
+		}
+		if err := s.VerifyOptimal(li.Meta.OptimalSwaps); err != nil {
+			errs[ji] = fmt.Errorf("%s: %w", ref.Base, err)
+		}
+		return nil
+	})
+	bad := 0
+	for _, err := range errs {
+		if err != nil {
+			bad++
+			fmt.Fprintln(os.Stderr, "qubikos-verify:", err)
+		}
+	}
+	fmt.Printf("%d/%d instances certified exactly in %v\n",
+		len(st.Instances)-bad, len(st.Instances), time.Since(t0).Round(time.Millisecond))
+	if bad > 0 {
 		os.Exit(1)
 	}
 }

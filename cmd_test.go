@@ -10,12 +10,12 @@ import (
 	"testing"
 )
 
-// buildCmds compiles the four commands into a temp dir, once per test
+// buildCmds compiles the five commands into a temp dir, once per test
 // binary invocation.
 func buildCmds(t *testing.T) string {
 	t.Helper()
 	dir := t.TempDir()
-	for _, name := range []string{"qubikos-gen", "qubikos-eval", "qubikos-verify", "qubikos-route"} {
+	for _, name := range []string{"qubikos-gen", "qubikos-eval", "qubikos-verify", "qubikos-route", "qubikos-serve"} {
 		out := filepath.Join(dir, name)
 		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
 		cmd.Env = os.Environ()
@@ -112,6 +112,86 @@ func TestCommandPipeline(t *testing.T) {
 	}
 }
 
+// TestSuitePipeline drives the content-addressed store the way a user
+// would: generate a suite into a cache, observe that a second request is
+// a pure cache hit, evaluate the stored suite by hash, and certify it
+// exactly. The cached evaluation performs no generation — the suite
+// directory's modification state proves the bytes are untouched.
+func TestSuitePipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	bins := buildCmds(t)
+	cache := t.TempDir()
+
+	genArgs := []string{"-suite", "-cache-dir", cache, "-arch", "grid3x3",
+		"-swaps", "1,2", "-gates", "20", "-max-gates", "30",
+		"-prefer-high-degree", "-count", "1", "-seed", "3"}
+	out := run(t, filepath.Join(bins, "qubikos-gen"), genArgs...)
+	if !strings.Contains(out, "(generated)") {
+		t.Fatalf("first suite gen should generate:\n%s", out)
+	}
+	var hash string
+	for _, f := range strings.Fields(out) {
+		if len(f) == 64 {
+			hash = f
+			break
+		}
+	}
+	if hash == "" {
+		t.Fatalf("no suite hash in output:\n%s", out)
+	}
+
+	// Second identical request: cache hit, same hash.
+	out = run(t, filepath.Join(bins, "qubikos-gen"), genArgs...)
+	if !strings.Contains(out, "(cache hit)") || !strings.Contains(out, hash) {
+		t.Fatalf("second suite gen should hit the cache with the same hash:\n%s", out)
+	}
+
+	// Evaluate the stored suite by hash; nothing may be regenerated, so
+	// snapshot the instance files and compare afterwards.
+	instDir := filepath.Join(cache, "v1", hash[:2], hash, "instances")
+	before := snapshotDir(t, instDir)
+	out = run(t, filepath.Join(bins, "qubikos-eval"),
+		"-cache-dir", cache, "-suite", hash, "-trials", "2", "-workers", "2")
+	if !strings.Contains(out, "lightsabre") || !strings.Contains(out, "Average optimality gap") {
+		t.Fatalf("stored-suite eval output unexpected:\n%s", out)
+	}
+	after := snapshotDir(t, instDir)
+	if len(before) != len(after) {
+		t.Fatalf("evaluation changed the instance file set: %d -> %d files", len(before), len(after))
+	}
+	for name, b := range before {
+		if string(after[name]) != string(b) {
+			t.Errorf("evaluation modified stored instance %s", name)
+		}
+	}
+
+	// Exact certification of every stored instance.
+	out = run(t, filepath.Join(bins, "qubikos-verify"),
+		"-cache-dir", cache, "-suite", hash)
+	if !strings.Contains(out, "checksums OK") || !strings.Contains(out, "2/2 instances certified exactly") {
+		t.Fatalf("suite verify output unexpected:\n%s", out)
+	}
+}
+
+func snapshotDir(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string][]byte{}
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = b
+	}
+	return out
+}
+
 func TestCommandErrors(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds binaries; skipped in -short mode")
@@ -123,6 +203,8 @@ func TestCommandErrors(t *testing.T) {
 		{filepath.Join(bins, "qubikos-route"), "-base", "x", "-tool", "bogus"},   // unknown tool
 		{filepath.Join(bins, "qubikos-eval"), "-arch", "grid3x3"},                // not a Figure-4 device
 		{filepath.Join(bins, "qubikos-verify"), "-qasm", "/does/not/exist.qasm"}, // missing file
+		{filepath.Join(bins, "qubikos-verify"), "-suite", "deadbeef"},            // -suite without -cache-dir
+		{filepath.Join(bins, "qubikos-eval"), "-suite", "deadbeef"},              // -suite without -cache-dir
 	}
 	for _, c := range cases {
 		cmd := exec.Command(c[0], c[1:]...)

@@ -1,0 +1,67 @@
+// Documentation gate: every relative markdown link in the repository
+// must point at a file that exists, so the README's package map and the
+// cross-references between docs/ pages cannot rot silently. CI runs this
+// alongside gofmt and go vet as the docs job.
+package repro_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links: [text](target).
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+func TestMarkdownRelativeLinksResolve(t *testing.T) {
+	var mdFiles []string
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == ".github" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".md") {
+			mdFiles = append(mdFiles, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mdFiles) == 0 {
+		t.Fatal("no markdown files found; test is running in the wrong directory")
+	}
+
+	for _, md := range mdFiles {
+		raw, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(raw), -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"),
+				strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"),
+				strings.HasPrefix(target, "#"):
+				continue // external or intra-page; not checked here
+			}
+			// Drop any fragment; globs (used in shell examples) are not links.
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" || strings.Contains(target, "*") {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(md), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken relative link %q (resolved %s)", md, m[1], resolved)
+			}
+		}
+	}
+}

@@ -274,9 +274,14 @@ func IBMEagle127() *Device {
 	return mustDevice("eagle127", g)
 }
 
-// ByName returns the named device; it recognizes the four paper
-// architectures plus grid3x3, and the parametric families via helpers is
-// not attempted here. Unknown names return an error listing valid choices.
+// ByName returns the named device. It recognizes the paper architectures
+// (aspen4, sycamore54, rochester53, eagle127, falcon27, hummingbird65),
+// the study's grid3x3 shorthand, and the parametric families by their
+// canonical Device.Name() spellings — line-N, ring-N, star-N,
+// complete-N, grid-RxC, heavyhex-RxC — so every name this package emits
+// round-trips through ByName. Benchmark sidecars and suite manifests
+// rely on that round trip. Unknown names return an error listing the
+// fixed choices.
 func ByName(name string) (*Device, error) {
 	switch name {
 	case "aspen4":
@@ -293,9 +298,66 @@ func ByName(name string) (*Device, error) {
 		return IBMFalcon27(), nil
 	case "hummingbird65", "hummingbird":
 		return IBMHummingbird65(), nil
-	default:
-		return nil, fmt.Errorf("arch: unknown device %q (valid: aspen4, sycamore54, rochester53, eagle127, grid3x3, falcon27, hummingbird65)", name)
 	}
+	if dev, ok := parametricByName(name); ok {
+		return dev, nil
+	}
+	return nil, fmt.Errorf("arch: unknown device %q (valid: aspen4, sycamore54, rochester53, eagle127, grid3x3, falcon27, hummingbird65, or a parametric name like grid-3x3, line-16, ring-12, star-8, complete-5, heavyhex-2x5)", name)
+}
+
+// MaxParametricQubits bounds the device size ByName will construct for a
+// parametric name. Names reach ByName from untrusted inputs (suite
+// manifests over HTTP, CLI flags), and constructing a device allocates
+// O(n²) bits of adjacency, so an unbounded "grid-100000x100000" would be
+// a one-request out-of-memory. The bound is far above every real device.
+const MaxParametricQubits = 4096
+
+// parametricByName parses the canonical names of the parametric device
+// families. Construction panics on out-of-range sizes, so bounds —
+// including the MaxParametricQubits allocation guard — are checked here
+// and bad sizes fall through to ByName's error.
+func parametricByName(name string) (dev *Device, ok bool) {
+	var a, b int
+	inBounds := func(n int) bool { return n <= MaxParametricQubits }
+	// Check factors individually before multiplying so huge parses cannot
+	// overflow the product.
+	inBounds2 := func(a, b, per int) bool {
+		return inBounds(a) && inBounds(b) && inBounds(a*b*per)
+	}
+	switch {
+	case scan2(name, "grid-%dx%d", &a, &b) && a >= 1 && b >= 1 && inBounds2(a, b, 1):
+		return Grid(a, b), true
+	// HeavyHex panics below 2 rows × 5 columns; a cell block is well
+	// under 16 qubits, bounding the cell grid.
+	case scan2(name, "heavyhex-%dx%d", &a, &b) && a >= 2 && b >= 5 && inBounds2(a, b, 16):
+		return HeavyHex(a, b), true
+	case scan1(name, "line-%d", &a) && a >= 1 && inBounds(a):
+		return Line(a), true
+	case scan1(name, "ring-%d", &a) && a >= 3 && inBounds(a):
+		return Ring(a), true
+	case scan1(name, "star-%d", &a) && a >= 2 && inBounds(a):
+		return Star(a), true
+	case scan1(name, "complete-%d", &a) && a >= 1 && inBounds(a):
+		return FullyConnected(a), true
+	}
+	return nil, false
+}
+
+// scan1 and scan2 parse a full-string pattern: the match must consume the
+// whole name (Sscanf alone would accept trailing garbage on %d patterns
+// only sometimes, so the result is re-rendered and compared).
+func scan1(name, pattern string, a *int) bool {
+	if _, err := fmt.Sscanf(name, pattern, a); err != nil {
+		return false
+	}
+	return fmt.Sprintf(pattern, *a) == name
+}
+
+func scan2(name, pattern string, a, b *int) bool {
+	if _, err := fmt.Sscanf(name, pattern, a, b); err != nil {
+		return false
+	}
+	return fmt.Sprintf(pattern, *a, *b) == name
 }
 
 // PaperDevices returns the four evaluation architectures in the order they

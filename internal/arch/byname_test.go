@@ -1,0 +1,44 @@
+package arch
+
+import "testing"
+
+// Every canonical Device.Name() this package emits must resolve back
+// through ByName — benchmark sidecars and suite manifests depend on the
+// round trip.
+func TestByNameRoundTripsCanonicalNames(t *testing.T) {
+	devices := []*Device{
+		RigettiAspen4(), GoogleSycamore54(), IBMRochester53(), IBMEagle127(),
+		IBMFalcon27(), IBMHummingbird65(),
+		Grid(3, 3), Grid(4, 7), Line(16), Ring(12), Star(8), FullyConnected(5),
+		HeavyHex(2, 5),
+	}
+	for _, dev := range devices {
+		got, err := ByName(dev.Name())
+		if err != nil {
+			t.Errorf("ByName(%q): %v", dev.Name(), err)
+			continue
+		}
+		if got.NumQubits() != dev.NumQubits() || got.NumCouplers() != dev.NumCouplers() {
+			t.Errorf("ByName(%q) = %d qubits / %d couplers, want %d / %d",
+				dev.Name(), got.NumQubits(), got.NumCouplers(), dev.NumQubits(), dev.NumCouplers())
+		}
+	}
+}
+
+// Parametric names reach ByName from untrusted inputs; oversized or
+// malformed ones must error instead of allocating.
+func TestByNameRejectsBadParametricNames(t *testing.T) {
+	for _, name := range []string{
+		"grid-100000x100000", // would allocate ~10^19 adjacency bits
+		"line-999999999",
+		"complete-1000000",
+		"heavyhex-99999x99999",
+		"grid-0x5", "grid--1x3", "ring-2", "star-1",
+		"grid-3x3junk", "line-", "grid-3", "warp-core",
+		"heavyhex-1x1", "heavyhex-2x4", // below HeavyHex's structural minimum
+	} {
+		if _, err := ByName(name); err == nil {
+			t.Errorf("ByName(%q) succeeded, want error", name)
+		}
+	}
+}

@@ -1,9 +1,17 @@
-// Package harness drives the paper's experiments: it generates QUBIKOS
+// Package harness drives the paper's experiments: it obtains QUBIKOS
 // suites with deterministic seeds, runs the four QLS tools, aggregates
 // SWAP-ratio statistics, and renders the tables behind every figure in
 // the evaluation section (Figure 4 a-d, the Section IV-A optimality
 // study, the abstract's per-tool averages, and the Section IV-C case
 // study).
+//
+// Suites come from either of two paths. RunFigure generates inline — the
+// historical one-shot mode. RunStoredEval fans the tools over a suite
+// held in a content-addressed suite.Store, streaming per-instance rows
+// into a resumable JSONL log; the store guarantees repeated evaluations
+// of the same recipe reuse bit-identical benchmarks without
+// regenerating. Both paths aggregate through the same EvaluateItems /
+// Cell machinery, and a golden test pins them to identical figures.
 package harness
 
 import (
@@ -12,12 +20,12 @@ import (
 	"runtime"
 	"sort"
 	"strings"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/arch"
+	"repro/internal/circuit"
 	"repro/internal/mlqls"
 	"repro/internal/olsq"
+	"repro/internal/pool"
 	"repro/internal/qmap"
 	"repro/internal/qubikos"
 	"repro/internal/router"
@@ -111,55 +119,87 @@ func GenerateSuite(cfg SuiteConfig) ([]*qubikos.Benchmark, error) {
 
 // Cell aggregates one (tool, optimal-swap-count) cell of a Figure-4 plot.
 type Cell struct {
-	Tool      string
-	OptSwaps  int
-	Circuits  int
-	MeanSwaps float64
-	MeanRatio float64 // the paper's optimality gap: avg(achieved)/optimal
-	MinRatio  float64
-	MaxRatio  float64
-	Failures  int
+	Tool      string  `json:"tool"`
+	OptSwaps  int     `json:"opt_swaps"`
+	Circuits  int     `json:"circuits"`
+	MeanSwaps float64 `json:"mean_swaps"`
+	MeanRatio float64 `json:"mean_ratio"` // the paper's optimality gap: avg(achieved)/optimal
+	MinRatio  float64 `json:"min_ratio"`
+	MaxRatio  float64 `json:"max_ratio"`
+	Failures  int     `json:"failures"`
 }
 
 // Figure is the material behind one Figure 4 subplot.
 type Figure struct {
-	Device string
-	Gates  int
-	Cells  []Cell
+	Device string `json:"device"`
+	Gates  int    `json:"gates"`
+	Cells  []Cell `json:"cells"`
 }
 
-// RunFigure runs every tool over the suite and aggregates per swap count.
-// Every result is audited with router.Validate and checked against the
-// optimality lower bound; violations are returned as errors because they
-// would falsify the benchmark's guarantee.
+// EvalItem is one benchmark to evaluate, decoupled from how it was
+// produced: inline generation, a stored suite, or a parsed file all
+// reduce to a circuit on a device with a proven optimal SWAP count.
+type EvalItem struct {
+	// ID names the item in logs and errors (an instance base name).
+	ID       string
+	Device   *arch.Device
+	Circuit  *circuit.Circuit
+	OptSwaps int
+}
+
+// Items converts generated benchmarks into evaluation items.
+func Items(benchmarks []*qubikos.Benchmark) []EvalItem {
+	items := make([]EvalItem, len(benchmarks))
+	for i, b := range benchmarks {
+		items[i] = EvalItem{
+			ID:       fmt.Sprintf("bench_%03d", i),
+			Device:   b.Device,
+			Circuit:  b.Circuit,
+			OptSwaps: b.OptSwaps,
+		}
+	}
+	return items
+}
+
+// RunFigure generates the suite inline and evaluates it — the historical
+// one-shot path. Production runs should generate through a suite.Store
+// and use RunStoredEval so repeated evaluations never regenerate.
 func RunFigure(cfg SuiteConfig, tools []ToolSpec) (*Figure, error) {
-	suite, err := GenerateSuite(cfg)
+	bs, err := GenerateSuite(cfg)
 	if err != nil {
 		return nil, err
 	}
 	fig := &Figure{Device: cfg.Device.Name(), Gates: cfg.TargetTwoQubitGates}
+	fig.Cells, err = EvaluateItems(Items(bs), cfg.SwapCounts, tools, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return fig, nil
+}
+
+// EvaluateItems runs every tool over every item and aggregates per swap
+// count, in tool order then grid order. Every result is audited with
+// router.Validate and checked against the optimality lower bound;
+// violations are returned as errors because they would falsify the
+// benchmark's guarantee.
+func EvaluateItems(items []EvalItem, swapCounts []int, tools []ToolSpec, seed int64) ([]Cell, error) {
+	var cells []Cell
 	for _, tool := range tools {
-		for _, n := range cfg.SwapCounts {
+		for _, n := range swapCounts {
 			cell := Cell{Tool: tool.Name, OptSwaps: n, MinRatio: -1}
-			for _, b := range suite {
-				if b.OptSwaps != n {
+			for _, it := range items {
+				if it.OptSwaps != n {
 					continue
 				}
-				r := tool.Make(cfg.Seed + 7919)
-				res, err := r.Route(b.Circuit, b.Device)
+				res, err := routeOne(tool, it, seed)
 				if err != nil {
+					return nil, err
+				}
+				if res == nil {
 					cell.Failures++
 					continue
 				}
-				if err := router.Validate(b.Circuit, b.Device, res); err != nil {
-					return nil, fmt.Errorf("harness: %s produced invalid result on %s n=%d: %w",
-						tool.Name, cfg.Device.Name(), n, err)
-				}
-				if res.SwapCount < b.OptSwaps {
-					return nil, fmt.Errorf("harness: %s beat the proven optimum on %s n=%d (%d < %d)",
-						tool.Name, cfg.Device.Name(), n, res.SwapCount, b.OptSwaps)
-				}
-				ratio := router.SwapRatio(res.SwapCount, b.OptSwaps)
+				ratio := router.SwapRatio(res.SwapCount, it.OptSwaps)
 				cell.Circuits++
 				cell.MeanSwaps += float64(res.SwapCount)
 				cell.MeanRatio += ratio
@@ -174,10 +214,30 @@ func RunFigure(cfg SuiteConfig, tools []ToolSpec) (*Figure, error) {
 				cell.MeanSwaps /= float64(cell.Circuits)
 				cell.MeanRatio /= float64(cell.Circuits)
 			}
-			fig.Cells = append(fig.Cells, cell)
+			cells = append(cells, cell)
 		}
 	}
-	return fig, nil
+	return cells, nil
+}
+
+// routeOne runs one tool on one item. A tool failure returns (nil, nil) —
+// an aggregable outcome; an invalid or optimum-beating result returns an
+// error because it falsifies the suite's guarantee.
+func routeOne(tool ToolSpec, it EvalItem, seed int64) (*router.Result, error) {
+	r := tool.Make(seed + 7919)
+	res, err := r.Route(it.Circuit, it.Device)
+	if err != nil {
+		return nil, nil
+	}
+	if err := router.Validate(it.Circuit, it.Device, res); err != nil {
+		return nil, fmt.Errorf("harness: %s produced invalid result on %s (%s): %w",
+			tool.Name, it.Device.Name(), it.ID, err)
+	}
+	if res.SwapCount < it.OptSwaps {
+		return nil, fmt.Errorf("harness: %s beat the proven optimum on %s (%s): %d < %d",
+			tool.Name, it.Device.Name(), it.ID, res.SwapCount, it.OptSwaps)
+	}
+	return res, nil
 }
 
 // ToolAverage is one row of the abstract's summary (63x / 117x / 250x /
@@ -383,51 +443,16 @@ func RunOptimalityStudy(cfg OptimalityConfig) ([]OptimalityRow, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
+	// A failed instance aborts the pool: remaining jobs are skipped
+	// rather than paying their certifications. ParallelFor surfaces the
+	// lowest-indexed error, so success/failure (and, on success, every
+	// row) is deterministic for any worker count.
 	outcomes := make([]outcome, len(jobs))
-	if workers <= 1 {
-		for ji, j := range jobs {
-			outcomes[ji] = run(j)
-			if outcomes[ji].err != nil {
-				return nil, outcomes[ji].err
-			}
-		}
-	} else {
-		// A failed instance aborts the pool: remaining jobs are skipped
-		// rather than paying their certifications. Which error surfaces
-		// may vary with scheduling, but success/failure (and, on success,
-		// every row) is deterministic.
-		var next atomic.Int64
-		var failed atomic.Bool
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for !failed.Load() {
-					ji := int(next.Add(1)) - 1
-					if ji >= len(jobs) {
-						return
-					}
-					outcomes[ji] = run(jobs[ji])
-					if outcomes[ji].err != nil {
-						failed.Store(true)
-						return
-					}
-				}
-			}()
-		}
-		wg.Wait()
-	}
-
-	// Surface the lowest-indexed recorded error, then aggregate in job
-	// order so counts are deterministic.
-	for _, o := range outcomes {
-		if o.err != nil {
-			return nil, o.err
-		}
+	if err := pool.ParallelFor(len(jobs), workers, func(ji int) error {
+		outcomes[ji] = run(jobs[ji])
+		return outcomes[ji].err
+	}); err != nil {
+		return nil, err
 	}
 	for ji, o := range outcomes {
 		r := &rows[jobs[ji].row]

@@ -1,0 +1,198 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/pool"
+	"repro/internal/qubikos"
+	"repro/internal/router"
+	"repro/internal/suite"
+)
+
+// Manifest converts a suite configuration into the content-addressed
+// recipe the store keys on. The manifest's per-instance seed schedule
+// matches GenerateSuite's, so store-generated suites are the same
+// benchmarks the harness historically generated inline. Runtime knobs
+// that do not change the bytes (Verify) are excluded, so configs
+// differing only there share stored suites.
+func (cfg SuiteConfig) Manifest() suite.Manifest {
+	return suite.NewManifest(cfg.Device.Name(), cfg.SwapCounts, cfg.CircuitsPerCount, qubikos.Options{
+		TargetTwoQubitGates: cfg.TargetTwoQubitGates,
+		Seed:                cfg.Seed,
+	})
+}
+
+// EvalKey derives a short stable identifier for an evaluation
+// configuration (tool set, trial counts, seeds — whatever the caller
+// deems identity-bearing). Evaluations with different keys log to
+// different JSONL files inside the same suite directory.
+func EvalKey(parts ...string) string {
+	sum := sha256.Sum256([]byte(strings.Join(parts, "\x1f")))
+	return hex.EncodeToString(sum[:8])
+}
+
+// StoredEvalOptions tunes RunStoredEval.
+type StoredEvalOptions struct {
+	// Seed feeds each tool's constructor, matching RunFigure's schedule.
+	Seed int64
+	// Workers bounds the evaluation worker pool; 0 means 1 (serial).
+	Workers int
+	// Key selects the evaluation log; empty derives one from the tool
+	// names and seed (callers whose ToolSpec closures carry extra state,
+	// e.g. trial counts, should fold that state in via EvalKey).
+	Key string
+	// LogPath overrides the log location (default: the suite directory's
+	// evals/<key>.jsonl).
+	LogPath string
+	// OnRow, when non-nil, observes every newly produced row as soon as
+	// it is durably logged — the streaming hook qubikos-serve uses.
+	OnRow func(suite.Row)
+}
+
+// RunStoredEval fans every tool over every instance of a stored suite,
+// streaming one JSONL row per (tool, instance) into the suite's
+// evaluation log. Pairs already recorded by a previous run are skipped —
+// an interrupted evaluation resumes where it stopped and a finished one
+// is free — and the returned Figure aggregates all rows, old and new.
+// Tool failures become rows with a non-empty Error; results that are
+// invalid or beat the proven optimum abort with an error, because they
+// falsify the suite's guarantee.
+func RunStoredEval(store *suite.Store, st *suite.Suite, tools []ToolSpec, opts StoredEvalOptions) (*Figure, error) {
+	key := opts.Key
+	if key == "" {
+		names := make([]string, 0, len(tools)+1)
+		for _, t := range tools {
+			names = append(names, t.Name)
+		}
+		names = append(names, fmt.Sprintf("seed=%d", opts.Seed))
+		key = EvalKey(names...)
+	}
+	logPath := opts.LogPath
+	if logPath == "" {
+		logPath = suite.EvalLogPath(st.Dir, key)
+	}
+	log, err := suite.OpenEvalLog(logPath)
+	if err != nil {
+		return nil, err
+	}
+	defer log.Close()
+
+	// Load each needed instance once and share it across tools; routing
+	// never mutates the circuit.
+	type job struct {
+		tool ToolSpec
+		ref  suite.InstanceRef
+	}
+	var jobs []job
+	needed := map[string]bool{}
+	for _, tool := range tools {
+		for _, ref := range st.Instances {
+			if log.Done(st.Hash, tool.Name, ref.Base) {
+				continue
+			}
+			jobs = append(jobs, job{tool: tool, ref: ref})
+			needed[ref.Base] = true
+		}
+	}
+	items := make(map[string]EvalItem, len(needed))
+	for _, ref := range st.Instances {
+		if !needed[ref.Base] {
+			continue
+		}
+		li, err := store.LoadInstance(st.Hash, ref)
+		if err != nil {
+			return nil, err
+		}
+		items[ref.Base] = EvalItem{
+			ID:       ref.Base,
+			Device:   li.Device,
+			Circuit:  li.Circuit,
+			OptSwaps: li.Meta.OptimalSwaps,
+		}
+	}
+
+	run := func(j job) error {
+		it := items[j.ref.Base]
+		t0 := time.Now()
+		res, err := routeOne(j.tool, it, opts.Seed)
+		if err != nil {
+			return err
+		}
+		row := suite.Row{
+			Suite:     st.Hash,
+			Instance:  j.ref.Base,
+			OptSwaps:  it.OptSwaps,
+			Tool:      j.tool.Name,
+			ElapsedMS: time.Since(t0).Milliseconds(),
+		}
+		if res == nil {
+			row.Error = "tool failed to route"
+		} else {
+			row.Swaps = res.SwapCount
+			row.Ratio = router.SwapRatio(res.SwapCount, it.OptSwaps)
+		}
+		if err := log.Append(row); err != nil {
+			return err
+		}
+		if opts.OnRow != nil {
+			opts.OnRow(row)
+		}
+		return nil
+	}
+
+	if err := pool.ParallelFor(len(jobs), opts.Workers, func(ji int) error {
+		return run(jobs[ji])
+	}); err != nil {
+		return nil, err
+	}
+
+	return FigureFromRows(st, log.Rows(), tools), nil
+}
+
+// FigureFromRows aggregates evaluation rows into the same per-cell shape
+// RunFigure produces, ordered by the given tool order then the suite's
+// swap-count grid. Rows from unknown tools are ignored, so a log shared
+// across tool subsets still aggregates correctly.
+func FigureFromRows(st *suite.Suite, rows []suite.Row, tools []ToolSpec) *Figure {
+	fig := &Figure{Device: st.Manifest.Device, Gates: st.Manifest.TargetTwoQubitGates}
+	byCell := map[string]map[int][]suite.Row{}
+	for _, r := range rows {
+		if byCell[r.Tool] == nil {
+			byCell[r.Tool] = map[int][]suite.Row{}
+		}
+		byCell[r.Tool][r.OptSwaps] = append(byCell[r.Tool][r.OptSwaps], r)
+	}
+	counts := append([]int(nil), st.Manifest.SwapCounts...)
+	sort.Ints(counts)
+	for _, tool := range tools {
+		for _, n := range counts {
+			cell := Cell{Tool: tool.Name, OptSwaps: n, MinRatio: -1}
+			for _, r := range byCell[tool.Name][n] {
+				if r.Error != "" {
+					cell.Failures++
+					continue
+				}
+				cell.Circuits++
+				cell.MeanSwaps += float64(r.Swaps)
+				cell.MeanRatio += r.Ratio
+				if cell.MinRatio < 0 || r.Ratio < cell.MinRatio {
+					cell.MinRatio = r.Ratio
+				}
+				if r.Ratio > cell.MaxRatio {
+					cell.MaxRatio = r.Ratio
+				}
+			}
+			if cell.Circuits > 0 {
+				cell.MeanSwaps /= float64(cell.Circuits)
+				cell.MeanRatio /= float64(cell.Circuits)
+			}
+			fig.Cells = append(fig.Cells, cell)
+		}
+	}
+	return fig
+}

@@ -1,0 +1,158 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/suite"
+)
+
+// tinyCfg is a suite configuration small enough to generate and evaluate
+// in well under a second.
+func tinyCfg() SuiteConfig {
+	return SuiteConfig{
+		Device:              arch.Grid3x3(),
+		SwapCounts:          []int{1, 2},
+		CircuitsPerCount:    2,
+		TargetTwoQubitGates: 20,
+		Seed:                11,
+	}
+}
+
+func openStore(t *testing.T) *suite.Store {
+	t.Helper()
+	s, err := suite.Open(t.TempDir(), suite.StoreOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// The store-backed evaluation must agree exactly with the historical
+// inline path: same benchmarks (same seed schedule), same routing seeds,
+// same aggregated cells.
+func TestStoredEvalMatchesInline(t *testing.T) {
+	cfg := tinyCfg()
+	tools := DefaultTools(2)
+
+	inline, err := RunFigure(cfg, tools)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store := openStore(t)
+	st, err := store.Ensure(cfg.Manifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored, err := RunStoredEval(store, st, tools, StoredEvalOptions{Seed: cfg.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inline.Device != stored.Device || inline.Gates != stored.Gates {
+		t.Fatalf("figure header mismatch: inline %s/%d, stored %s/%d",
+			inline.Device, inline.Gates, stored.Device, stored.Gates)
+	}
+	if !reflect.DeepEqual(inline.Cells, stored.Cells) {
+		t.Errorf("cells differ:\ninline: %+v\nstored: %+v", inline.Cells, stored.Cells)
+	}
+}
+
+// Evaluating a cached suite must not generate anything: the store is
+// populated once, and every subsequent evaluation — including a resumed
+// identical one — touches only stored bytes. This is the acceptance
+// criterion for cache-backed qubikos-eval.
+func TestStoredEvalSkipsGeneration(t *testing.T) {
+	cfg := tinyCfg()
+	tools := DefaultTools(2)
+	store := openStore(t)
+	m := cfg.Manifest()
+
+	st, err := store.Ensure(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	generated := store.Stats().InstancesGenerated
+	if generated != int64(m.NumInstances()) {
+		t.Fatalf("populate generated %d instances, want %d", generated, m.NumInstances())
+	}
+
+	var streamed1 int
+	fig1, err := RunStoredEval(store, st, tools, StoredEvalOptions{
+		Seed:  cfg.Seed,
+		OnRow: func(suite.Row) { streamed1++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := store.Stats().InstancesGenerated; got != generated {
+		t.Errorf("evaluation regenerated: %d instances, want still %d", got, generated)
+	}
+	wantRows := len(tools) * m.NumInstances()
+	if streamed1 != wantRows {
+		t.Errorf("first run streamed %d rows, want %d", streamed1, wantRows)
+	}
+
+	// A second identical evaluation resumes off the log: zero new rows,
+	// zero generation, identical figure.
+	var streamed2 int
+	fig2, err := RunStoredEval(store, st, tools, StoredEvalOptions{
+		Seed:  cfg.Seed,
+		OnRow: func(suite.Row) { streamed2++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed2 != 0 {
+		t.Errorf("resumed run streamed %d rows, want 0", streamed2)
+	}
+	if got := store.Stats().InstancesGenerated; got != generated {
+		t.Errorf("resumed evaluation regenerated: %d instances, want still %d", got, generated)
+	}
+	if !reflect.DeepEqual(fig1.Cells, fig2.Cells) {
+		t.Errorf("resumed figure differs:\nfirst:  %+v\nsecond: %+v", fig1.Cells, fig2.Cells)
+	}
+}
+
+// Parallel evaluation must aggregate identically to serial: rows are per
+// (tool, instance) with fixed seeds, so worker count cannot leak into
+// results.
+func TestStoredEvalParallelMatchesSerial(t *testing.T) {
+	cfg := tinyCfg()
+	tools := DefaultTools(2)
+
+	runWith := func(workers int) *Figure {
+		store := openStore(t)
+		st, err := store.Ensure(cfg.Manifest())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fig, err := RunStoredEval(store, st, tools, StoredEvalOptions{Seed: cfg.Seed, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fig
+	}
+	serial := runWith(1)
+	parallel := runWith(4)
+	if !reflect.DeepEqual(serial.Cells, parallel.Cells) {
+		t.Errorf("parallel evaluation diverged from serial:\nserial:   %+v\nparallel: %+v", serial.Cells, parallel.Cells)
+	}
+}
+
+func TestEvalKeyStable(t *testing.T) {
+	a := EvalKey("lightsabre", "trials=8", "seed=1")
+	b := EvalKey("lightsabre", "trials=8", "seed=1")
+	c := EvalKey("lightsabre", "trials=9", "seed=1")
+	if a != b {
+		t.Error("identical inputs gave different keys")
+	}
+	if a == c {
+		t.Error("different trial counts gave the same key")
+	}
+	// Joining is delimiter-safe: part boundaries matter.
+	if EvalKey("ab", "c") == EvalKey("a", "bc") {
+		t.Error("key ignores part boundaries")
+	}
+}

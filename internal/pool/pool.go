@@ -1,0 +1,59 @@
+// Package pool provides the bounded fail-fast worker pool shared by the
+// repository's fan-out paths: suite generation, stored-suite evaluation,
+// and exact certification. One implementation keeps the semantics
+// identical everywhere — work is handed out by an atomic index (no
+// per-item goroutine), after the first error no new indices are
+// dispatched, and the lowest-indexed error is returned so outcomes are
+// deterministic regardless of scheduling.
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ParallelFor runs fn(0) … fn(n-1) over at most workers goroutines.
+// workers <= 1 runs serially. After any fn returns an error, no new
+// indices are dispatched (in-flight calls complete); the error with the
+// lowest index is returned. Callers that want to attempt every index
+// regardless should record failures themselves and return nil from fn.
+func ParallelFor(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if errs[i] = fn(i); errs[i] != nil {
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelForRunsEveryIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 4, 100} {
+		const n = 37
+		var hits [n]atomic.Int32
+		if err := ParallelFor(n, workers, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Errorf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestParallelForReturnsLowestIndexedError(t *testing.T) {
+	want := errors.New("boom-3")
+	err := ParallelFor(10, 4, func(i int) error {
+		if i == 3 {
+			return want
+		}
+		if i == 7 {
+			return fmt.Errorf("boom-7")
+		}
+		return nil
+	})
+	if !errors.Is(err, want) && err == nil {
+		t.Fatalf("got %v, want an error", err)
+	}
+	// The lowest-indexed error wins when both are recorded; at minimum an
+	// error must surface.
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+}
+
+func TestParallelForSerialFailFast(t *testing.T) {
+	ran := 0
+	err := ParallelFor(10, 1, func(i int) error {
+		ran++
+		if i == 2 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil || ran != 3 {
+		t.Fatalf("serial fail-fast: ran %d (want 3), err %v", ran, err)
+	}
+}
+
+func TestParallelForStopsDispatchAfterError(t *testing.T) {
+	var ran atomic.Int32
+	ParallelFor(1000, 2, func(i int) error {
+		ran.Add(1)
+		return errors.New("immediate")
+	})
+	// Both workers fail on their first index and dispatch stops; far
+	// fewer than all indices run.
+	if got := ran.Load(); got > 10 {
+		t.Errorf("dispatched %d indices after failure, expected fail-fast", got)
+	}
+}

@@ -17,6 +17,11 @@ import (
 // needs (the claimed optimum, the planted mapping and swap schedule);
 // the full Section metadata used by the structural verifier is not
 // serialized — re-verify at generation time or with the exact solver.
+//
+// This is also the per-instance format of the content-addressed suite
+// store (package suite), which relies on WriteInstance being
+// deterministic: for a fixed benchmark the emitted bytes are identical
+// across runs and machines. docs/suite-format.md specifies the schema.
 type Instance struct {
 	Device         string   `json:"device"`
 	OptimalSwaps   int      `json:"optimal_swaps"`
@@ -30,6 +35,8 @@ type Instance struct {
 // WriteInstance serializes a benchmark to the directory as three files:
 // <base>.qasm (the circuit), <base>.solution.qasm (the known-optimal
 // transpilation), and <base>.json (the sidecar). It returns the sidecar.
+// The output is byte-deterministic in the benchmark — the suite store's
+// content addressing depends on that.
 func WriteInstance(dir, base string, b *Benchmark) (*Instance, error) {
 	if err := writeQASMFile(filepath.Join(dir, base+".qasm"), b.Circuit); err != nil {
 		return nil, err

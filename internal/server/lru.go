@@ -1,0 +1,112 @@
+package server
+
+import (
+	"container/list"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/suite"
+)
+
+// maxCachedBytesPerSuite bounds the instance-file bytes one resident
+// suite may pin in memory. The LRU caps suite count; this caps what each
+// suite costs, so total cache memory is LRUSuites × this bound no matter
+// how large the suites are. Files beyond the budget are served straight
+// from disk.
+const maxCachedBytesPerSuite = 64 << 20
+
+// cachedSuite is one resident suite: its index plus lazily loaded
+// instance file bytes, capped at maxCachedBytesPerSuite. Safe for
+// concurrent use.
+type cachedSuite struct {
+	suite *suite.Suite
+
+	mu    sync.Mutex
+	dir   string
+	files map[string][]byte
+	bytes int64
+}
+
+// file returns the named instance file's bytes, reading them from disk
+// and caching them while the suite's byte budget lasts.
+func (c *cachedSuite) file(name string) ([]byte, error) {
+	c.mu.Lock()
+	if b, ok := c.files[name]; ok {
+		c.mu.Unlock()
+		return b, nil
+	}
+	c.mu.Unlock()
+	b, err := os.ReadFile(filepath.Join(c.dir, name))
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if _, ok := c.files[name]; !ok && c.bytes+int64(len(b)) <= maxCachedBytesPerSuite {
+		c.files[name] = b
+		c.bytes += int64(len(b))
+	}
+	c.mu.Unlock()
+	return b, nil
+}
+
+// suiteLRU keeps the most recently used suites in memory, bounded by
+// suite count. Evicting a suite drops its cached bytes; the disk store
+// remains authoritative.
+type suiteLRU struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List               // front = most recent; values are hashes
+	byKey map[string]*list.Element // hash -> element
+	data  map[string]*cachedSuite
+}
+
+func newSuiteLRU(capacity int) *suiteLRU {
+	return &suiteLRU{
+		cap:   capacity,
+		order: list.New(),
+		byKey: map[string]*list.Element{},
+		data:  map[string]*cachedSuite{},
+	}
+}
+
+// get returns the cached suite and marks it most recently used.
+func (l *suiteLRU) get(hash string) (*cachedSuite, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	el, ok := l.byKey[hash]
+	if !ok {
+		return nil, false
+	}
+	l.order.MoveToFront(el)
+	return l.data[hash], true
+}
+
+// put inserts (or refreshes) a suite, evicting the least recently used
+// entry beyond capacity. It returns the resident entry, which may be a
+// previously inserted one under the same hash.
+func (l *suiteLRU) put(hash string, cs *cachedSuite) *cachedSuite {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if el, ok := l.byKey[hash]; ok {
+		l.order.MoveToFront(el)
+		return l.data[hash]
+	}
+	l.byKey[hash] = l.order.PushFront(hash)
+	l.data[hash] = cs
+	for l.order.Len() > l.cap {
+		oldest := l.order.Back()
+		l.order.Remove(oldest)
+		h := oldest.Value.(string)
+		delete(l.byKey, h)
+		delete(l.data, h)
+	}
+	return cs
+}
+
+// len reports the number of resident suites.
+func (l *suiteLRU) len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.order.Len()
+}

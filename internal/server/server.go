@@ -1,0 +1,382 @@
+// Package server exposes the content-addressed suite store over HTTP —
+// the qubikos-serve service. Clients POST a manifest to obtain a suite
+// (generated on miss, served from cache on hit, deduplicated in flight),
+// GET instance files, and POST an evaluation that streams per-instance
+// result rows as JSONL. An in-memory LRU keeps hot suites' bytes
+// resident so heavy traffic on popular suites never touches disk.
+//
+// Endpoints (see docs/cli.md for examples):
+//
+//	GET  /healthz                                  liveness + stats
+//	GET  /v1/suites                                stored suite hashes
+//	POST /v1/suites                                manifest -> suite (generate-on-miss)
+//	GET  /v1/suites/{hash}                         suite index
+//	GET  /v1/suites/{hash}/instances/{base}        sidecar JSON
+//	GET  /v1/suites/{hash}/instances/{base}/qasm   benchmark circuit
+//	GET  /v1/suites/{hash}/instances/{base}/solution  known-optimal transpilation
+//	POST /v1/suites/{hash}/eval                    run tools, stream JSONL rows
+//
+// Responses that consulted the store carry an X-Cache header: "hit" when
+// the suite was already on disk, "miss" when it was generated.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/harness"
+	"repro/internal/suite"
+)
+
+// Options tunes a Server.
+type Options struct {
+	// LRUSuites bounds the in-memory suite cache (default 8).
+	LRUSuites int
+	// MaxInstances rejects manifests whose grid exceeds this many
+	// instances (default 4096) so one request cannot occupy the service
+	// indefinitely.
+	MaxInstances int
+	// EvalWorkers bounds each evaluation's worker pool (default 1).
+	EvalWorkers int
+}
+
+// Server is the HTTP front end over a suite store.
+type Server struct {
+	store *suite.Store
+	lru   *suiteLRU
+	mux   *http.ServeMux
+	opts  Options
+
+	// evalMu serializes evaluations per (suite, configuration key):
+	// EvalLog's append dedup is per-process per-handle, so two identical
+	// concurrent requests would otherwise both open the log, both see no
+	// rows done, and double-write every row.
+	evalMuMu sync.Mutex
+	evalMu   map[string]*sync.Mutex
+}
+
+// New builds a Server over the store.
+func New(store *suite.Store, opts Options) *Server {
+	if opts.LRUSuites <= 0 {
+		opts.LRUSuites = 8
+	}
+	if opts.MaxInstances <= 0 {
+		opts.MaxInstances = 4096
+	}
+	if opts.EvalWorkers <= 0 {
+		opts.EvalWorkers = 1
+	}
+	s := &Server{
+		store:  store,
+		lru:    newSuiteLRU(opts.LRUSuites),
+		mux:    http.NewServeMux(),
+		opts:   opts,
+		evalMu: map[string]*sync.Mutex{},
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/suites", s.handleList)
+	s.mux.HandleFunc("POST /v1/suites", s.handleEnsure)
+	s.mux.HandleFunc("GET /v1/suites/{hash}", s.handleSuite)
+	s.mux.HandleFunc("GET /v1/suites/{hash}/instances/{base}", s.handleInstance)
+	s.mux.HandleFunc("GET /v1/suites/{hash}/instances/{base}/{file}", s.handleInstanceFile)
+	s.mux.HandleFunc("POST /v1/suites/{hash}/eval", s.handleEval)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeObj(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"stats":      s.store.Stats(),
+		"lru_suites": s.lru.len(),
+	})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	hashes, err := s.store.List()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if hashes == nil {
+		hashes = []string{}
+	}
+	writeObj(w, http.StatusOK, map[string]any{"suites": hashes})
+}
+
+// handleEnsure resolves a manifest to a suite, generating on a miss. The
+// client may omit schema_version and generator; they default to the
+// server's. The response is the suite index; X-Cache reports hit/miss.
+func (s *Server) handleEnsure(w http.ResponseWriter, r *http.Request) {
+	var m suite.Manifest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad manifest: %w", err))
+		return
+	}
+	if m.SchemaVersion == 0 {
+		m.SchemaVersion = suite.SchemaVersion
+	}
+	if m.Generator == "" {
+		m.Generator = suite.GeneratorID
+	}
+	if err := m.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if n := m.NumInstances(); n > s.opts.MaxInstances {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("manifest requests %d instances, server cap is %d", n, s.opts.MaxInstances))
+		return
+	}
+	st, err := s.store.Ensure(m)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.admit(st)
+	w.Header().Set("X-Cache", cacheLabel(st.Cached))
+	writeObj(w, http.StatusOK, st)
+}
+
+func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
+	cs, cached, err := s.resident(r.PathValue("hash"))
+	if err != nil {
+		notFoundOr500(w, err)
+		return
+	}
+	w.Header().Set("X-Cache", cacheLabel(cached))
+	writeObj(w, http.StatusOK, cs.suite)
+}
+
+func (s *Server) handleInstance(w http.ResponseWriter, r *http.Request) {
+	s.serveInstanceFile(w, r, r.PathValue("base")+".json", "application/json")
+}
+
+func (s *Server) handleInstanceFile(w http.ResponseWriter, r *http.Request) {
+	base := r.PathValue("base")
+	switch r.PathValue("file") {
+	case "qasm":
+		s.serveInstanceFile(w, r, base+".qasm", "text/plain; charset=utf-8")
+	case "solution":
+		s.serveInstanceFile(w, r, base+".solution.qasm", "text/plain; charset=utf-8")
+	default:
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown instance file %q (want qasm or solution)", r.PathValue("file")))
+	}
+}
+
+func (s *Server) serveInstanceFile(w http.ResponseWriter, r *http.Request, name, contentType string) {
+	if strings.ContainsAny(name, "/\\") || strings.Contains(name, "..") {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad instance name"))
+		return
+	}
+	cs, cached, err := s.resident(r.PathValue("hash"))
+	if err != nil {
+		notFoundOr500(w, err)
+		return
+	}
+	b, err := cs.file(name)
+	if err != nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no instance file %s in suite %s", name, cs.suite.Hash))
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	w.Header().Set("X-Cache", cacheLabel(cached))
+	w.Write(b)
+}
+
+// handleEval runs the requested tools over the stored suite, streaming
+// each newly produced row as one JSON line, then a final summary line
+// {"summary": <figure>}. Rows recorded by previous evaluations with the
+// same configuration are not re-run and not re-streamed; they are folded
+// into the summary.
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	cs, _, err := s.resident(r.PathValue("hash"))
+	if err != nil {
+		notFoundOr500(w, err)
+		return
+	}
+	q := r.URL.Query()
+	trials, err := intParam(q.Get("trials"), 8)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	seed, err := intParam(q.Get("seed"), 1)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	tools, err := selectTools(q.Get("tools"), trials)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	var keyParts []string
+	for _, t := range tools {
+		keyParts = append(keyParts, t.Name)
+	}
+	keyParts = append(keyParts, fmt.Sprintf("trials=%d", trials), fmt.Sprintf("seed=%d", seed))
+	key := harness.EvalKey(keyParts...)
+
+	// Serialize identical eval configurations: the second request waits,
+	// then resumes off the first one's completed log (streams nothing new,
+	// returns the same summary).
+	mu := s.evalLock(cs.suite.Hash + "/" + key)
+	mu.Lock()
+	defer mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	// Streaming is decoupled from the evaluation workers: rows pass
+	// through a buffered channel to a single writer goroutine, so a slow
+	// or vanished client can never block a worker (every row is durably
+	// in the eval log regardless — the stream is best-effort). If the
+	// buffer fills or the request context dies, rows are dropped from the
+	// stream only.
+	rowCh := make(chan suite.Row, 256)
+	writerDone := make(chan struct{})
+	ctx := r.Context()
+	go func() {
+		defer close(writerDone)
+		for row := range rowCh {
+			if ctx.Err() != nil {
+				continue // drain without writing; client is gone
+			}
+			enc.Encode(row)
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}()
+
+	fig, err := harness.RunStoredEval(s.store, cs.suite, tools, harness.StoredEvalOptions{
+		Seed:    int64(seed),
+		Workers: s.opts.EvalWorkers,
+		Key:     key,
+		OnRow: func(row suite.Row) {
+			select {
+			case rowCh <- row:
+			default: // stream lagging; the row is still in the log
+			}
+		},
+	})
+	close(rowCh)
+	<-writerDone
+	if err != nil {
+		// Headers are gone; surface the failure in-band as the final line.
+		enc.Encode(map[string]string{"error": err.Error()})
+		return
+	}
+	enc.Encode(map[string]any{"summary": fig})
+}
+
+// evalLock returns the mutex guarding one (suite, eval-key) pair.
+// Mutexes are never removed; the map is bounded by distinct
+// configurations seen, each a few dozen bytes.
+func (s *Server) evalLock(key string) *sync.Mutex {
+	s.evalMuMu.Lock()
+	defer s.evalMuMu.Unlock()
+	mu, ok := s.evalMu[key]
+	if !ok {
+		mu = &sync.Mutex{}
+		s.evalMu[key] = mu
+	}
+	return mu
+}
+
+// resident returns the suite's in-memory entry, loading it from the
+// store on first touch. The bool reports whether it was already
+// resident (an LRU hit).
+func (s *Server) resident(hash string) (*cachedSuite, bool, error) {
+	if cs, ok := s.lru.get(hash); ok {
+		return cs, true, nil
+	}
+	st, err := s.store.Lookup(hash)
+	if err != nil {
+		return nil, false, err
+	}
+	return s.admit(st), false, nil
+}
+
+// admit inserts a suite into the LRU.
+func (s *Server) admit(st *suite.Suite) *cachedSuite {
+	return s.lru.put(st.Hash, &cachedSuite{
+		suite: st,
+		dir:   s.store.InstanceDir(st.Hash),
+		files: map[string][]byte{},
+	})
+}
+
+// selectTools resolves the comma-separated tools parameter (empty = all
+// four paper tools) against the harness registry.
+func selectTools(param string, trials int) ([]harness.ToolSpec, error) {
+	all := harness.DefaultTools(trials)
+	if param == "" {
+		return all, nil
+	}
+	byName := map[string]harness.ToolSpec{}
+	for _, t := range all {
+		byName[t.Name] = t
+	}
+	var out []harness.ToolSpec
+	for _, name := range strings.Split(param, ",") {
+		name = strings.TrimSpace(name)
+		t, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown tool %q", name)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+func intParam(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad integer parameter %q", s)
+	}
+	return n, nil
+}
+
+func cacheLabel(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+func writeObj(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func notFoundOr500(w http.ResponseWriter, err error) {
+	if errors.Is(err, suite.ErrNotFound) {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	httpError(w, http.StatusInternalServerError, err)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeObj(w, code, map[string]string{"error": err.Error()})
+}

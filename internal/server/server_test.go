@@ -1,0 +1,308 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/suite"
+)
+
+const tinyManifestJSON = `{
+	"device": "grid3x3",
+	"swap_counts": [1],
+	"circuits_per_count": 1,
+	"target_two_qubit_gates": 15,
+	"max_two_qubit_gates": 30,
+	"prefer_high_degree": true,
+	"seed": 9
+}`
+
+func newTestServer(t *testing.T) (*httptest.Server, *suite.Store) {
+	t.Helper()
+	store, err := suite.Open(t.TempDir(), suite.StoreOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(store, Options{LRUSuites: 2}))
+	t.Cleanup(ts.Close)
+	return ts, store
+}
+
+func post(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func get(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// The aha moment: the first manifest POST generates, the second is a
+// byte-for-byte cache hit and generates nothing.
+func TestEnsureTwiceSecondIsCacheHit(t *testing.T) {
+	ts, store := newTestServer(t)
+
+	r1 := post(t, ts.URL+"/v1/suites", tinyManifestJSON)
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("first POST: status %d", r1.StatusCode)
+	}
+	if got := r1.Header.Get("X-Cache"); got != "miss" {
+		t.Errorf("first POST X-Cache = %q, want miss", got)
+	}
+	var s1 suite.Suite
+	if err := json.NewDecoder(r1.Body).Decode(&s1); err != nil {
+		t.Fatal(err)
+	}
+	if s1.Cached || len(s1.Instances) != 1 {
+		t.Errorf("first response: cached=%v instances=%d, want fresh suite with 1 instance", s1.Cached, len(s1.Instances))
+	}
+	gen := store.Stats().InstancesGenerated
+
+	r2 := post(t, ts.URL+"/v1/suites", tinyManifestJSON)
+	if got := r2.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("second POST X-Cache = %q, want hit", got)
+	}
+	var s2 suite.Suite
+	if err := json.NewDecoder(r2.Body).Decode(&s2); err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Cached || s2.Hash != s1.Hash {
+		t.Errorf("second response: cached=%v hash=%s, want cached copy of %s", s2.Cached, s2.Hash, s1.Hash)
+	}
+	if got := store.Stats().InstancesGenerated; got != gen {
+		t.Errorf("second POST generated %d new instances, want 0", got-gen)
+	}
+}
+
+func TestInstanceEndpoints(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var st suite.Suite
+	if err := json.NewDecoder(post(t, ts.URL+"/v1/suites", tinyManifestJSON).Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	base := st.Instances[0].Base
+
+	r := get(t, ts.URL+"/v1/suites/"+st.Hash)
+	if r.StatusCode != http.StatusOK {
+		t.Errorf("suite index: status %d", r.StatusCode)
+	}
+
+	r = get(t, ts.URL+"/v1/suites/"+st.Hash+"/instances/"+base)
+	var meta map[string]any
+	if err := json.NewDecoder(r.Body).Decode(&meta); err != nil {
+		t.Fatal(err)
+	}
+	if meta["optimal_swaps"].(float64) != 1 {
+		t.Errorf("sidecar optimal_swaps = %v, want 1", meta["optimal_swaps"])
+	}
+
+	for _, kind := range []string{"qasm", "solution"} {
+		r = get(t, ts.URL+"/v1/suites/"+st.Hash+"/instances/"+base+"/"+kind)
+		if r.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d", kind, r.StatusCode)
+			continue
+		}
+		buf := make([]byte, 16)
+		n, _ := r.Body.Read(buf)
+		if !strings.HasPrefix(string(buf[:n]), "OPENQASM 2.0;") {
+			t.Errorf("%s does not look like QASM: %q", kind, buf[:n])
+		}
+	}
+
+	if r := get(t, ts.URL+"/v1/suites/"+st.Hash+"/instances/"+base+"/nope"); r.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown file kind: status %d, want 404", r.StatusCode)
+	}
+	if r := get(t, ts.URL+"/v1/suites/"+strings.Repeat("0", 64)); r.StatusCode != http.StatusNotFound {
+		t.Errorf("missing suite: status %d, want 404", r.StatusCode)
+	}
+}
+
+func TestEvalStreamsRowsAndSummary(t *testing.T) {
+	ts, store := newTestServer(t)
+	var st suite.Suite
+	if err := json.NewDecoder(post(t, ts.URL+"/v1/suites", tinyManifestJSON).Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	gen := store.Stats().InstancesGenerated
+
+	r := post(t, ts.URL+"/v1/suites/"+st.Hash+"/eval?tools=lightsabre&trials=2", "")
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("eval: status %d", r.StatusCode)
+	}
+	dec := json.NewDecoder(r.Body)
+	var lines []map[string]any
+	for dec.More() {
+		var obj map[string]any
+		if err := dec.Decode(&obj); err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, obj)
+	}
+	if len(lines) != 2 { // 1 row + 1 summary
+		t.Fatalf("streamed %d lines, want 2: %v", len(lines), lines)
+	}
+	if lines[0]["tool"] != "lightsabre" || lines[0]["instance"] != st.Instances[0].Base {
+		t.Errorf("row = %v", lines[0])
+	}
+	summary, ok := lines[len(lines)-1]["summary"].(map[string]any)
+	if !ok {
+		t.Fatalf("last line is not a summary: %v", lines[len(lines)-1])
+	}
+	if summary["device"] != "grid3x3" {
+		t.Errorf("summary device = %v", summary["device"])
+	}
+	if got := store.Stats().InstancesGenerated; got != gen {
+		t.Errorf("eval generated %d instances, want 0", got-gen)
+	}
+
+	// Re-running the identical eval streams no rows (resumed from log),
+	// only the summary.
+	r2 := post(t, ts.URL+"/v1/suites/"+st.Hash+"/eval?tools=lightsabre&trials=2", "")
+	dec2 := json.NewDecoder(r2.Body)
+	var lines2 []map[string]any
+	for dec2.More() {
+		var obj map[string]any
+		if err := dec2.Decode(&obj); err != nil {
+			t.Fatal(err)
+		}
+		lines2 = append(lines2, obj)
+	}
+	if len(lines2) != 1 {
+		t.Errorf("resumed eval streamed %d lines, want just the summary", len(lines2))
+	}
+}
+
+// Identical concurrent eval requests must not double-write the shared
+// log: the rows streamed across all requests total exactly one per
+// (tool, instance), and every summary agrees.
+func TestConcurrentIdenticalEvalsWriteOnce(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var st suite.Suite
+	if err := json.NewDecoder(post(t, ts.URL+"/v1/suites", tinyManifestJSON).Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	const callers = 4
+	rowCounts := make([]int, callers)
+	summaries := make([]string, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/suites/"+st.Hash+"/eval?tools=lightsabre&trials=2", "application/json", nil)
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			defer resp.Body.Close()
+			dec := json.NewDecoder(resp.Body)
+			for dec.More() {
+				var obj map[string]json.RawMessage
+				if err := dec.Decode(&obj); err != nil {
+					errs[c] = err
+					return
+				}
+				if s, ok := obj["summary"]; ok {
+					summaries[c] = string(s)
+				} else {
+					rowCounts[c]++
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	total := 0
+	for c := 0; c < callers; c++ {
+		if errs[c] != nil {
+			t.Fatalf("caller %d: %v", c, errs[c])
+		}
+		total += rowCounts[c]
+		if summaries[c] == "" {
+			t.Errorf("caller %d got no summary", c)
+		}
+		if summaries[c] != summaries[0] {
+			t.Errorf("caller %d summary differs:\n%s\nvs\n%s", c, summaries[c], summaries[0])
+		}
+	}
+	if total != 1 { // one tool × one instance, evaluated exactly once
+		t.Errorf("callers streamed %d rows in total, want exactly 1", total)
+	}
+}
+
+func TestEnsureRejectsBadManifests(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for name, body := range map[string]string{
+		"garbage":       "{",
+		"unknown field": `{"device":"grid3x3","swap_counts":[1],"circuits_per_count":1,"bogus":1}`,
+		"bad device":    `{"device":"warp-core","swap_counts":[1],"circuits_per_count":1,"seed":1}`,
+		"zero circuits": `{"device":"grid3x3","swap_counts":[1],"circuits_per_count":0,"seed":1}`,
+	} {
+		if r := post(t, ts.URL+"/v1/suites", body); r.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, r.StatusCode)
+		}
+	}
+	// Grid cap.
+	ts2, _ := newTestServer(t)
+	big := `{"device":"grid3x3","swap_counts":[1,2,3,4],"circuits_per_count":2000,"seed":1}`
+	if r := post(t, ts2.URL+"/v1/suites", big); r.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized grid: status %d, want 400", r.StatusCode)
+	}
+}
+
+func TestHealthAndList(t *testing.T) {
+	ts, _ := newTestServer(t)
+	r := get(t, ts.URL+"/healthz")
+	var health map[string]any
+	if err := json.NewDecoder(r.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health["status"] != "ok" {
+		t.Errorf("health = %v", health)
+	}
+
+	post(t, ts.URL+"/v1/suites", tinyManifestJSON)
+	r = get(t, ts.URL+"/v1/suites")
+	var listing map[string][]string
+	if err := json.NewDecoder(r.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing["suites"]) != 1 {
+		t.Errorf("listing = %v, want one suite", listing)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	l := newSuiteLRU(2)
+	mk := func(h string) *cachedSuite { return &cachedSuite{suite: &suite.Suite{Hash: h}} }
+	l.put("a", mk("a"))
+	l.put("b", mk("b"))
+	l.get("a") // refresh a; b is now oldest
+	l.put("c", mk("c"))
+	if _, ok := l.get("b"); ok {
+		t.Error("b survived eviction; LRU order not respected")
+	}
+	for _, h := range []string{"a", "c"} {
+		if _, ok := l.get(h); !ok {
+			t.Errorf("%s evicted, want resident", h)
+		}
+	}
+	if l.len() != 2 {
+		t.Errorf("len = %d, want 2", l.len())
+	}
+}

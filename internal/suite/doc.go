@@ -1,0 +1,22 @@
+// Package suite makes QUBIKOS benchmark suites persistent, cacheable and
+// shareable. The unit of exchange is a Manifest — the full recipe for a
+// suite (device, optimal-SWAP-count grid, circuits per count, generator
+// options, base seed) — which hashes to a stable content address. A Store
+// maps that address to an on-disk directory holding every instance of the
+// suite (OpenQASM circuit, known-optimal solution, JSON sidecar) plus a
+// checksum index, so that any two parties holding the same manifest hold
+// bit-identical benchmarks.
+//
+// Store.Ensure is the single entry point: it returns the stored suite if
+// present and otherwise generates it — sharded over a worker pool, written
+// atomically (temp directory + rename), and deduplicated in-process by a
+// single-flight group so concurrent requests for the same manifest pay for
+// at most one generation. Repeated requests never regenerate.
+//
+// The package also provides the persistence half of resumable evaluation:
+// an EvalLog streams per-instance result rows as append-only JSONL inside
+// the suite directory, keyed by an evaluation configuration hash, and
+// reports which (tool, instance) pairs are already done so an interrupted
+// run restarts where it stopped. The tool-running half lives in package
+// harness, which fans evaluations over stored suites.
+package suite

@@ -1,0 +1,158 @@
+package suite
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Row is one streamed per-instance evaluation result: which tool ran
+// which instance of which suite, and what it achieved. A row with a
+// non-empty Error records a tool failure (still a completed attempt — it
+// is not retried on resume).
+type Row struct {
+	Suite     string  `json:"suite"`
+	Instance  string  `json:"instance"`
+	OptSwaps  int     `json:"opt_swaps"`
+	Tool      string  `json:"tool"`
+	Swaps     int     `json:"swaps"`
+	Ratio     float64 `json:"ratio"`
+	Error     string  `json:"error,omitempty"`
+	ElapsedMS int64   `json:"elapsed_ms"`
+}
+
+// key identifies the unit of resumability: one (suite, tool, instance)
+// triple. The suite hash participates so that a log mirroring several
+// suites (qubikos-eval -jsonl) never conflates instances that share a
+// base name across suites.
+func (r Row) key() string { return r.Suite + "\x00" + r.Tool + "\x00" + r.Instance }
+
+// EvalLog is an append-only JSONL log of evaluation rows, the persistence
+// behind resumable suite evaluation. Opening an existing log loads its
+// rows, so a rerun can skip every (tool, instance) pair already recorded
+// and append only the remainder. Append is safe for concurrent use and
+// flushes each row, so a consumer can tail the file while the run is
+// live and a killed run loses at most the row being written.
+type EvalLog struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	rows []Row
+	done map[string]bool
+}
+
+// OpenEvalLog opens (creating if needed) the JSONL log at path and loads
+// any rows a previous run recorded.
+func OpenEvalLog(path string) (*EvalLog, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l := &EvalLog{f: f, w: bufio.NewWriter(f), done: map[string]bool{}}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	var offset, lineStart int64
+	for sc.Scan() {
+		line++
+		lineStart = offset
+		offset += int64(len(sc.Bytes())) + 1 // the emitted '\n'
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var r Row
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			// A torn final line is expected wreckage of a killed run (a
+			// partial write lost its tail): truncate it away and resume;
+			// the pair it would have recorded simply re-runs. Corruption
+			// that is NOT at the tail is a real error.
+			if sc.Scan() {
+				f.Close()
+				return nil, fmt.Errorf("suite: eval log %s line %d: %w", path, line, err)
+			}
+			if err := f.Truncate(lineStart); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("suite: eval log %s: truncating torn line %d: %w", path, line, err)
+			}
+			if _, err := f.Seek(0, 2); err != nil {
+				f.Close()
+				return nil, err
+			}
+			return l, nil
+		}
+		l.rows = append(l.rows, r)
+		l.done[r.key()] = true
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// Done reports whether a (suite, tool, instance) triple is already
+// recorded.
+func (l *EvalLog) Done(suiteHash, tool, instance string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.done[Row{Suite: suiteHash, Tool: tool, Instance: instance}.key()]
+}
+
+// Append records a row, flushing it to disk before returning. Rows for
+// already-recorded triples are dropped (first write wins), keeping
+// resumed runs idempotent. Dedup state is per-process: concurrent
+// writers in separate processes sharing one log file are not coalesced
+// (the server serializes same-configuration evaluations for this
+// reason).
+func (l *EvalLog) Append(r Row) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.done[r.key()] {
+		return nil
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	if _, err := l.w.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	l.rows = append(l.rows, r)
+	l.done[r.key()] = true
+	return nil
+}
+
+// Rows returns a copy of every recorded row: the rows loaded at open time
+// followed by the rows appended since, in append order.
+func (l *EvalLog) Rows() []Row {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Row(nil), l.rows...)
+}
+
+// Close flushes and closes the underlying file.
+func (l *EvalLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+// EvalLogPath is the conventional location of an evaluation log inside a
+// stored suite's directory, keyed by an evaluation-configuration hash so
+// different tool/seed/trial settings never collide.
+func EvalLogPath(suiteDir, evalKey string) string {
+	return filepath.Join(suiteDir, "evals", evalKey+".jsonl")
+}

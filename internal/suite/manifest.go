@@ -1,0 +1,156 @@
+package suite
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/qubikos"
+)
+
+// SchemaVersion identifies the manifest/sidecar layout. Bump it when the
+// serialized form changes incompatibly; old store entries keyed under the
+// previous version stay valid but are never aliased to the new one.
+const SchemaVersion = 1
+
+// GeneratorID names the generation algorithm whose output the content
+// hash promises. It participates in the hash, so any change to the
+// generator that alters emitted circuits must bump this string — otherwise
+// stale store entries would satisfy manifests they no longer match.
+const GeneratorID = "qubikos-go/1"
+
+// Manifest is the complete, deterministic recipe for one benchmark suite:
+// the device, the grid of optimal SWAP counts, how many circuits per
+// count, every generator option, and the base seed. Two manifests with
+// equal normalized fields denote bit-identical suites, and Hash gives the
+// content address both resolve to.
+type Manifest struct {
+	SchemaVersion int    `json:"schema_version"`
+	Generator     string `json:"generator"`
+	Device        string `json:"device"`
+	// SwapCounts is the grid of provably optimal SWAP counts; normalized
+	// to sorted ascending, duplicates removed.
+	SwapCounts       []int `json:"swap_counts"`
+	CircuitsPerCount int   `json:"circuits_per_count"`
+	// Generator options, mirroring qubikos.Options.
+	TargetTwoQubitGates int   `json:"target_two_qubit_gates"`
+	MaxTwoQubitGates    int   `json:"max_two_qubit_gates"`
+	SingleQubitGates    int   `json:"single_qubit_gates"`
+	PreferHighDegree    bool  `json:"prefer_high_degree"`
+	Seed                int64 `json:"seed"`
+}
+
+// NewManifest fills in the schema and generator identifiers around the
+// caller's suite parameters and normalizes the result.
+func NewManifest(device string, swapCounts []int, circuitsPerCount int, opts qubikos.Options) Manifest {
+	m := Manifest{
+		SchemaVersion:       SchemaVersion,
+		Generator:           GeneratorID,
+		Device:              device,
+		SwapCounts:          swapCounts,
+		CircuitsPerCount:    circuitsPerCount,
+		TargetTwoQubitGates: opts.TargetTwoQubitGates,
+		MaxTwoQubitGates:    opts.MaxTwoQubitGates,
+		SingleQubitGates:    opts.SingleQubitGates,
+		PreferHighDegree:    opts.PreferHighDegree,
+		Seed:                opts.Seed,
+	}
+	m.normalize()
+	return m
+}
+
+// normalize sorts and deduplicates the swap-count grid so that manifests
+// differing only in grid order or repetition hash identically.
+func (m *Manifest) normalize() {
+	counts := append([]int(nil), m.SwapCounts...)
+	sort.Ints(counts)
+	out := counts[:0]
+	for i, n := range counts {
+		if i == 0 || n != counts[i-1] {
+			out = append(out, n)
+		}
+	}
+	m.SwapCounts = out
+}
+
+// Validate checks the manifest is well-formed and names a known device.
+func (m *Manifest) Validate() error {
+	if m.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("suite: unsupported schema version %d (want %d)", m.SchemaVersion, SchemaVersion)
+	}
+	if m.Generator != GeneratorID {
+		return fmt.Errorf("suite: unsupported generator %q (want %q)", m.Generator, GeneratorID)
+	}
+	if _, err := arch.ByName(m.Device); err != nil {
+		return err
+	}
+	if len(m.SwapCounts) == 0 {
+		return fmt.Errorf("suite: empty swap-count grid")
+	}
+	for _, n := range m.SwapCounts {
+		if n < 0 {
+			return fmt.Errorf("suite: negative swap count %d", n)
+		}
+	}
+	if m.CircuitsPerCount < 1 {
+		return fmt.Errorf("suite: circuits per count %d < 1", m.CircuitsPerCount)
+	}
+	if m.MaxTwoQubitGates > 0 && m.TargetTwoQubitGates > m.MaxTwoQubitGates {
+		return fmt.Errorf("suite: target %d exceeds cap %d", m.TargetTwoQubitGates, m.MaxTwoQubitGates)
+	}
+	return nil
+}
+
+// canonicalJSON renders the normalized manifest in the canonical form the
+// hash is computed over: the struct's fixed field order, no indentation.
+func (m Manifest) canonicalJSON() []byte {
+	m.normalize()
+	b, err := json.Marshal(m)
+	if err != nil {
+		panic(err) // unreachable: Manifest contains no unmarshalable types
+	}
+	return b
+}
+
+// Hash returns the suite's content address: the lowercase hex SHA-256 of
+// the canonical manifest JSON. Equal recipes hash equally across
+// processes, machines and runs.
+func (m Manifest) Hash() string {
+	sum := sha256.Sum256(m.canonicalJSON())
+	return hex.EncodeToString(sum[:])
+}
+
+// NumInstances is the size of the manifest's device × grid product.
+func (m Manifest) NumInstances() int {
+	return len(m.SwapCounts) * m.CircuitsPerCount
+}
+
+// InstanceSeed derives the deterministic per-instance seed for the i-th
+// circuit at optimal SWAP count n. The formula matches the harness's
+// historical seed schedule so suites generated through the store agree
+// with suites the harness generated inline.
+func (m Manifest) InstanceSeed(n, i int) int64 {
+	return m.Seed + int64(n)*1_000_000 + int64(i)
+}
+
+// InstanceBase is the file base name (no extension) of the i-th instance
+// at optimal SWAP count n, e.g. "s005_i002".
+func InstanceBase(n, i int) string {
+	return fmt.Sprintf("s%03d_i%03d", n, i)
+}
+
+// Options converts the manifest's generator settings into qubikos.Options
+// for the instance (n, i).
+func (m Manifest) Options(n, i int) qubikos.Options {
+	return qubikos.Options{
+		NumSwaps:            n,
+		TargetTwoQubitGates: m.TargetTwoQubitGates,
+		MaxTwoQubitGates:    m.MaxTwoQubitGates,
+		SingleQubitGates:    m.SingleQubitGates,
+		PreferHighDegree:    m.PreferHighDegree,
+		Seed:                m.InstanceSeed(n, i),
+	}
+}

@@ -1,0 +1,432 @@
+package suite
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/arch"
+	"repro/internal/pool"
+	"repro/internal/qubikos"
+)
+
+// ErrNotFound reports a content address with no completed suite on disk.
+var ErrNotFound = errors.New("suite: not found in store")
+
+// completeMarker is written last during generation; its presence is the
+// store's commit point — a suite directory without it is ignored.
+const completeMarker = "COMPLETE"
+
+// StoreOptions tunes a Store.
+type StoreOptions struct {
+	// Workers bounds the generation worker pool; 0 means GOMAXPROCS.
+	Workers int
+	// Verify runs the structural verifier on every generated benchmark
+	// before it is written. Defaults to off; the generator construction is
+	// self-validating (it checks its own solution), so this is a belt for
+	// suites that will be published.
+	Verify bool
+}
+
+// Stats is a snapshot of a Store's cache counters.
+type Stats struct {
+	// Hits counts Ensure calls satisfied from disk without generating.
+	Hits int64
+	// Misses counts Ensure calls that had to generate (followers coalesced
+	// onto an in-flight generation count as hits: they never generate).
+	Misses int64
+	// SuitesGenerated counts completed suite generations.
+	SuitesGenerated int64
+	// InstancesGenerated counts individual benchmark generations.
+	InstancesGenerated int64
+}
+
+// InstanceRef identifies one instance within a suite.
+type InstanceRef struct {
+	// Base is the file base name shared by the instance's three files.
+	Base string `json:"base"`
+	// OptSwaps is the provably optimal SWAP count.
+	OptSwaps int `json:"opt_swaps"`
+	// Index is the instance's position within its swap count (0-based).
+	Index int `json:"index"`
+}
+
+// Suite is a stored, complete benchmark suite.
+type Suite struct {
+	Hash      string        `json:"hash"`
+	Manifest  Manifest      `json:"manifest"`
+	Dir       string        `json:"-"`
+	Instances []InstanceRef `json:"instances"`
+	// Cached reports whether Ensure found the suite on disk (true) or had
+	// to generate it (false).
+	Cached bool `json:"cached"`
+}
+
+// Store is a content-addressed suite store rooted at a directory. It is
+// safe for concurrent use; concurrent Ensure calls for the same manifest
+// within one process are coalesced by a single-flight group, and
+// cross-process races are resolved by atomic rename (first writer wins,
+// losers adopt the winner's bytes).
+type Store struct {
+	root    string
+	workers int
+	verify  bool
+
+	mu       sync.Mutex
+	inflight map[string]*flight
+
+	hits     atomic.Int64
+	misses   atomic.Int64
+	suiteGen atomic.Int64
+	instGen  atomic.Int64
+}
+
+type flight struct {
+	done  chan struct{}
+	suite *Suite
+	err   error
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string, opts StoreOptions) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("suite: empty store directory")
+	}
+	for _, sub := range []string{versionDir(dir), filepath.Join(dir, "tmp")} {
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Store{
+		root:     dir,
+		workers:  workers,
+		verify:   opts.Verify,
+		inflight: map[string]*flight{},
+	}, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:               s.hits.Load(),
+		Misses:             s.misses.Load(),
+		SuitesGenerated:    s.suiteGen.Load(),
+		InstancesGenerated: s.instGen.Load(),
+	}
+}
+
+func versionDir(root string) string {
+	return filepath.Join(root, fmt.Sprintf("v%d", SchemaVersion))
+}
+
+// suiteDir shards by the first two hash characters to keep any single
+// directory small under heavy population.
+func (s *Store) suiteDir(hash string) string {
+	return filepath.Join(versionDir(s.root), hash[:2], hash)
+}
+
+// InstanceDir returns the directory holding a stored suite's instances.
+func (s *Store) InstanceDir(hash string) string {
+	return filepath.Join(s.suiteDir(hash), "instances")
+}
+
+// Ensure returns the suite for the manifest, generating it on a miss.
+// Repeated calls for the same manifest — concurrent or sequential — cause
+// at most one generation; every later call is served from disk.
+func (s *Store) Ensure(m Manifest) (*Suite, error) {
+	m.normalize()
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	hash := m.Hash()
+
+	if st, err := s.open(hash); err == nil {
+		s.hits.Add(1)
+		return st, nil
+	} else if !errors.Is(err, ErrNotFound) {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	if f, ok := s.inflight[hash]; ok {
+		s.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, f.err
+		}
+		s.hits.Add(1)
+		cp := *f.suite
+		cp.Cached = true
+		return &cp, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[hash] = f
+	s.mu.Unlock()
+
+	// Re-probe the disk now that this goroutine is the registered
+	// leader: a previous leader may have committed and deregistered
+	// between the fast-path check above and the registration, and
+	// regenerating here would redo the whole suite for nothing.
+	generated := false
+	if st, err := s.open(hash); err == nil {
+		f.suite = st
+	} else if errors.Is(err, ErrNotFound) {
+		f.suite, f.err = s.generate(m, hash)
+		generated = true
+	} else {
+		f.err = err
+	}
+	s.mu.Lock()
+	delete(s.inflight, hash)
+	s.mu.Unlock()
+	close(f.done)
+	if f.err != nil {
+		return nil, f.err
+	}
+	if !generated {
+		s.hits.Add(1)
+		return f.suite, nil
+	}
+	s.misses.Add(1)
+	return f.suite, nil
+}
+
+// Lookup returns the stored suite at a content address, or ErrNotFound.
+// It never generates.
+func (s *Store) Lookup(hash string) (*Suite, error) {
+	if len(hash) != sha256.Size*2 {
+		return nil, fmt.Errorf("suite: malformed hash %q", hash)
+	}
+	return s.open(hash)
+}
+
+// List returns the content addresses of every completed suite in the
+// store, sorted.
+func (s *Store) List() ([]string, error) {
+	var out []string
+	shards, err := os.ReadDir(versionDir(s.root))
+	if err != nil {
+		return nil, err
+	}
+	for _, shard := range shards {
+		if !shard.IsDir() {
+			continue
+		}
+		suites, err := os.ReadDir(filepath.Join(versionDir(s.root), shard.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range suites {
+			if !e.IsDir() {
+				continue
+			}
+			if _, err := os.Stat(filepath.Join(versionDir(s.root), shard.Name(), e.Name(), completeMarker)); err == nil {
+				out = append(out, e.Name())
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// open loads a completed suite from disk and cross-checks the stored
+// manifest against its directory name.
+func (s *Store) open(hash string) (*Suite, error) {
+	dir := s.suiteDir(hash)
+	if _, err := os.Stat(filepath.Join(dir, completeMarker)); err != nil {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, hash)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("suite: manifest %s: %w", hash, err)
+	}
+	m.normalize()
+	if got := m.Hash(); got != hash {
+		return nil, fmt.Errorf("suite: store corruption: directory %s holds manifest hashing to %s", hash, got)
+	}
+	return &Suite{
+		Hash:      hash,
+		Manifest:  m,
+		Dir:       dir,
+		Instances: m.instanceRefs(),
+		Cached:    true,
+	}, nil
+}
+
+// instanceRefs enumerates the suite's instances in grid order.
+func (m Manifest) instanceRefs() []InstanceRef {
+	refs := make([]InstanceRef, 0, m.NumInstances())
+	for _, n := range m.SwapCounts {
+		for i := 0; i < m.CircuitsPerCount; i++ {
+			refs = append(refs, InstanceRef{Base: InstanceBase(n, i), OptSwaps: n, Index: i})
+		}
+	}
+	return refs
+}
+
+// LoadInstance parses one stored instance (circuit + sidecar) and
+// cross-checks the sidecar against the circuit.
+func (s *Store) LoadInstance(hash string, ref InstanceRef) (*qubikos.LoadedInstance, error) {
+	return qubikos.ReadInstance(s.InstanceDir(hash), ref.Base)
+}
+
+// generate builds every instance of the manifest into a temp directory,
+// writes the checksum index and COMPLETE marker, and atomically renames
+// the directory into place. A concurrent process completing first wins
+// the rename; this process then adopts the winner's (bit-identical)
+// suite.
+func (s *Store) generate(m Manifest, hash string) (*Suite, error) {
+	dev, err := arch.ByName(m.Device)
+	if err != nil {
+		return nil, err
+	}
+	tmp, err := os.MkdirTemp(filepath.Join(s.root, "tmp"), hash[:12]+"-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+	instDir := filepath.Join(tmp, "instances")
+	if err := os.MkdirAll(instDir, 0o755); err != nil {
+		return nil, err
+	}
+
+	refs := m.instanceRefs()
+	err = pool.ParallelFor(len(refs), s.workers, func(ji int) error {
+		ref := refs[ji]
+		b, err := qubikos.Generate(dev, m.Options(ref.OptSwaps, ref.Index))
+		if err == nil && s.verify {
+			err = qubikos.Verify(b)
+		}
+		if err == nil {
+			_, err = qubikos.WriteInstance(instDir, ref.Base, b)
+		}
+		if err != nil {
+			return fmt.Errorf("suite: instance %s: %w", ref.Base, err)
+		}
+		s.instGen.Add(1)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	sums, err := checksumDir(instDir)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeJSON(filepath.Join(tmp, "checksums.json"), sums); err != nil {
+		return nil, err
+	}
+	if err := writeJSON(filepath.Join(tmp, "manifest.json"), m); err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(filepath.Join(tmp, completeMarker), []byte(hash+"\n"), 0o644); err != nil {
+		return nil, err
+	}
+
+	final := s.suiteDir(hash)
+	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+		return nil, err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		// Another process committed first: adopt its copy.
+		if st, openErr := s.open(hash); openErr == nil {
+			return st, nil
+		}
+		return nil, fmt.Errorf("suite: commit %s: %w", hash, err)
+	}
+	s.suiteGen.Add(1)
+	return &Suite{
+		Hash:      hash,
+		Manifest:  m,
+		Dir:       final,
+		Instances: refs,
+		Cached:    false,
+	}, nil
+}
+
+// VerifyChecksums re-hashes every instance file of a stored suite against
+// its checksum index, detecting on-disk corruption or tampering.
+func (s *Store) VerifyChecksums(hash string) error {
+	st, err := s.open(hash)
+	if err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(filepath.Join(st.Dir, "checksums.json"))
+	if err != nil {
+		return err
+	}
+	var want map[string]string
+	if err := json.Unmarshal(raw, &want); err != nil {
+		return fmt.Errorf("suite: checksums %s: %w", hash, err)
+	}
+	got, err := checksumDir(filepath.Join(st.Dir, "instances"))
+	if err != nil {
+		return err
+	}
+	if len(got) != len(want) {
+		return fmt.Errorf("suite: %s has %d instance files, checksum index lists %d", hash, len(got), len(want))
+	}
+	for name, sum := range want {
+		if got[name] != sum {
+			return fmt.Errorf("suite: %s: file %s hashes to %s, index says %s", hash, name, got[name], sum)
+		}
+	}
+	return nil
+}
+
+// checksumDir maps each file name in dir to its hex SHA-256.
+func checksumDir(dir string) (map[string]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		h := sha256.New()
+		_, err = io.Copy(h, f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		out[e.Name()] = hex.EncodeToString(h.Sum(nil))
+	}
+	return out, nil
+}
+
+// writeJSON writes v as indented JSON. Go marshals map keys sorted, so
+// the output is deterministic.
+func writeJSON(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

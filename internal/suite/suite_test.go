@@ -1,0 +1,386 @@
+package suite
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/qubikos"
+)
+
+// tinyManifest is a suite small enough to generate in milliseconds.
+func tinyManifest() Manifest {
+	return NewManifest("grid3x3", []int{1, 2}, 2, qubikos.Options{
+		TargetTwoQubitGates: 20,
+		MaxTwoQubitGates:    30,
+		PreferHighDegree:    true,
+		Seed:                3,
+	})
+}
+
+func openStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), StoreOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// The content hash must be stable across runs and processes: a pinned
+// constant catches accidental re-keying (field renames, map iteration,
+// normalization changes), which would silently orphan every stored suite.
+func TestManifestHashStability(t *testing.T) {
+	const want = "11989a8b295e88283cf2d426378b21a9fd8437c67f4df8f8b2c20c9c67dde7e4"
+	if got := tinyManifest().Hash(); got != want {
+		t.Errorf("hash changed: got %s want %s\n(if the change is intentional, bump GeneratorID or SchemaVersion and update this constant)", got, want)
+	}
+}
+
+func TestManifestHashNormalization(t *testing.T) {
+	base := tinyManifest()
+	reordered := base
+	reordered.SwapCounts = []int{2, 1, 2}
+	reordered.normalize()
+	if reordered.Hash() != base.Hash() {
+		t.Errorf("grid order/duplicates changed the hash: %s vs %s", reordered.Hash(), base.Hash())
+	}
+	changed := base
+	changed.Seed++
+	if changed.Hash() == base.Hash() {
+		t.Error("different seed hashed identically")
+	}
+	changed = base
+	changed.TargetTwoQubitGates++
+	if changed.Hash() == base.Hash() {
+		t.Error("different gate target hashed identically")
+	}
+}
+
+func TestManifestValidate(t *testing.T) {
+	bad := tinyManifest()
+	bad.Device = "no-such-device"
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown device accepted")
+	}
+	bad = tinyManifest()
+	bad.CircuitsPerCount = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero circuits per count accepted")
+	}
+	bad = tinyManifest()
+	bad.SchemaVersion = 99
+	if err := bad.Validate(); err == nil {
+		t.Error("future schema version accepted")
+	}
+}
+
+// A stored suite must round-trip: every instance loads, cross-checks
+// against its sidecar, and equals a fresh inline generation from the
+// manifest's recipe byte for byte.
+func TestStoreRoundTrip(t *testing.T) {
+	store := openStore(t)
+	m := tinyManifest()
+	st, err := store.Ensure(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cached {
+		t.Error("first Ensure reported a cache hit")
+	}
+	if got, want := len(st.Instances), m.NumInstances(); got != want {
+		t.Fatalf("suite has %d instances, want %d", got, want)
+	}
+	dev, err := arch.ByName(m.Device)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ref := range st.Instances {
+		li, err := store.LoadInstance(st.Hash, ref)
+		if err != nil {
+			t.Fatalf("load %s: %v", ref.Base, err)
+		}
+		if li.Meta.OptimalSwaps != ref.OptSwaps {
+			t.Errorf("%s: sidecar optimum %d, ref says %d", ref.Base, li.Meta.OptimalSwaps, ref.OptSwaps)
+		}
+		// Regenerate inline from the manifest recipe and compare bytes.
+		b, err := qubikos.Generate(dev, m.Options(ref.OptSwaps, ref.Index))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh := t.TempDir()
+		if _, err := qubikos.WriteInstance(fresh, ref.Base, b); err != nil {
+			t.Fatal(err)
+		}
+		for _, ext := range []string{".qasm", ".solution.qasm", ".json"} {
+			stored, err := os.ReadFile(filepath.Join(store.InstanceDir(st.Hash), ref.Base+ext))
+			if err != nil {
+				t.Fatal(err)
+			}
+			regen, err := os.ReadFile(filepath.Join(fresh, ref.Base+ext))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(stored, regen) {
+				t.Errorf("%s%s: stored bytes differ from inline regeneration", ref.Base, ext)
+			}
+		}
+	}
+	if err := store.VerifyChecksums(st.Hash); err != nil {
+		t.Errorf("checksums: %v", err)
+	}
+}
+
+// A second Ensure — same process or a fresh store over the same root —
+// must hit the cache, generate nothing, and return bit-identical files.
+func TestCacheHitBitIdentical(t *testing.T) {
+	store := openStore(t)
+	m := tinyManifest()
+	st1, err := store.Ensure(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := store.Stats().InstancesGenerated
+	if gen != int64(m.NumInstances()) {
+		t.Fatalf("first Ensure generated %d instances, want %d", gen, m.NumInstances())
+	}
+
+	snapshot := map[string][]byte{}
+	instDir := store.InstanceDir(st1.Hash)
+	entries, err := os.ReadDir(instDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(instDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		snapshot[e.Name()] = b
+	}
+
+	st2, err := store.Ensure(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Cached {
+		t.Error("second Ensure did not report a cache hit")
+	}
+	if st2.Hash != st1.Hash {
+		t.Errorf("hash changed across Ensure calls: %s vs %s", st2.Hash, st1.Hash)
+	}
+	if got := store.Stats().InstancesGenerated; got != gen {
+		t.Errorf("cache hit regenerated: %d instances generated, want still %d", got, gen)
+	}
+
+	// A fresh Store handle over the same root also hits.
+	store2, err := Open(store.Root(), StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st3, err := store2.Ensure(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st3.Cached || store2.Stats().InstancesGenerated != 0 {
+		t.Error("fresh store handle over a populated root regenerated")
+	}
+	for name, want := range snapshot {
+		got, err := os.ReadFile(filepath.Join(store2.InstanceDir(st3.Hash), name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: bytes changed across cache hits", name)
+		}
+	}
+}
+
+// Concurrent requests for the same cold manifest must coalesce onto one
+// generation (single flight).
+func TestConcurrentEnsureGeneratesOnce(t *testing.T) {
+	store := openStore(t)
+	m := tinyManifest()
+	const callers = 8
+	suites := make([]*Suite, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			suites[i], errs[i] = store.Ensure(m)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if suites[i].Hash != suites[0].Hash {
+			t.Fatalf("caller %d got hash %s, caller 0 got %s", i, suites[i].Hash, suites[0].Hash)
+		}
+	}
+	stats := store.Stats()
+	if stats.SuitesGenerated != 1 {
+		t.Errorf("%d suite generations for %d concurrent requests, want 1", stats.SuitesGenerated, callers)
+	}
+	if stats.InstancesGenerated != int64(m.NumInstances()) {
+		t.Errorf("%d instance generations, want %d", stats.InstancesGenerated, m.NumInstances())
+	}
+}
+
+func TestLookupNotFound(t *testing.T) {
+	store := openStore(t)
+	_, err := store.Lookup("0000000000000000000000000000000000000000000000000000000000000000")
+	if !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing suite: got %v, want ErrNotFound", err)
+	}
+	if _, err := store.Lookup("short"); err == nil {
+		t.Error("malformed hash accepted")
+	}
+}
+
+func TestListAndVerifyChecksums(t *testing.T) {
+	store := openStore(t)
+	st, err := store.Ensure(tinyManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashes, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hashes) != 1 || hashes[0] != st.Hash {
+		t.Fatalf("List = %v, want [%s]", hashes, st.Hash)
+	}
+	// Corrupt one instance file; VerifyChecksums must notice.
+	victim := filepath.Join(store.InstanceDir(st.Hash), st.Instances[0].Base+".qasm")
+	if err := os.WriteFile(victim, []byte("OPENQASM 2.0;\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.VerifyChecksums(st.Hash); err == nil {
+		t.Error("checksum verification passed on corrupted file")
+	}
+}
+
+func TestEvalLogResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "evals", "k.jsonl")
+	log, err := OpenEvalLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []Row{
+		{Suite: "h", Instance: "a", Tool: "t1", OptSwaps: 1, Swaps: 2, Ratio: 2},
+		{Suite: "h", Instance: "b", Tool: "t1", OptSwaps: 1, Swaps: 1, Ratio: 1},
+		{Suite: "h", Instance: "a", Tool: "t2", OptSwaps: 1, Error: "tool failed to route"},
+	}
+	for _, r := range rows {
+		if err := log.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !log.Done("h", "t1", "a") || log.Done("h", "t2", "b") {
+		t.Error("Done bookkeeping wrong before reopen")
+	}
+	// Same tool+instance under a different suite hash is a distinct triple.
+	if log.Done("other-suite", "t1", "a") {
+		t.Error("Done conflated rows across suite hashes")
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	log2, err := OpenEvalLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	if got := log2.Rows(); len(got) != len(rows) {
+		t.Fatalf("reopened log has %d rows, want %d", len(got), len(rows))
+	} else {
+		for i := range rows {
+			if got[i] != rows[i] {
+				t.Errorf("row %d round-trip: got %+v want %+v", i, got[i], rows[i])
+			}
+		}
+	}
+	// Duplicate appends are dropped; new pairs append.
+	if err := log2.Append(rows[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := log2.Append(Row{Suite: "h", Instance: "b", Tool: "t2", OptSwaps: 1, Swaps: 3, Ratio: 3}); err != nil {
+		t.Fatal(err)
+	}
+	// A mirror log spanning suites must keep rows whose tool+instance
+	// collide but whose suite differs.
+	if err := log2.Append(Row{Suite: "h2", Instance: "a", Tool: "t1", OptSwaps: 1, Swaps: 1, Ratio: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(log2.Rows()); got != len(rows)+2 {
+		t.Errorf("after dedup+appends: %d rows, want %d", got, len(rows)+2)
+	}
+}
+
+// A run killed mid-write leaves a torn final line; reopening must
+// recover every complete row, drop the torn tail, and stay writable —
+// mid-file corruption must still be an error.
+func TestEvalLogTornTailRecovers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.jsonl")
+	log, err := OpenEvalLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := Row{Suite: "h", Instance: "a", Tool: "t1", OptSwaps: 1, Swaps: 2, Ratio: 2}
+	if err := log.Append(good); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"suite":"h","instance":"b","to`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	log2, err := OpenEvalLog(path)
+	if err != nil {
+		t.Fatalf("torn tail broke reopen: %v", err)
+	}
+	if got := log2.Rows(); len(got) != 1 || got[0] != good {
+		t.Fatalf("recovered rows = %+v, want just %+v", got, good)
+	}
+	// The truncated pair re-runs: appending it again must stick.
+	torn := Row{Suite: "h", Instance: "b", Tool: "t1", OptSwaps: 1, Swaps: 1, Ratio: 1}
+	if err := log2.Append(torn); err != nil {
+		t.Fatal(err)
+	}
+	if err := log2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	log3, err := OpenEvalLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log3.Close()
+	if got := log3.Rows(); len(got) != 2 || got[1] != torn {
+		t.Fatalf("after recovery+append: rows = %+v", got)
+	}
+
+	// Corruption followed by a valid line is NOT a torn tail: hard error.
+	bad := filepath.Join(t.TempDir(), "mid.jsonl")
+	if err := os.WriteFile(bad, []byte("{broken\n{\"suite\":\"h\",\"instance\":\"c\",\"tool\":\"t\",\"opt_swaps\":1,\"swaps\":1,\"ratio\":1,\"elapsed_ms\":0}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenEvalLog(bad); err == nil {
+		t.Error("mid-file corruption accepted")
+	}
+}
