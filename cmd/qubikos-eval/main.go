@@ -1,7 +1,11 @@
-// Command qubikos-eval reproduces the paper's Figure 4: it obtains
-// QUBIKOS suites on the chosen architectures, runs the four QLS tools
+// Command qubikos-eval reproduces the paper's Figure 4 and its
+// multi-metric extensions: it obtains benchmark suites from a registered
+// family on the chosen architectures, runs the selected QLS tools
 // (LightSABRE, ML-QLS, QMAP-style, t|ket⟩-style), and prints per-cell
-// optimality-gap tables plus the abstract-style per-tool averages.
+// optimality-gap tables plus the abstract-style per-tool averages. With
+// -family queko-depth the suites carry known-optimal routed depth and
+// every ratio scores depth instead of SWAPs; each table row is labeled
+// with its metric either way.
 //
 // With -cache-dir the suites come from the content-addressed store:
 // generated on the first run, reused bit-identically afterwards — a
@@ -17,6 +21,8 @@
 //	qubikos-eval                                  # CI-scale run, all devices
 //	qubikos-eval -circuits 10 -trials 64          # closer to paper scale
 //	qubikos-eval -arch rochester53 -csv out.csv   # one subplot, CSV export
+//	qubikos-eval -tools lightsabre,tket           # a tool subset
+//	qubikos-eval -family queko-depth -depths 8,16 # depth-objective suites
 //	qubikos-eval -cache-dir cache                 # store-backed, resumable
 //	qubikos-eval -cache-dir cache -suite <hash>   # one stored suite
 package main
@@ -29,15 +35,19 @@ import (
 	"time"
 
 	"repro/internal/arch"
+	"repro/internal/family"
 	"repro/internal/harness"
 	"repro/internal/suite"
 )
 
 func main() {
 	archName := flag.String("arch", "all", "device (aspen4, sycamore54, rochester53, eagle127) or all")
-	circuits := flag.Int("circuits", 3, "circuits per swap count (paper: 10)")
+	famName := flag.String("family", "qubikos", "benchmark family: qubikos (optimal swaps) or queko-depth (optimal depth)")
+	circuits := flag.Int("circuits", 3, "circuits per grid value (paper: 10)")
 	trials := flag.Int("trials", 8, "LightSABRE trials (paper: 1000)")
-	swapList := flag.String("swaps", "5,10,15,20", "comma-separated optimal swap counts")
+	toolList := flag.String("tools", "", "comma-separated tool subset (default: all registered tools)")
+	swapList := flag.String("swaps", "5,10,15,20", "comma-separated optimal swap counts (swap-metric families)")
+	depthList := flag.String("depths", "8,16,24", "comma-separated optimal routed depths (depth-metric families)")
 	seed := flag.Int64("seed", 1, "base random seed")
 	csvPath := flag.String("csv", "", "also write the cells as CSV to this file")
 	cacheDir := flag.String("cache-dir", "", "suite store root; empty regenerates suites inline (legacy)")
@@ -46,7 +56,15 @@ func main() {
 	workers := flag.Int("workers", 1, "parallel evaluation workers (store mode)")
 	flag.Parse()
 
-	counts, err := parseCounts(*swapList)
+	fam, err := family.Resolve(*famName)
+	if err != nil {
+		fatal(err)
+	}
+	gridFlag := *swapList
+	if fam.Metric == family.Depth {
+		gridFlag = *depthList
+	}
+	grid, err := parseGrid(gridFlag, fam.MinOptimal)
 	if err != nil {
 		fatal(err)
 	}
@@ -64,7 +82,12 @@ func main() {
 			fatal(err)
 		}
 	}
-	tools := harness.DefaultTools(*trials)
+	// Unknown tool names are a hard error listing the registered tools —
+	// never a silent skip that would quietly shrink the comparison.
+	tools, err := harness.SelectTools(*toolList, *trials)
+	if err != nil {
+		fatal(err)
+	}
 
 	var figs []*harness.Figure
 	if *suiteHash != "" {
@@ -94,7 +117,8 @@ func main() {
 			suites = kept
 		}
 		for i := range suites {
-			suites[i].SwapCounts = counts
+			suites[i].Family = fam.ID
+			suites[i].SwapCounts = grid
 		}
 
 		for _, cfg := range suites {
@@ -184,12 +208,12 @@ func evalStored(store *suite.Store, st *suite.Suite, tools []harness.ToolSpec, t
 	return fig
 }
 
-func parseCounts(s string) ([]int, error) {
+func parseGrid(s string, min int) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		var n int
-		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &n); err != nil || n < 1 {
-			return nil, fmt.Errorf("bad swap count %q", part)
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &n); err != nil || n < 1 || n < min {
+			return nil, fmt.Errorf("bad grid value %q", part)
 		}
 		out = append(out, n)
 	}

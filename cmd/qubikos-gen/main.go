@@ -1,21 +1,24 @@
-// Command qubikos-gen generates QUBIKOS benchmark circuits with provably
-// optimal SWAP counts. It has two modes:
+// Command qubikos-gen generates benchmark circuits from any registered
+// benchmark family: QUBIKOS circuits with provably optimal SWAP counts
+// (the default), or QUEKO-style circuits with provably optimal routed
+// depth (-family queko-depth). It has two modes:
 //
 // Loose-file mode (default) writes each instance as OpenQASM 2.0 plus a
-// JSON metadata sidecar (optimal count, initial mapping, swap schedule)
-// into -out, exactly as earlier releases did.
+// JSON metadata sidecar (family, known optimum, initial mapping, swap
+// schedule) into -out, exactly as earlier releases did.
 //
-// Suite mode (-suite) writes a whole suite — the -swaps grid times
-// -count instances — into the content-addressed store at -cache-dir and
-// prints the suite's content hash. Re-running with the same parameters
-// finds the stored suite and generates nothing; qubikos-eval,
-// qubikos-verify and qubikos-serve consume the same store.
+// Suite mode (-suite) writes a whole suite — the metric grid (-swaps or
+// -depths) times -count instances — into the content-addressed store at
+// -cache-dir and prints the suite's content hash. Re-running with the
+// same parameters finds the stored suite and generates nothing;
+// qubikos-eval, qubikos-verify and qubikos-serve consume the same store.
 //
 // Usage:
 //
 //	qubikos-gen -arch aspen4 -swaps 5 -gates 300 -count 10 -seed 1 -out bench/
 //	qubikos-gen -arch grid3x3 -swaps 2 -max-gates 30 -prefer-high-degree -verify
 //	qubikos-gen -suite -cache-dir cache -arch aspen4 -swaps 5,10,15,20 -gates 300 -count 10 -seed 1
+//	qubikos-gen -suite -cache-dir cache -arch aspen4 -family queko-depth -depths 10,20 -gates 300 -count 10
 package main
 
 import (
@@ -26,39 +29,51 @@ import (
 	"strings"
 
 	"repro/internal/arch"
-	"repro/internal/qubikos"
+	"repro/internal/family"
 	"repro/internal/suite"
 )
 
 func main() {
 	archName := flag.String("arch", "aspen4", "device: aspen4, sycamore54, rochester53, eagle127, grid3x3")
-	swaps := flag.String("swaps", "5", "provably optimal SWAP count, or a comma-separated grid")
+	famName := flag.String("family", "qubikos", "benchmark family: qubikos (optimal swaps) or queko-depth (optimal depth)")
+	swaps := flag.String("swaps", "5", "provably optimal SWAP count, or a comma-separated grid (swap-metric families)")
+	depths := flag.String("depths", "8", "provably optimal routed depth, or a comma-separated grid (depth-metric families)")
 	gates := flag.Int("gates", 300, "target two-qubit gate total (padding)")
 	maxGates := flag.Int("max-gates", 0, "hard cap on two-qubit gates (0 = none)")
 	oneQ := flag.Int("oneq", 0, "single-qubit gates to sprinkle in")
-	count := flag.Int("count", 1, "number of circuits per swap count")
+	count := flag.Int("count", 1, "number of circuits per grid value")
 	seed := flag.Int64("seed", 1, "base random seed")
 	out := flag.String("out", ".", "output directory (loose-file mode)")
-	preferHigh := flag.Bool("prefer-high-degree", false, "bias sections toward max-degree qubits (smaller backbones)")
-	verify := flag.Bool("verify", true, "run the structural verifier on each instance")
+	preferHigh := flag.Bool("prefer-high-degree", false, "bias qubikos sections toward max-degree qubits (smaller backbones)")
+	verify := flag.Bool("verify", true, "run the family's structural verifier on each instance")
 	suiteMode := flag.Bool("suite", false, "write a content-addressed suite into -cache-dir instead of loose files")
 	cacheDir := flag.String("cache-dir", "qubikos-cache", "suite store root (suite mode)")
 	workers := flag.Int("workers", 0, "parallel generation workers in suite mode (0 = all CPUs)")
 	flag.Parse()
 
-	counts, err := parseCounts(*swaps)
+	fam, err := family.Resolve(*famName)
+	if err != nil {
+		fatal(err)
+	}
+	gridFlag := *swaps
+	if fam.Metric == family.Depth {
+		gridFlag = *depths
+	}
+	grid, err := parseGrid(gridFlag, fam.MinOptimal)
 	if err != nil {
 		fatal(err)
 	}
 
+	opts := family.Options{
+		TargetTwoQubitGates: *gates,
+		MaxTwoQubitGates:    *maxGates,
+		SingleQubitGates:    *oneQ,
+		PreferHighDegree:    *preferHigh,
+		Seed:                *seed,
+	}
+
 	if *suiteMode {
-		runSuiteMode(*cacheDir, *archName, counts, *count, qubikos.Options{
-			TargetTwoQubitGates: *gates,
-			MaxTwoQubitGates:    *maxGates,
-			SingleQubitGates:    *oneQ,
-			PreferHighDegree:    *preferHigh,
-			Seed:                *seed,
-		}, *workers, *verify)
+		runSuiteMode(*cacheDir, fam, *archName, grid, *count, opts, *workers, *verify)
 		return
 	}
 
@@ -70,40 +85,49 @@ func main() {
 		fatal(err)
 	}
 
-	for _, n := range counts {
+	for _, n := range grid {
 		for i := 0; i < *count; i++ {
-			b, err := qubikos.Generate(dev, qubikos.Options{
-				NumSwaps:            n,
-				TargetTwoQubitGates: *gates,
-				MaxTwoQubitGates:    *maxGates,
-				SingleQubitGates:    *oneQ,
-				PreferHighDegree:    *preferHigh,
-				Seed:                *seed + int64(i),
-			})
+			instOpts := opts
+			instOpts.Optimal = n
+			instOpts.Seed = *seed + int64(i)
+			inst, err := fam.Generate(dev, instOpts)
 			if err != nil {
 				fatal(err)
 			}
 			if *verify {
-				if err := qubikos.Verify(b); err != nil {
+				if err := inst.Verify(); err != nil {
 					fatal(fmt.Errorf("instance %d failed verification: %w", i, err))
 				}
 			}
-			base := fmt.Sprintf("qubikos_%s_s%d_g%d_i%03d", dev.Name(), n, b.Circuit.TwoQubitGateCount(), i)
-			if _, err := qubikos.WriteInstance(*out, base, b); err != nil {
+			prefix := "qubikos"
+			if fam.Metric == family.Depth {
+				prefix = "queko"
+			}
+			base := fmt.Sprintf("%s_%s_%s%d_g%d_i%03d",
+				prefix, dev.Name(), metricTag(fam.Metric), n, inst.Circuit.TwoQubitGateCount(), i)
+			if _, err := family.WriteInstance(*out, base, inst); err != nil {
 				fatal(err)
 			}
-			fmt.Printf("wrote %s: %d qubits, %d gates (%d two-qubit), optimal swaps %d\n",
-				base, b.Circuit.NumQubits, b.Circuit.NumGates(), b.Circuit.TwoQubitGateCount(), b.OptSwaps)
+			fmt.Printf("wrote %s: %d qubits, %d gates (%d two-qubit), optimal %s %d\n",
+				base, inst.Circuit.NumQubits, inst.Circuit.NumGates(),
+				inst.Circuit.TwoQubitGateCount(), fam.Metric, inst.Optimal)
 		}
 	}
 }
 
-func runSuiteMode(cacheDir, archName string, counts []int, perCount int, opts qubikos.Options, workers int, verify bool) {
+func metricTag(m family.Metric) string {
+	if m == family.Depth {
+		return "d"
+	}
+	return "s"
+}
+
+func runSuiteMode(cacheDir string, fam *family.Family, archName string, grid []int, perCount int, opts family.Options, workers int, verify bool) {
 	store, err := suite.Open(cacheDir, suite.StoreOptions{Workers: workers, Verify: verify})
 	if err != nil {
 		fatal(err)
 	}
-	m := suite.NewManifest(archName, counts, perCount, opts)
+	m := suite.NewFamilyManifest(fam.ID, archName, grid, perCount, opts)
 	st, err := store.Ensure(m)
 	if err != nil {
 		fatal(err)
@@ -113,17 +137,17 @@ func runSuiteMode(cacheDir, archName string, counts []int, perCount int, opts qu
 		status = "cache hit"
 	}
 	fmt.Printf("suite %s (%s)\n", st.Hash, status)
-	fmt.Printf("  device=%s swap-grid=%v circuits-per-count=%d instances=%d\n",
-		m.Device, m.SwapCounts, m.CircuitsPerCount, len(st.Instances))
+	fmt.Printf("  family=%s metric=%s device=%s grid=%v circuits-per-count=%d instances=%d\n",
+		m.Generator, st.Metric, m.Device, m.Grid(), m.CircuitsPerCount, len(st.Instances))
 	fmt.Printf("  dir: %s\n", st.Dir)
 }
 
-func parseCounts(s string) ([]int, error) {
+func parseGrid(s string, min int) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || n < 0 {
-			return nil, fmt.Errorf("bad swap count %q", part)
+		if err != nil || n < min {
+			return nil, fmt.Errorf("bad grid value %q (minimum %d)", part, min)
 		}
 		out = append(out, n)
 	}

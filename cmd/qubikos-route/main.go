@@ -1,6 +1,8 @@
 // Command qubikos-route routes a benchmark instance (written by
-// qubikos-gen) with one of the four QLS tools and reports the SWAP count
-// and optimality gap. With -from-optimal it starts the router from the
+// qubikos-gen) with one of the QLS tools and reports the achieved value
+// and optimality gap in the instance's family metric: SWAP count for
+// qubikos instances, routed depth for queko-depth instances (both are
+// always printed). With -from-optimal it starts the router from the
 // instance's planted optimal mapping — the paper's standalone-router
 // evaluation mode.
 //
@@ -14,15 +16,29 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"repro/internal/bmt"
+	"repro/internal/family"
 	"repro/internal/mlqls"
 	"repro/internal/qmap"
-	"repro/internal/qubikos"
 	"repro/internal/router"
 	"repro/internal/sabre"
 	"repro/internal/tket"
 )
+
+// routeTools builds the tool registry for this command: the four paper
+// tools plus the Section III-C VF2 + token-swapping baseline.
+func routeTools(trials int, seed int64) map[string]router.Router {
+	return map[string]router.Router{
+		"lightsabre": sabre.New(sabre.Options{Trials: trials, Seed: seed}),
+		"ml-qls":     mlqls.New(mlqls.Options{Seed: seed}),
+		"qmap":       qmap.New(qmap.Options{MaxNodes: 2000, Seed: seed}),
+		"tket":       tket.New(tket.Options{Seed: seed}),
+		"vf2-ts":     bmt.New(bmt.Options{}),
+	}
+}
 
 func main() {
 	dir := flag.String("dir", ".", "directory holding the instance files")
@@ -36,25 +52,22 @@ func main() {
 	if *base == "" {
 		fatal(fmt.Errorf("-base is required"))
 	}
-	inst, err := qubikos.ReadInstance(*dir, *base)
+	inst, err := family.ReadInstance(*dir, *base)
 	if err != nil {
 		fatal(err)
 	}
 
-	var r router.Router
-	switch *tool {
-	case "lightsabre":
-		r = sabre.New(sabre.Options{Trials: *trials, Seed: *seed})
-	case "ml-qls":
-		r = mlqls.New(mlqls.Options{Seed: *seed})
-	case "qmap":
-		r = qmap.New(qmap.Options{MaxNodes: 2000, Seed: *seed})
-	case "tket":
-		r = tket.New(tket.Options{Seed: *seed})
-	case "vf2-ts":
-		r = bmt.New(bmt.Options{})
-	default:
-		fatal(fmt.Errorf("unknown tool %q", *tool))
+	tools := routeTools(*trials, *seed)
+	r, ok := tools[*tool]
+	if !ok {
+		names := make([]string, 0, len(tools))
+		for name := range tools {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		// An unknown tool is rejected with the registry listed — never
+		// silently mapped to a default.
+		fatal(fmt.Errorf("unknown tool %q (registered: %s)", *tool, strings.Join(names, ", ")))
 	}
 
 	var res *router.Result
@@ -74,14 +87,16 @@ func main() {
 		fatal(fmt.Errorf("tool produced an invalid result: %w", err))
 	}
 
-	fmt.Printf("instance: %s on %s (%d two-qubit gates, optimal swaps %d)\n",
-		*base, inst.Meta.Device, inst.Meta.TwoQubitGates, inst.Meta.OptimalSwaps)
+	metric := inst.Family.Metric
+	fmt.Printf("instance: %s on %s (family %s, %d two-qubit gates, optimal %s %d)\n",
+		*base, inst.Meta.Device, inst.Family.ID, inst.Meta.TwoQubitGates, metric, inst.Meta.Optimal())
 	mode := "full layout synthesis"
 	if *fromOptimal {
 		mode = "routing from the optimal mapping"
 	}
-	fmt.Printf("%s (%s): %d SWAPs -> gap %.2fx\n",
-		res.Tool, mode, res.SwapCount, router.SwapRatio(res.SwapCount, inst.Meta.OptimalSwaps))
+	fmt.Printf("%s (%s): %d SWAPs, routed depth %d -> %s gap %.2fx\n",
+		res.Tool, mode, res.SwapCount, res.RoutedDepth(), metric,
+		metric.Ratio(metric.Achieved(res), inst.Meta.Optimal()))
 }
 
 func fatal(err error) {

@@ -1,24 +1,37 @@
 // Command qubikos-serve exposes the content-addressed benchmark-suite
-// store over HTTP: clients POST a suite manifest and receive the suite —
-// generated on the first request, served bit-identically from cache on
-// every later one — then fetch instance files or stream an evaluation as
-// JSONL. An in-memory LRU keeps hot suites resident.
+// store over HTTP: clients POST a suite manifest — naming any registered
+// benchmark family (qubikos-go/1 swap-optimal, queko-depth/1
+// depth-optimal) — and receive the suite, generated on the first request
+// and served bit-identically from cache on every later one; then fetch
+// instance files or stream an evaluation as JSONL. An in-memory LRU
+// keeps hot suites resident.
+//
+// On SIGTERM or SIGINT the server stops accepting connections, drains
+// in-flight requests (generation and evaluation included) for up to
+// -drain-timeout, and exits 0 — so rolling restarts never kill an
+// evaluation mid-stream.
 //
 // Usage:
 //
 //	qubikos-serve -cache-dir /var/lib/qubikos -addr :8080
 //	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/v1/families
 //	curl -s -XPOST localhost:8080/v1/suites -d '{"device":"aspen4","swap_counts":[2],"circuits_per_count":1,"target_two_qubit_gates":40,"seed":1}'
+//	curl -s -XPOST localhost:8080/v1/suites -d '{"generator":"queko-depth/1","device":"aspen4","depths":[8],"circuits_per_count":1,"target_two_qubit_gates":40,"seed":1}'
 //	curl -s -XPOST "localhost:8080/v1/suites/<hash>/eval?tools=lightsabre&trials=4"
 //
 // See docs/cli.md for the full endpoint reference.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/server"
@@ -33,6 +46,7 @@ func main() {
 	evalWorkers := flag.Int("eval-workers", 1, "parallel evaluation workers per request")
 	maxInstances := flag.Int("max-instances", 4096, "largest suite a single request may ask for")
 	verify := flag.Bool("verify", false, "run the structural verifier on every generated instance")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests to finish")
 	flag.Parse()
 
 	store, err := suite.Open(*cacheDir, suite.StoreOptions{Workers: *genWorkers, Verify: *verify})
@@ -40,13 +54,39 @@ func main() {
 		fatal(err)
 	}
 	srv := &http.Server{
-		Addr:              *addr,
 		Handler:           server.New(store, server.Options{LRUSuites: *lruSuites, MaxInstances: *maxInstances, EvalWorkers: *evalWorkers}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	fmt.Printf("qubikos-serve: store %s, listening on %s\n", store.Root(), *addr)
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+
+	// Listen before installing the signal handler so the printed address
+	// is always the live one (with ":0" the kernel picks the port).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		fatal(err)
+	}
+	fmt.Printf("qubikos-serve: store %s, listening on %s\n", store.Root(), ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		if err != nil && err != http.ErrServerClosed {
+			fatal(err)
+		}
+	case <-ctx.Done():
+		stop() // a second signal kills immediately via the default handler
+		fmt.Printf("qubikos-serve: signal received, draining in-flight requests (up to %v)\n", *drainTimeout)
+		sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			srv.Close()
+			fatal(fmt.Errorf("drain deadline exceeded: %w", err))
+		}
+		fmt.Println("qubikos-serve: drained, exiting")
 	}
 }
 

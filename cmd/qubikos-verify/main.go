@@ -5,20 +5,28 @@
 // zero-deviation table reproduces the paper's "no deviations observed"
 // result. It can also verify a single QASM file against a claimed count.
 //
+// With -family queko-depth it instead runs the depth family's study:
+// generated instances are re-checked against their structural depth
+// certificate (the planted mapping executes every gate in place and the
+// dependency depth equals the claimed optimum — lower bound meets upper
+// bound, no solver needed).
+//
 // Certification fans out over a worker pool (-workers, default all
-// CPUs); each instance owns its incremental SAT solver, so the table is
+// CPUs); each instance owns its verification state, so the table is
 // identical for any worker count.
 //
-// With -suite and -cache-dir it instead certifies every instance of a
-// stored suite from the content-addressed store: each instance's claimed
-// optimum (from its sidecar) is checked exactly, plus the store's
-// checksum index — end-to-end assurance that the cached bytes still
-// carry the guarantee they were generated with.
+// With -suite and -cache-dir it certifies every instance of a stored
+// suite from the content-addressed store, dispatching on the suite's
+// family: swap-metric suites get the exact SAT check of each claimed
+// optimum, depth-metric suites get their structural depth certificate —
+// plus the store's checksum index either way, end-to-end assurance that
+// the cached bytes still carry the guarantee they were generated with.
 //
 // Usage:
 //
 //	qubikos-verify -circuits 10 -seed 7          # the study
 //	qubikos-verify -circuits 10 -workers 4       # bounded parallelism
+//	qubikos-verify -family queko-depth -depths 8,16
 //	qubikos-verify -qasm bench.qasm -arch aspen4 -claim 3
 //	qubikos-verify -cache-dir cache -suite <hash>
 package main
@@ -33,6 +41,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/circuit"
+	"repro/internal/family"
 	"repro/internal/harness"
 	"repro/internal/olsq"
 	"repro/internal/pool"
@@ -40,9 +49,11 @@ import (
 )
 
 func main() {
-	circuits := flag.Int("circuits", 5, "circuits per (device, swap count) cell (paper: 100)")
+	circuits := flag.Int("circuits", 5, "circuits per (device, grid value) cell (paper: 100)")
 	seed := flag.Int64("seed", 7, "base random seed")
-	swapList := flag.String("swaps", "1,2,3,4", "comma-separated swap counts")
+	famName := flag.String("family", "qubikos", "benchmark family for the study: qubikos or queko-depth")
+	swapList := flag.String("swaps", "1,2,3,4", "comma-separated swap counts (qubikos study)")
+	depthList := flag.String("depths", "4,8", "comma-separated routed depths (queko-depth study)")
 	qasm := flag.String("qasm", "", "verify one OpenQASM file instead of running the study")
 	archName := flag.String("arch", "aspen4", "device for -qasm mode")
 	claim := flag.Int("claim", -1, "claimed optimal swap count for -qasm mode")
@@ -62,6 +73,19 @@ func main() {
 
 	if *qasm != "" {
 		verifyFile(*qasm, *archName, *claim, *maxK)
+		return
+	}
+
+	fam, err := family.Resolve(*famName)
+	if err != nil {
+		fatal(err)
+	}
+	if fam.Metric == family.Depth {
+		counts, err := parseCounts(*depthList)
+		if err != nil {
+			fatal(err)
+		}
+		runDepthStudy(fam, counts, *circuits, *seed, *workers)
 		return
 	}
 
@@ -90,10 +114,76 @@ func main() {
 	}
 }
 
+// runDepthStudy is the depth family's analogue of the Section IV-A
+// study: generate instances on the study devices and re-check each one's
+// structural depth certificate through a serialize/parse round trip — the
+// exact path a stored suite takes.
+func runDepthStudy(fam *family.Family, depths []int, circuits int, seed int64, workers int) {
+	devices := []*arch.Device{arch.RigettiAspen4(), arch.Grid3x3()}
+	type job struct {
+		dev *arch.Device
+		d   int
+		i   int
+	}
+	var jobs []job
+	for _, dev := range devices {
+		for _, d := range depths {
+			for i := 0; i < circuits; i++ {
+				jobs = append(jobs, job{dev: dev, d: d, i: i})
+			}
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	t0 := time.Now()
+	dir, err := os.MkdirTemp("", "queko-study-*")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	err = pool.ParallelFor(len(jobs), workers, func(ji int) error {
+		j := jobs[ji]
+		inst, err := fam.Generate(j.dev, family.Options{
+			Optimal:             j.d,
+			TargetTwoQubitGates: 30,
+			Seed:                seed + int64(j.d)*100_000 + int64(j.i),
+		})
+		if err != nil {
+			return fmt.Errorf("generate %s depth=%d: %w", j.dev.Name(), j.d, err)
+		}
+		if err := inst.Verify(); err != nil {
+			return fmt.Errorf("structural verify %s depth=%d: %w", j.dev.Name(), j.d, err)
+		}
+		base := fmt.Sprintf("j%06d", ji)
+		if _, err := family.WriteInstance(dir, base, inst); err != nil {
+			return err
+		}
+		li, err := family.ReadInstanceWithSolution(dir, base)
+		if err != nil {
+			return err
+		}
+		if err := li.Certify(); err != nil {
+			return fmt.Errorf("depth certificate %s depth=%d: %w", j.dev.Name(), j.d, err)
+		}
+		return nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("Depth-certificate study (family %s):\n", fam.ID)
+	fmt.Printf("%-10s %9s %9s %9s\n", "device", "depths", "circuits", "certified")
+	for _, dev := range devices {
+		fmt.Printf("%-10s %9v %9d %9d\n", dev.Name(), depths, len(depths)*circuits, len(depths)*circuits)
+	}
+	fmt.Printf("\n%d circuits certified in %v; deviations: 0\n", len(jobs), time.Since(t0).Round(time.Millisecond))
+}
+
 // verifySuite certifies a stored suite end to end: the checksum index
 // first (the bytes are the bytes that were generated), then each
-// instance's claimed optimum with the exact SAT solver, fanned over a
-// worker pool. Any deviation exits non-zero.
+// instance per its family's metric — the exact SAT solver for
+// swap-metric suites, the structural depth certificate for depth-metric
+// ones — fanned over a worker pool. Any deviation exits non-zero.
 func verifySuite(cacheDir, hash string, workers int) {
 	store, err := suite.Open(cacheDir, suite.StoreOptions{})
 	if err != nil {
@@ -106,17 +196,28 @@ func verifySuite(cacheDir, hash string, workers int) {
 	if err := store.VerifyChecksums(hash); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("suite %s: checksums OK (%d instances)\n", hash, len(st.Instances))
+	fmt.Printf("suite %s: checksums OK (%d instances, metric %s)\n", hash, len(st.Instances), st.Metric)
 
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	depthMetric := st.Metric == family.Depth
 	t0 := time.Now()
 	// Every instance is attempted (certification failures are collected,
 	// not fail-fast), so the per-index fn always returns nil.
 	errs := make([]error, len(st.Instances))
 	pool.ParallelFor(len(st.Instances), workers, func(ji int) error {
 		ref := st.Instances[ji]
+		if depthMetric {
+			li, err := store.LoadInstanceWithSolution(hash, ref)
+			if err == nil {
+				err = li.Certify()
+			}
+			if err != nil {
+				errs[ji] = fmt.Errorf("%s: %w", ref.Base, err)
+			}
+			return nil
+		}
 		li, err := store.LoadInstance(hash, ref)
 		if err != nil {
 			errs[ji] = err
@@ -139,8 +240,12 @@ func verifySuite(cacheDir, hash string, workers int) {
 			fmt.Fprintln(os.Stderr, "qubikos-verify:", err)
 		}
 	}
-	fmt.Printf("%d/%d instances certified exactly in %v\n",
-		len(st.Instances)-bad, len(st.Instances), time.Since(t0).Round(time.Millisecond))
+	how := "exactly"
+	if depthMetric {
+		how = "by depth certificate"
+	}
+	fmt.Printf("%d/%d instances certified %s in %v\n",
+		len(st.Instances)-bad, len(st.Instances), how, time.Since(t0).Round(time.Millisecond))
 	if bad > 0 {
 		os.Exit(1)
 	}
@@ -183,7 +288,7 @@ func parseCounts(s string) ([]int, error) {
 	for _, part := range strings.Split(s, ",") {
 		var n int
 		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &n); err != nil || n < 1 {
-			return nil, fmt.Errorf("bad swap count %q", part)
+			return nil, fmt.Errorf("bad grid value %q", part)
 		}
 		out = append(out, n)
 	}

@@ -3,11 +3,15 @@
 package repro_test
 
 import (
+	"bufio"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // buildCmds compiles the five commands into a temp dir, once per test
@@ -100,8 +104,11 @@ func TestCommandPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.HasPrefix(string(csv), "device,tool,opt_swaps") {
+	if !strings.HasPrefix(string(csv), "device,tool,metric,optimal") {
 		t.Fatal("CSV missing header")
+	}
+	if !strings.Contains(string(csv), ",swaps,") {
+		t.Fatal("CSV rows missing the metric label")
 	}
 
 	// The small-scale optimality study.
@@ -199,9 +206,11 @@ func TestCommandErrors(t *testing.T) {
 	bins := buildCmds(t)
 	cases := [][]string{
 		{filepath.Join(bins, "qubikos-gen"), "-arch", "nonexistent"},
+		{filepath.Join(bins, "qubikos-gen"), "-family", "warp-core"},             // unknown family
 		{filepath.Join(bins, "qubikos-route"), "-tool", "lightsabre"},            // missing -base
 		{filepath.Join(bins, "qubikos-route"), "-base", "x", "-tool", "bogus"},   // unknown tool
 		{filepath.Join(bins, "qubikos-eval"), "-arch", "grid3x3"},                // not a Figure-4 device
+		{filepath.Join(bins, "qubikos-eval"), "-family", "warp-core"},            // unknown family
 		{filepath.Join(bins, "qubikos-verify"), "-qasm", "/does/not/exist.qasm"}, // missing file
 		{filepath.Join(bins, "qubikos-verify"), "-suite", "deadbeef"},            // -suite without -cache-dir
 		{filepath.Join(bins, "qubikos-eval"), "-suite", "deadbeef"},              // -suite without -cache-dir
@@ -211,5 +220,144 @@ func TestCommandErrors(t *testing.T) {
 		if err := cmd.Run(); err == nil {
 			t.Errorf("%v: expected failure", c)
 		}
+	}
+
+	// Unknown -tools names must fail with the registered tools listed —
+	// not be silently skipped.
+	cmd := exec.Command(filepath.Join(bins, "qubikos-eval"),
+		"-arch", "aspen4", "-circuits", "1", "-trials", "2", "-swaps", "2",
+		"-tools", "lightsabre,warpdrive")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("unknown -tools accepted:\n%s", out)
+	}
+	for _, name := range []string{"warpdrive", "lightsabre", "ml-qls", "qmap", "tket"} {
+		if !strings.Contains(string(out), name) {
+			t.Errorf("-tools error does not mention %q:\n%s", name, out)
+		}
+	}
+}
+
+// TestDepthSuitePipeline drives a depth-objective suite end to end the
+// way a user would: qubikos-gen -family queko-depth into the store (hit
+// on the second run), qubikos-eval scoring depth ratios for SABRE and
+// tket, and qubikos-verify re-checking every instance's depth
+// certificate.
+func TestDepthSuitePipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	bins := buildCmds(t)
+	cache := t.TempDir()
+
+	genArgs := []string{"-suite", "-cache-dir", cache, "-arch", "grid3x3",
+		"-family", "queko-depth", "-depths", "3,5", "-gates", "12",
+		"-count", "2", "-seed", "3"}
+	out := run(t, filepath.Join(bins, "qubikos-gen"), genArgs...)
+	if !strings.Contains(out, "(generated)") || !strings.Contains(out, "metric=depth") {
+		t.Fatalf("first depth-suite gen unexpected:\n%s", out)
+	}
+	var hash string
+	for _, f := range strings.Fields(out) {
+		if len(f) == 64 {
+			hash = f
+			break
+		}
+	}
+	if hash == "" {
+		t.Fatalf("no suite hash in output:\n%s", out)
+	}
+	out = run(t, filepath.Join(bins, "qubikos-gen"), genArgs...)
+	if !strings.Contains(out, "(cache hit)") || !strings.Contains(out, hash) {
+		t.Fatalf("second depth-suite gen should hit the cache:\n%s", out)
+	}
+
+	// Depth-scored evaluation of the stored suite for SABRE and tket.
+	out = run(t, filepath.Join(bins, "qubikos-eval"),
+		"-cache-dir", cache, "-suite", hash, "-tools", "lightsabre,tket",
+		"-trials", "2", "-workers", "2")
+	if !strings.Contains(out, "lightsabre") || !strings.Contains(out, "tket") ||
+		!strings.Contains(out, "depth") {
+		t.Fatalf("depth eval output unexpected:\n%s", out)
+	}
+
+	// Every instance's depth certificate re-checks.
+	out = run(t, filepath.Join(bins, "qubikos-verify"),
+		"-cache-dir", cache, "-suite", hash)
+	if !strings.Contains(out, "checksums OK") || !strings.Contains(out, "metric depth") ||
+		!strings.Contains(out, "4/4 instances certified by depth certificate") {
+		t.Fatalf("depth suite verify output unexpected:\n%s", out)
+	}
+
+	// The depth-certificate study runs clean.
+	out = run(t, filepath.Join(bins, "qubikos-verify"),
+		"-family", "queko-depth", "-depths", "2,3", "-circuits", "1", "-seed", "3")
+	if !strings.Contains(out, "deviations: 0") {
+		t.Fatalf("depth study output unexpected:\n%s", out)
+	}
+}
+
+// TestServeGracefulShutdown starts qubikos-serve, confirms liveness,
+// sends SIGTERM, and requires a clean drain: exit code 0 and the drain
+// log lines.
+func TestServeGracefulShutdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	bins := buildCmds(t)
+	cache := t.TempDir()
+
+	cmd := exec.Command(filepath.Join(bins, "qubikos-serve"),
+		"-cache-dir", cache, "-addr", "127.0.0.1:0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The first stdout line announces the live address.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("no startup line: %v", sc.Err())
+	}
+	line := sc.Text()
+	i := strings.LastIndex(line, "listening on ")
+	if i < 0 {
+		t.Fatalf("startup line has no address: %q", line)
+	}
+	addr := strings.TrimSpace(line[i+len("listening on "):])
+
+	// Server must be live before the signal.
+	var alive bool
+	for range 50 {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			alive = resp.StatusCode == http.StatusOK
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !alive {
+		t.Fatal("server never became healthy")
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	var drained []string
+	for sc.Scan() {
+		drained = append(drained, sc.Text())
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("SIGTERM did not exit cleanly: %v (output: %v)", err, drained)
+	}
+	joined := strings.Join(drained, "\n")
+	if !strings.Contains(joined, "draining") || !strings.Contains(joined, "drained, exiting") {
+		t.Errorf("shutdown output missing drain lines:\n%s", joined)
 	}
 }

@@ -245,6 +245,40 @@ func (c *Circuit) Depth() int {
 	return depth
 }
 
+// SwapDepthCost is the depth one SWAP gate contributes to routed-depth
+// scoring: the standard 3-CX decomposition. QUEKO-style depth objectives
+// charge transpiled circuits this cost per inserted SWAP.
+const SwapDepthCost = 3
+
+// TwoQubitDepth returns the ASAP depth over two-qubit gates only — the
+// routed-depth objective of the QUEKO benchmarks and OLSQ. Single-qubit
+// gates contribute nothing (hardware executes them between two-qubit
+// layers), CX/CZ advance both their qubits one step, and SWAP advances
+// them SwapDepthCost steps.
+func (c *Circuit) TwoQubitDepth() int {
+	last := make([]int, c.NumQubits)
+	depth := 0
+	for _, g := range c.Gates {
+		if !g.TwoQubit() {
+			continue
+		}
+		cost := 1
+		if g.Kind == Swap {
+			cost = SwapDepthCost
+		}
+		d := last[g.Q0]
+		if last[g.Q1] > d {
+			d = last[g.Q1]
+		}
+		d += cost
+		last[g.Q0], last[g.Q1] = d, d
+		if d > depth {
+			depth = d
+		}
+	}
+	return depth
+}
+
 // Validate checks structural well-formedness: all qubit indices in range
 // and no two-qubit gate with coincident operands.
 func (c *Circuit) Validate() error {

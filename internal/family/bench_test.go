@@ -1,0 +1,82 @@
+package family
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+)
+
+// Generation benchmarks for every registered family, at the scale the
+// paper-style suites use. CI runs these with -benchtime=1x as a smoke
+// test; BENCH_baseline.json at the repository root snapshots real
+// measurements so future PRs have a perf trajectory to compare against
+// (see docs/performance.md).
+
+func BenchmarkGenerateQubikosAspen4(b *testing.B) {
+	dev := arch.RigettiAspen4()
+	for i := 0; i < b.N; i++ {
+		if _, err := Qubikos.Generate(dev, Options{
+			Optimal: 5, TargetTwoQubitGates: 300, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateQubikosEagle127(b *testing.B) {
+	dev := arch.IBMEagle127()
+	for i := 0; i < b.N; i++ {
+		if _, err := Qubikos.Generate(dev, Options{
+			Optimal: 20, TargetTwoQubitGates: 3000, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateQuekoDepthAspen4(b *testing.B) {
+	dev := arch.RigettiAspen4()
+	for i := 0; i < b.N; i++ {
+		if _, err := QuekoDepth.Generate(dev, Options{
+			Optimal: 20, TargetTwoQubitGates: 300, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateQuekoDepthEagle127(b *testing.B) {
+	dev := arch.IBMEagle127()
+	for i := 0; i < b.N; i++ {
+		if _, err := QuekoDepth.Generate(dev, Options{
+			Optimal: 45, TargetTwoQubitGates: 3000, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCertifyQuekoDepth measures the structural depth certificate —
+// the per-instance check qubikos-verify runs over stored depth suites.
+func BenchmarkCertifyQuekoDepth(b *testing.B) {
+	dir := b.TempDir()
+	inst, err := QuekoDepth.Generate(arch.IBMEagle127(), Options{
+		Optimal: 45, TargetTwoQubitGates: 3000, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := WriteInstance(dir, "bench", inst); err != nil {
+		b.Fatal(err)
+	}
+	li, err := ReadInstanceWithSolution(dir, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := li.Certify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

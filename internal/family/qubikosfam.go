@@ -1,0 +1,87 @@
+package family
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/qubikos"
+	"repro/internal/router"
+)
+
+// QubikosID identifies the paper's swap-optimal family. It is the value
+// suite.GeneratorID has carried since the store was introduced, so every
+// stored qubikos suite keeps its content address.
+const QubikosID = "qubikos-go/1"
+
+// Qubikos is the registered swap-metric family wrapping the paper's
+// generator (package qubikos).
+var Qubikos = &Family{
+	ID:         QubikosID,
+	Metric:     Swaps,
+	MinOptimal: 0, // 0 degenerates to a SWAP-free, QUEKO-like benchmark
+}
+
+// The function fields refer back to Qubikos, so they are attached here
+// rather than in the literal (which would be an initialization cycle).
+func init() {
+	Qubikos.Generate = qubikosGenerate
+	Qubikos.Certify = qubikosCertify
+	Register(Qubikos)
+}
+
+func qubikosGenerate(dev *arch.Device, opts Options) (*Instance, error) {
+	b, err := qubikos.Generate(dev, qubikos.Options{
+		NumSwaps:            opts.Optimal,
+		TargetTwoQubitGates: opts.TargetTwoQubitGates,
+		MaxTwoQubitGates:    opts.MaxTwoQubitGates,
+		SingleQubitGates:    opts.SingleQubitGates,
+		PreferHighDegree:    opts.PreferHighDegree,
+		Seed:                opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	schedule := make([][2]int, 0, len(b.Sections))
+	for _, sec := range b.Sections {
+		schedule = append(schedule, sec.SwapProg)
+	}
+	return &Instance{
+		Family:         Qubikos,
+		Device:         dev,
+		Circuit:        b.Circuit,
+		Solution:       b.Solution,
+		InitialMapping: b.InitialMapping,
+		Optimal:        b.OptSwaps,
+		OptSwaps:       b.OptSwaps,
+		SwapSchedule:   schedule,
+		Seed:           b.Seed,
+		Verify:         func() error { return qubikos.Verify(b) },
+	}, nil
+}
+
+// qubikosCertify re-checks what the serialized form can carry of the
+// optimality argument: the sidecar's structural consistency, and — when
+// the witness transpilation was loaded — that it is a valid solution
+// using exactly the claimed optimal number of SWAPs (the upper bound).
+// The lower bound rests on the generation-time construction; re-certify
+// it exactly with the SAT solver (qubikos-verify) when needed.
+func qubikosCertify(li *Loaded) error {
+	meta := li.Meta
+	if m := meta.MetricOf(); m != Swaps {
+		return fmt.Errorf("family: qubikos sidecar carries metric %q, want %q", m, Swaps)
+	}
+	if len(meta.SwapSchedule) != meta.OptimalSwaps {
+		return fmt.Errorf("family: swap schedule length %d != claimed optimum %d",
+			len(meta.SwapSchedule), meta.OptimalSwaps)
+	}
+	if li.Solution != nil {
+		if li.Solution.SwapCount != meta.OptimalSwaps {
+			return fmt.Errorf("family: witness uses %d SWAPs, claimed optimum %d",
+				li.Solution.SwapCount, meta.OptimalSwaps)
+		}
+		if err := router.Validate(li.Circuit, li.Device, li.Solution); err != nil {
+			return fmt.Errorf("family: witness transpilation invalid: %w", err)
+		}
+	}
+	return nil
+}

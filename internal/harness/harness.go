@@ -1,9 +1,12 @@
-// Package harness drives the paper's experiments: it obtains QUBIKOS
-// suites with deterministic seeds, runs the four QLS tools, aggregates
-// SWAP-ratio statistics, and renders the tables behind every figure in
-// the evaluation section (Figure 4 a-d, the Section IV-A optimality
-// study, the abstract's per-tool averages, and the Section IV-C case
-// study).
+// Package harness drives the paper's experiments: it obtains benchmark
+// suites with deterministic seeds from any registered family, runs the
+// four QLS tools, aggregates per-metric ratio statistics (SWAP ratio
+// for qubikos suites, routed-depth ratio for depth suites), and renders
+// the tables behind every figure in the evaluation section (Figure 4
+// a-d, the Section IV-A optimality study, the abstract's per-tool
+// averages, and the Section IV-C case study). Every rendered row is
+// labeled with the metric it scores, so mixed-family tables stay
+// unambiguous.
 //
 // Suites come from either of two paths. RunFigure generates inline — the
 // historical one-shot mode. RunStoredEval fans the tools over a suite
@@ -23,6 +26,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/circuit"
+	"repro/internal/family"
 	"repro/internal/mlqls"
 	"repro/internal/olsq"
 	"repro/internal/pool"
@@ -30,6 +34,7 @@ import (
 	"repro/internal/qubikos"
 	"repro/internal/router"
 	"repro/internal/sabre"
+	"repro/internal/suite"
 	"repro/internal/tket"
 )
 
@@ -59,16 +64,68 @@ func DefaultTools(sabreTrials int) []ToolSpec {
 	}
 }
 
-// SuiteConfig describes one Figure-4 style suite: a device, the sweep of
-// optimal SWAP counts, circuits per count, and the padded gate total.
+// ToolNames returns the registered tool names in reporting order.
+func ToolNames() []string {
+	specs := DefaultTools(1)
+	names := make([]string, len(specs))
+	for i, t := range specs {
+		names[i] = t.Name
+	}
+	return names
+}
+
+// SelectTools resolves a comma-separated tool list (empty = every
+// registered tool) against the registry. Unknown names are an error
+// naming the registered tools — never silently skipped — so a typo in a
+// -tools flag or an HTTP tools parameter fails fast instead of quietly
+// evaluating a smaller tool set.
+func SelectTools(list string, sabreTrials int) ([]ToolSpec, error) {
+	all := DefaultTools(sabreTrials)
+	if strings.TrimSpace(list) == "" {
+		return all, nil
+	}
+	byName := map[string]ToolSpec{}
+	for _, t := range all {
+		byName[t.Name] = t
+	}
+	var out []ToolSpec
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		t, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("harness: unknown tool %q (registered: %s)",
+				name, strings.Join(ToolNames(), ", "))
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// SuiteConfig describes one Figure-4 style suite: a benchmark family, a
+// device, the sweep of known-optimal metric values, circuits per value,
+// and the padded gate total.
 type SuiteConfig struct {
-	Device              *arch.Device
+	Device *arch.Device
+	// Family is the registered benchmark family ID; empty selects the
+	// paper's qubikos swap-optimal family.
+	Family string
+	// SwapCounts is the grid of known-optimal metric values: optimal SWAP
+	// counts for swap-metric families, optimal routed depths for
+	// depth-metric ones (the name predates the family registry).
 	SwapCounts          []int
 	CircuitsPerCount    int
 	TargetTwoQubitGates int
 	Seed                int64
 	// Verify runs the structural verifier on every generated benchmark.
 	Verify bool
+}
+
+// FamilyID resolves the configured family, defaulting to qubikos.
+func (cfg SuiteConfig) FamilyID() string {
+	if cfg.Family == "" {
+		return suite.GeneratorID
+	}
+	return cfg.Family
 }
 
 // PaperSuites returns the four Figure-4 configurations with the paper's
@@ -117,13 +174,17 @@ func GenerateSuite(cfg SuiteConfig) ([]*qubikos.Benchmark, error) {
 	return out, nil
 }
 
-// Cell aggregates one (tool, optimal-swap-count) cell of a Figure-4 plot.
+// Cell aggregates one (tool, optimal-metric-value) cell of a Figure-4
+// style plot. Metric labels what Optimal and the ratios score, so tables
+// mixing families stay unambiguous.
 type Cell struct {
 	Tool      string  `json:"tool"`
-	OptSwaps  int     `json:"opt_swaps"`
+	Metric    string  `json:"metric"`
+	Optimal   int     `json:"optimal"`
 	Circuits  int     `json:"circuits"`
 	MeanSwaps float64 `json:"mean_swaps"`
-	MeanRatio float64 `json:"mean_ratio"` // the paper's optimality gap: avg(achieved)/optimal
+	MeanDepth float64 `json:"mean_depth"`
+	MeanRatio float64 `json:"mean_ratio"` // the optimality gap: avg(achieved)/optimal
 	MinRatio  float64 `json:"min_ratio"`
 	MaxRatio  float64 `json:"max_ratio"`
 	Failures  int     `json:"failures"`
@@ -132,63 +193,110 @@ type Cell struct {
 // Figure is the material behind one Figure 4 subplot.
 type Figure struct {
 	Device string `json:"device"`
+	Metric string `json:"metric"`
 	Gates  int    `json:"gates"`
 	Cells  []Cell `json:"cells"`
 }
 
 // EvalItem is one benchmark to evaluate, decoupled from how it was
 // produced: inline generation, a stored suite, or a parsed file all
-// reduce to a circuit on a device with a proven optimal SWAP count.
+// reduce to a circuit on a device with a proven optimum of some metric.
 type EvalItem struct {
 	// ID names the item in logs and errors (an instance base name).
-	ID       string
-	Device   *arch.Device
-	Circuit  *circuit.Circuit
-	OptSwaps int
+	ID      string
+	Device  *arch.Device
+	Circuit *circuit.Circuit
+	// Metric is the scored metric (zero value scores swaps).
+	Metric family.Metric
+	// Optimal is the proven optimal value of Metric.
+	Optimal int
 }
 
-// Items converts generated benchmarks into evaluation items.
+// Items converts generated qubikos benchmarks into evaluation items.
 func Items(benchmarks []*qubikos.Benchmark) []EvalItem {
 	items := make([]EvalItem, len(benchmarks))
 	for i, b := range benchmarks {
 		items[i] = EvalItem{
-			ID:       fmt.Sprintf("bench_%03d", i),
-			Device:   b.Device,
-			Circuit:  b.Circuit,
-			OptSwaps: b.OptSwaps,
+			ID:      fmt.Sprintf("bench_%03d", i),
+			Device:  b.Device,
+			Circuit: b.Circuit,
+			Metric:  family.Swaps,
+			Optimal: b.OptSwaps,
 		}
 	}
 	return items
+}
+
+// GenerateItems builds the configuration's benchmarks through the family
+// registry, deterministic in the configured seed: exactly the instances
+// (and bytes) a suite.Store would generate from cfg.Manifest().
+func GenerateItems(cfg SuiteConfig) ([]EvalItem, error) {
+	m := cfg.Manifest()
+	fam, err := m.Family()
+	if err != nil {
+		return nil, err
+	}
+	var items []EvalItem
+	for _, ref := range m.InstanceRefs() {
+		inst, err := fam.Generate(cfg.Device, m.Options(ref.Optimal, ref.Index))
+		if err != nil {
+			return nil, fmt.Errorf("harness: generate %s %s: %w", cfg.Device.Name(), ref.Base, err)
+		}
+		if cfg.Verify {
+			if err := inst.Verify(); err != nil {
+				return nil, fmt.Errorf("harness: verify %s %s: %w", cfg.Device.Name(), ref.Base, err)
+			}
+		}
+		items = append(items, EvalItem{
+			ID:      ref.Base,
+			Device:  cfg.Device,
+			Circuit: inst.Circuit,
+			Metric:  fam.Metric,
+			Optimal: inst.Optimal,
+		})
+	}
+	return items, nil
 }
 
 // RunFigure generates the suite inline and evaluates it — the historical
 // one-shot path. Production runs should generate through a suite.Store
 // and use RunStoredEval so repeated evaluations never regenerate.
 func RunFigure(cfg SuiteConfig, tools []ToolSpec) (*Figure, error) {
-	bs, err := GenerateSuite(cfg)
+	m := cfg.Manifest()
+	items, err := GenerateItems(cfg)
 	if err != nil {
 		return nil, err
 	}
-	fig := &Figure{Device: cfg.Device.Name(), Gates: cfg.TargetTwoQubitGates}
-	fig.Cells, err = EvaluateItems(Items(bs), cfg.SwapCounts, tools, cfg.Seed)
+	fig := &Figure{
+		Device: cfg.Device.Name(),
+		Metric: string(m.Metric()),
+		Gates:  cfg.TargetTwoQubitGates,
+	}
+	fig.Cells, err = EvaluateItems(m.Metric(), items, m.Grid(), tools, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
 	return fig, nil
 }
 
-// EvaluateItems runs every tool over every item and aggregates per swap
-// count, in tool order then grid order. Every result is audited with
-// router.Validate and checked against the optimality lower bound;
-// violations are returned as errors because they would falsify the
-// benchmark's guarantee.
-func EvaluateItems(items []EvalItem, swapCounts []int, tools []ToolSpec, seed int64) ([]Cell, error) {
+// EvaluateItems runs every tool over every item and aggregates per grid
+// value of the scored metric, in tool order then grid order. Every
+// result is audited with router.Validate and checked against the
+// optimality lower bound; violations are returned as errors because they
+// would falsify the benchmark's guarantee.
+func EvaluateItems(metric family.Metric, items []EvalItem, grid []int, tools []ToolSpec, seed int64) ([]Cell, error) {
+	for _, it := range items {
+		if it.Optimal <= 0 {
+			return nil, fmt.Errorf("harness: instance %s has no positive optimal %s to score (got %d)",
+				it.ID, metric, it.Optimal)
+		}
+	}
 	var cells []Cell
 	for _, tool := range tools {
-		for _, n := range swapCounts {
-			cell := Cell{Tool: tool.Name, OptSwaps: n, MinRatio: -1}
+		for _, n := range grid {
+			cell := Cell{Tool: tool.Name, Metric: string(metric), Optimal: n, MinRatio: -1}
 			for _, it := range items {
-				if it.OptSwaps != n {
+				if it.Optimal != n {
 					continue
 				}
 				res, err := routeOne(tool, it, seed)
@@ -199,9 +307,10 @@ func EvaluateItems(items []EvalItem, swapCounts []int, tools []ToolSpec, seed in
 					cell.Failures++
 					continue
 				}
-				ratio := router.SwapRatio(res.SwapCount, it.OptSwaps)
+				ratio := metric.Ratio(metric.Achieved(res), it.Optimal)
 				cell.Circuits++
 				cell.MeanSwaps += float64(res.SwapCount)
+				cell.MeanDepth += float64(res.RoutedDepth())
 				cell.MeanRatio += ratio
 				if cell.MinRatio < 0 || ratio < cell.MinRatio {
 					cell.MinRatio = ratio
@@ -212,6 +321,7 @@ func EvaluateItems(items []EvalItem, swapCounts []int, tools []ToolSpec, seed in
 			}
 			if cell.Circuits > 0 {
 				cell.MeanSwaps /= float64(cell.Circuits)
+				cell.MeanDepth /= float64(cell.Circuits)
 				cell.MeanRatio /= float64(cell.Circuits)
 			}
 			cells = append(cells, cell)
@@ -233,9 +343,9 @@ func routeOne(tool ToolSpec, it EvalItem, seed int64) (*router.Result, error) {
 		return nil, fmt.Errorf("harness: %s produced invalid result on %s (%s): %w",
 			tool.Name, it.Device.Name(), it.ID, err)
 	}
-	if res.SwapCount < it.OptSwaps {
-		return nil, fmt.Errorf("harness: %s beat the proven optimum on %s (%s): %d < %d",
-			tool.Name, it.Device.Name(), it.ID, res.SwapCount, it.OptSwaps)
+	if achieved := it.Metric.Achieved(res); achieved < it.Optimal {
+		return nil, fmt.Errorf("harness: %s beat the proven optimal %s on %s (%s): %d < %d",
+			tool.Name, it.Metric, it.Device.Name(), it.ID, achieved, it.Optimal)
 	}
 	return res, nil
 }
@@ -324,24 +434,37 @@ func DeviceGaps(figs []*Figure) []DeviceAverage {
 }
 
 // RenderFigure prints the figure as an aligned text table (the repository
-// equivalent of one Figure 4 subplot).
+// equivalent of one Figure 4 subplot). Each row is labeled with the
+// metric its optimum and gap columns score, so tables concatenated
+// across families stay unambiguous.
 func RenderFigure(w io.Writer, f *Figure) {
 	fmt.Fprintf(w, "Figure: %s (target %d two-qubit gates)\n", f.Device, f.Gates)
-	fmt.Fprintf(w, "%-14s %8s %10s %12s %10s %10s %9s\n",
-		"tool", "opt-swap", "circuits", "mean-swaps", "mean-gap", "min-gap", "max-gap")
+	fmt.Fprintf(w, "%-14s %-7s %8s %9s %11s %11s %10s %10s %9s\n",
+		"tool", "metric", "optimum", "circuits", "mean-swaps", "mean-depth", "mean-gap", "min-gap", "max-gap")
 	for _, c := range f.Cells {
-		fmt.Fprintf(w, "%-14s %8d %10d %12.1f %9.2fx %9.2fx %8.2fx\n",
-			c.Tool, c.OptSwaps, c.Circuits, c.MeanSwaps, c.MeanRatio, c.MinRatio, c.MaxRatio)
+		fmt.Fprintf(w, "%-14s %-7s %8d %9d %11.1f %11.1f %9.2fx %9.2fx %8.2fx\n",
+			c.Tool, cellMetric(c), c.Optimal, c.Circuits, c.MeanSwaps, c.MeanDepth, c.MeanRatio, c.MinRatio, c.MaxRatio)
 	}
 }
 
-// RenderFigureCSV emits the figure as CSV for external plotting.
+// RenderFigureCSV emits the figure as CSV for external plotting; like
+// the text table, every row carries its scored metric.
 func RenderFigureCSV(w io.Writer, f *Figure) {
-	fmt.Fprintln(w, "device,tool,opt_swaps,circuits,mean_swaps,mean_ratio,min_ratio,max_ratio,failures")
+	fmt.Fprintln(w, "device,tool,metric,optimal,circuits,mean_swaps,mean_depth,mean_ratio,min_ratio,max_ratio,failures")
 	for _, c := range f.Cells {
-		fmt.Fprintf(w, "%s,%s,%d,%d,%.3f,%.3f,%.3f,%.3f,%d\n",
-			f.Device, c.Tool, c.OptSwaps, c.Circuits, c.MeanSwaps, c.MeanRatio, c.MinRatio, c.MaxRatio, c.Failures)
+		fmt.Fprintf(w, "%s,%s,%s,%d,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%d\n",
+			f.Device, c.Tool, cellMetric(c), c.Optimal, c.Circuits, c.MeanSwaps, c.MeanDepth,
+			c.MeanRatio, c.MinRatio, c.MaxRatio, c.Failures)
 	}
+}
+
+// cellMetric resolves a cell's metric label, defaulting pre-registry
+// cells to swaps.
+func cellMetric(c Cell) string {
+	if c.Metric == "" {
+		return string(family.Swaps)
+	}
+	return c.Metric
 }
 
 // RenderAbstract prints the abstract-style per-tool averages.

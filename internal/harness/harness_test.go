@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/arch"
+	"repro/internal/family"
 )
 
 func smallSuite() SuiteConfig {
@@ -48,13 +49,13 @@ func TestRunFigureShape(t *testing.T) {
 	}
 	for _, c := range fig.Cells {
 		if c.Circuits != 2 {
-			t.Errorf("%s n=%d circuits=%d want 2", c.Tool, c.OptSwaps, c.Circuits)
+			t.Errorf("%s n=%d circuits=%d want 2", c.Tool, c.Optimal, c.Circuits)
 		}
 		if c.MeanRatio < 1 {
-			t.Errorf("%s n=%d mean ratio %.2f below 1 — optimality violated", c.Tool, c.OptSwaps, c.MeanRatio)
+			t.Errorf("%s n=%d mean ratio %.2f below 1 — optimality violated", c.Tool, c.Optimal, c.MeanRatio)
 		}
 		if c.MinRatio > c.MeanRatio || c.MeanRatio > c.MaxRatio {
-			t.Errorf("%s n=%d ratio ordering broken: %v %v %v", c.Tool, c.OptSwaps, c.MinRatio, c.MeanRatio, c.MaxRatio)
+			t.Errorf("%s n=%d ratio ordering broken: %v %v %v", c.Tool, c.Optimal, c.MinRatio, c.MeanRatio, c.MaxRatio)
 		}
 	}
 }
@@ -94,7 +95,7 @@ func TestRenderers(t *testing.T) {
 	}
 	sb.Reset()
 	RenderFigureCSV(&sb, fig)
-	if !strings.Contains(sb.String(), "device,tool,opt_swaps") {
+	if !strings.Contains(sb.String(), "device,tool,metric,optimal") {
 		t.Error("CSV header missing")
 	}
 	lines := strings.Count(sb.String(), "\n")
@@ -218,5 +219,84 @@ func TestSectionIIIC(t *testing.T) {
 	RenderSectionIIIC(&sb, res)
 	if !strings.Contains(sb.String(), "Section III-C") {
 		t.Error("render header missing")
+	}
+}
+
+// smallDepthSuite mirrors smallSuite for the depth-objective family.
+func smallDepthSuite() SuiteConfig {
+	return SuiteConfig{
+		Device:              arch.RigettiAspen4(),
+		Family:              family.QuekoDepthID,
+		SwapCounts:          []int{4, 6}, // known-optimal routed depths
+		CircuitsPerCount:    2,
+		TargetTwoQubitGates: 40,
+		Seed:                1,
+		Verify:              true,
+	}
+}
+
+// A depth-family figure must score routed depth: every cell labeled with
+// the depth metric, every ratio >= 1 (the structural lower bound makes
+// beating the optimum impossible), and mean depth >= the grid value.
+func TestRunFigureDepthFamily(t *testing.T) {
+	fig, err := RunFigure(smallDepthSuite(), DefaultTools(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Metric != string(family.Depth) {
+		t.Fatalf("figure metric = %q, want depth", fig.Metric)
+	}
+	if len(fig.Cells) != 4*2 {
+		t.Fatalf("cells=%d want 8", len(fig.Cells))
+	}
+	for _, c := range fig.Cells {
+		if c.Metric != string(family.Depth) {
+			t.Errorf("%s cell metric = %q, want depth", c.Tool, c.Metric)
+		}
+		if c.Circuits != 2 {
+			t.Errorf("%s d=%d circuits=%d want 2", c.Tool, c.Optimal, c.Circuits)
+		}
+		if c.MeanRatio < 1 {
+			t.Errorf("%s d=%d mean depth ratio %.2f below 1 — depth lower bound violated", c.Tool, c.Optimal, c.MeanRatio)
+		}
+		if c.MeanDepth < float64(c.Optimal) {
+			t.Errorf("%s d=%d mean depth %.1f below the optimum", c.Tool, c.Optimal, c.MeanDepth)
+		}
+	}
+	// Depth rows must be labeled in both renderings.
+	var sb strings.Builder
+	RenderFigure(&sb, fig)
+	if !strings.Contains(sb.String(), "depth") {
+		t.Error("text table missing the depth metric label")
+	}
+	sb.Reset()
+	RenderFigureCSV(&sb, fig)
+	if !strings.Contains(sb.String(), ",depth,") {
+		t.Error("CSV rows missing the depth metric label")
+	}
+}
+
+// SelectTools must reject unknown names with the registry listed, and
+// resolve known subsets in the given order.
+func TestSelectTools(t *testing.T) {
+	all, err := SelectTools("", 2)
+	if err != nil || len(all) != 4 {
+		t.Fatalf("empty selection: %v, %d tools", err, len(all))
+	}
+	sub, err := SelectTools(" tket , lightsabre ", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) != 2 || sub[0].Name != "tket" || sub[1].Name != "lightsabre" {
+		t.Fatalf("subset = %+v", sub)
+	}
+	_, err = SelectTools("lightsabre,warpdrive", 2)
+	if err == nil {
+		t.Fatal("unknown tool accepted")
+	}
+	for _, name := range ToolNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list registered tool %s", err, name)
+		}
 	}
 }

@@ -8,9 +8,8 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/family"
 	"repro/internal/pool"
-	"repro/internal/qubikos"
-	"repro/internal/router"
 	"repro/internal/suite"
 )
 
@@ -21,10 +20,11 @@ import (
 // that do not change the bytes (Verify) are excluded, so configs
 // differing only there share stored suites.
 func (cfg SuiteConfig) Manifest() suite.Manifest {
-	return suite.NewManifest(cfg.Device.Name(), cfg.SwapCounts, cfg.CircuitsPerCount, qubikos.Options{
-		TargetTwoQubitGates: cfg.TargetTwoQubitGates,
-		Seed:                cfg.Seed,
-	})
+	return suite.NewFamilyManifest(cfg.FamilyID(), cfg.Device.Name(), cfg.SwapCounts, cfg.CircuitsPerCount,
+		family.Options{
+			TargetTwoQubitGates: cfg.TargetTwoQubitGates,
+			Seed:                cfg.Seed,
+		})
 }
 
 // EvalKey derives a short stable identifier for an evaluation
@@ -82,6 +82,17 @@ func RunStoredEval(store *suite.Store, st *suite.Suite, tools []ToolSpec, opts S
 	}
 	defer log.Close()
 
+	// A suite whose scored optima include non-positive values (a 0-swap
+	// degenerate suite, say) cannot be ratio-scored; fail cleanly here
+	// rather than panicking inside a worker.
+	metric := st.Manifest.Metric()
+	for _, ref := range st.Instances {
+		if ref.Optimal <= 0 {
+			return nil, fmt.Errorf("harness: suite %s instance %s has no positive optimal %s to score (got %d)",
+				st.Hash, ref.Base, metric, ref.Optimal)
+		}
+	}
+
 	// Load each needed instance once and share it across tools; routing
 	// never mutates the circuit.
 	type job struct {
@@ -109,10 +120,11 @@ func RunStoredEval(store *suite.Store, st *suite.Suite, tools []ToolSpec, opts S
 			return nil, err
 		}
 		items[ref.Base] = EvalItem{
-			ID:       ref.Base,
-			Device:   li.Device,
-			Circuit:  li.Circuit,
-			OptSwaps: li.Meta.OptimalSwaps,
+			ID:      ref.Base,
+			Device:  li.Device,
+			Circuit: li.Circuit,
+			Metric:  metric,
+			Optimal: li.Meta.Optimal(),
 		}
 	}
 
@@ -126,7 +138,8 @@ func RunStoredEval(store *suite.Store, st *suite.Suite, tools []ToolSpec, opts S
 		row := suite.Row{
 			Suite:     st.Hash,
 			Instance:  j.ref.Base,
-			OptSwaps:  it.OptSwaps,
+			Metric:    string(metric),
+			Optimal:   it.Optimal,
 			Tool:      j.tool.Name,
 			ElapsedMS: time.Since(t0).Milliseconds(),
 		}
@@ -134,7 +147,8 @@ func RunStoredEval(store *suite.Store, st *suite.Suite, tools []ToolSpec, opts S
 			row.Error = "tool failed to route"
 		} else {
 			row.Swaps = res.SwapCount
-			row.Ratio = router.SwapRatio(res.SwapCount, it.OptSwaps)
+			row.Depth = res.RoutedDepth()
+			row.Ratio = metric.Ratio(metric.Achieved(res), it.Optimal)
 		}
 		if err := log.Append(row); err != nil {
 			return err
@@ -156,22 +170,31 @@ func RunStoredEval(store *suite.Store, st *suite.Suite, tools []ToolSpec, opts S
 
 // FigureFromRows aggregates evaluation rows into the same per-cell shape
 // RunFigure produces, ordered by the given tool order then the suite's
-// swap-count grid. Rows from unknown tools are ignored, so a log shared
+// metric grid. Rows from unknown tools are ignored, so a log shared
 // across tool subsets still aggregates correctly.
 func FigureFromRows(st *suite.Suite, rows []suite.Row, tools []ToolSpec) *Figure {
-	fig := &Figure{Device: st.Manifest.Device, Gates: st.Manifest.TargetTwoQubitGates}
+	metric := st.Manifest.Metric()
+	fig := &Figure{
+		Device: st.Manifest.Device,
+		Metric: string(metric),
+		Gates:  st.Manifest.TargetTwoQubitGates,
+	}
 	byCell := map[string]map[int][]suite.Row{}
 	for _, r := range rows {
 		if byCell[r.Tool] == nil {
 			byCell[r.Tool] = map[int][]suite.Row{}
 		}
-		byCell[r.Tool][r.OptSwaps] = append(byCell[r.Tool][r.OptSwaps], r)
+		byCell[r.Tool][r.Optimal] = append(byCell[r.Tool][r.Optimal], r)
 	}
-	counts := append([]int(nil), st.Manifest.SwapCounts...)
+	counts := append([]int(nil), st.Manifest.Grid()...)
 	sort.Ints(counts)
 	for _, tool := range tools {
 		for _, n := range counts {
-			cell := Cell{Tool: tool.Name, OptSwaps: n, MinRatio: -1}
+			cell := Cell{Tool: tool.Name, Metric: string(metric), Optimal: n, MinRatio: -1}
+			// Rows logged before multi-metric scoring carry no depth (or
+			// metric) field; averaging their zero Depth would silently
+			// deflate the depth column, so they are excluded from it.
+			depthRows := 0
 			for _, r := range byCell[tool.Name][n] {
 				if r.Error != "" {
 					cell.Failures++
@@ -179,6 +202,10 @@ func FigureFromRows(st *suite.Suite, rows []suite.Row, tools []ToolSpec) *Figure
 				}
 				cell.Circuits++
 				cell.MeanSwaps += float64(r.Swaps)
+				if r.Metric != "" {
+					cell.MeanDepth += float64(r.Depth)
+					depthRows++
+				}
 				cell.MeanRatio += r.Ratio
 				if cell.MinRatio < 0 || r.Ratio < cell.MinRatio {
 					cell.MinRatio = r.Ratio
@@ -190,6 +217,9 @@ func FigureFromRows(st *suite.Suite, rows []suite.Row, tools []ToolSpec) *Figure
 			if cell.Circuits > 0 {
 				cell.MeanSwaps /= float64(cell.Circuits)
 				cell.MeanRatio /= float64(cell.Circuits)
+			}
+			if depthRows > 0 {
+				cell.MeanDepth /= float64(depthRows)
 			}
 			fig.Cells = append(fig.Cells, cell)
 		}

@@ -2,9 +2,11 @@ package harness
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/arch"
+	"repro/internal/family"
 	"repro/internal/suite"
 )
 
@@ -154,5 +156,118 @@ func TestEvalKeyStable(t *testing.T) {
 	// Joining is delimiter-safe: part boundaries matter.
 	if EvalKey("ab", "c") == EvalKey("a", "bc") {
 		t.Error("key ignores part boundaries")
+	}
+}
+
+// A depth-family stored evaluation must score depth ratios end to end:
+// rows labeled with the metric, both achieved values recorded, and the
+// aggregate equal to the inline path.
+func TestStoredEvalDepthFamily(t *testing.T) {
+	cfg := SuiteConfig{
+		Device:              arch.Grid3x3(),
+		Family:              family.QuekoDepthID,
+		SwapCounts:          []int{3, 5}, // known-optimal routed depths
+		CircuitsPerCount:    2,
+		TargetTwoQubitGates: 12,
+		Seed:                11,
+	}
+	tools := DefaultTools(2)
+
+	inline, err := RunFigure(cfg, tools)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store := openStore(t)
+	st, err := store.Ensure(cfg.Manifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []suite.Row
+	stored, err := RunStoredEval(store, st, tools, StoredEvalOptions{
+		Seed:  cfg.Seed,
+		OnRow: func(r suite.Row) { rows = append(rows, r) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored.Metric != string(family.Depth) {
+		t.Fatalf("stored figure metric = %q, want depth", stored.Metric)
+	}
+	if !reflect.DeepEqual(inline.Cells, stored.Cells) {
+		t.Errorf("depth cells differ:\ninline: %+v\nstored: %+v", inline.Cells, stored.Cells)
+	}
+	if len(rows) != len(tools)*st.Manifest.NumInstances() {
+		t.Fatalf("streamed %d rows, want %d", len(rows), len(tools)*st.Manifest.NumInstances())
+	}
+	for _, r := range rows {
+		if r.Metric != string(family.Depth) {
+			t.Errorf("row %s/%s metric = %q, want depth", r.Tool, r.Instance, r.Metric)
+		}
+		if r.Error != "" {
+			continue
+		}
+		if r.Depth < r.Optimal {
+			t.Errorf("row %s/%s achieved depth %d below the proven optimum %d", r.Tool, r.Instance, r.Depth, r.Optimal)
+		}
+		if want := family.Depth.Ratio(r.Depth, r.Optimal); r.Ratio != want {
+			t.Errorf("row %s/%s ratio %.3f, want %.3f (depth/optimal)", r.Tool, r.Instance, r.Ratio, want)
+		}
+	}
+}
+
+// A suite carrying a non-positive scored optimum (a 0-swap degenerate
+// suite) must be rejected with an error, not panic a worker — a remote
+// client can POST such a manifest to qubikos-serve.
+func TestStoredEvalRejectsNonPositiveOptimum(t *testing.T) {
+	store := openStore(t)
+	m := suite.NewManifest("grid3x3", []int{0}, 1, family.Options{
+		TargetTwoQubitGates: 10,
+		Seed:                4,
+	})
+	st, err := store.Ensure(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = RunStoredEval(store, st, DefaultTools(2)[:1], StoredEvalOptions{Seed: 4})
+	if err == nil || !strings.Contains(err.Error(), "no positive optimal") {
+		t.Fatalf("0-swap suite evaluation: err = %v, want a no-positive-optimum error", err)
+	}
+	// The inline path makes the same promise.
+	cfg := SuiteConfig{Device: arch.Grid3x3(), SwapCounts: []int{0}, CircuitsPerCount: 1,
+		TargetTwoQubitGates: 10, Seed: 4}
+	if _, err := RunFigure(cfg, DefaultTools(2)[:1]); err == nil {
+		t.Fatal("inline 0-swap evaluation did not error")
+	}
+}
+
+// Rows logged before multi-metric scoring carry no depth; resuming over
+// such a log must not deflate the depth column with zeros.
+func TestFigureFromRowsExcludesLegacyRowsFromDepthMean(t *testing.T) {
+	cfg := tinyCfg()
+	store := openStore(t)
+	st, err := store.Ensure(cfg.Manifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []suite.Row{
+		// Legacy row: no Metric, no Depth.
+		{Suite: st.Hash, Instance: "s001_i000", Optimal: 1, Tool: "lightsabre", Swaps: 1, Ratio: 1},
+		// Post-registry row with a real depth.
+		{Suite: st.Hash, Instance: "s001_i001", Metric: "swaps", Optimal: 1, Tool: "lightsabre",
+			Swaps: 1, Depth: 8, Ratio: 1},
+	}
+	fig := FigureFromRows(st, rows, DefaultTools(2)[:1])
+	var cell *Cell
+	for i := range fig.Cells {
+		if fig.Cells[i].Optimal == 1 {
+			cell = &fig.Cells[i]
+		}
+	}
+	if cell == nil || cell.Circuits != 2 {
+		t.Fatalf("cell = %+v", cell)
+	}
+	if cell.MeanDepth != 8 {
+		t.Errorf("mean depth = %v, want 8 (legacy zero-depth row excluded), not 4", cell.MeanDepth)
 	}
 }

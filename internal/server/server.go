@@ -8,6 +8,7 @@
 // Endpoints (see docs/cli.md for examples):
 //
 //	GET  /healthz                                  liveness + stats
+//	GET  /v1/families                              registered benchmark families
 //	GET  /v1/suites                                stored suite hashes
 //	POST /v1/suites                                manifest -> suite (generate-on-miss)
 //	GET  /v1/suites/{hash}                         suite index
@@ -29,6 +30,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/family"
 	"repro/internal/harness"
 	"repro/internal/suite"
 )
@@ -79,6 +81,7 @@ func New(store *suite.Store, opts Options) *Server {
 		evalMu: map[string]*sync.Mutex{},
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/families", s.handleFamilies)
 	s.mux.HandleFunc("GET /v1/suites", s.handleList)
 	s.mux.HandleFunc("POST /v1/suites", s.handleEnsure)
 	s.mux.HandleFunc("GET /v1/suites/{hash}", s.handleSuite)
@@ -96,7 +99,32 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"status":     "ok",
 		"stats":      s.store.Stats(),
 		"lru_suites": s.lru.len(),
+		"families":   family.IDs(),
 	})
+}
+
+// handleFamilies lists the registered benchmark families: the IDs a
+// manifest's generator field may name, each with its scored metric and
+// the manifest grid field that metric reads from.
+func (s *Server) handleFamilies(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		ID        string `json:"id"`
+		Metric    string `json:"metric"`
+		GridField string `json:"grid_field"`
+	}
+	var out []entry
+	for _, id := range family.IDs() {
+		f, err := family.ByID(id)
+		if err != nil {
+			continue // unreachable: IDs() lists registered families
+		}
+		gridField := "swap_counts"
+		if f.Metric == family.Depth {
+			gridField = "depths"
+		}
+		out = append(out, entry{ID: f.ID, Metric: string(f.Metric), GridField: gridField})
+	}
+	writeObj(w, http.StatusOK, map[string]any{"families": out})
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -215,7 +243,7 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	tools, err := selectTools(q.Get("tools"), trials)
+	tools, err := harness.SelectTools(q.Get("tools"), trials)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -318,29 +346,6 @@ func (s *Server) admit(st *suite.Suite) *cachedSuite {
 		dir:   s.store.InstanceDir(st.Hash),
 		files: map[string][]byte{},
 	})
-}
-
-// selectTools resolves the comma-separated tools parameter (empty = all
-// four paper tools) against the harness registry.
-func selectTools(param string, trials int) ([]harness.ToolSpec, error) {
-	all := harness.DefaultTools(trials)
-	if param == "" {
-		return all, nil
-	}
-	byName := map[string]harness.ToolSpec{}
-	for _, t := range all {
-		byName[t.Name] = t
-	}
-	var out []harness.ToolSpec
-	for _, name := range strings.Split(param, ",") {
-		name = strings.TrimSpace(name)
-		t, ok := byName[name]
-		if !ok {
-			return nil, fmt.Errorf("unknown tool %q", name)
-		}
-		out = append(out, t)
-	}
-	return out, nil
 }
 
 func intParam(s string, def int) (int, error) {

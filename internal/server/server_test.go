@@ -306,3 +306,118 @@ func TestLRUEviction(t *testing.T) {
 		t.Errorf("len = %d, want 2", l.len())
 	}
 }
+
+const tinyDepthManifestJSON = `{
+	"generator": "queko-depth/1",
+	"device": "grid3x3",
+	"depths": [3],
+	"circuits_per_count": 1,
+	"target_two_qubit_gates": 10,
+	"seed": 9
+}`
+
+// A depth-family suite must serve end to end over HTTP: generate on the
+// first POST, hit the cache on the second, expose instances, and stream
+// a depth-scored evaluation.
+func TestDepthSuiteOverHTTP(t *testing.T) {
+	ts, store := newTestServer(t)
+
+	r1 := post(t, ts.URL+"/v1/suites", tinyDepthManifestJSON)
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("first POST: status %d", r1.StatusCode)
+	}
+	if got := r1.Header.Get("X-Cache"); got != "miss" {
+		t.Errorf("first POST X-Cache = %q, want miss", got)
+	}
+	var s1 suite.Suite
+	if err := json.NewDecoder(r1.Body).Decode(&s1); err != nil {
+		t.Fatal(err)
+	}
+	if s1.Metric != "depth" || len(s1.Instances) != 1 || s1.Instances[0].Optimal != 3 {
+		t.Fatalf("suite = metric %q, %d instances, optimal %d", s1.Metric, len(s1.Instances), s1.Instances[0].Optimal)
+	}
+	gen := store.Stats().InstancesGenerated
+
+	r2 := post(t, ts.URL+"/v1/suites", tinyDepthManifestJSON)
+	if got := r2.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("second POST X-Cache = %q, want hit", got)
+	}
+	if got := store.Stats().InstancesGenerated; got != gen {
+		t.Errorf("second POST generated %d new instances, want 0", got-gen)
+	}
+
+	// Instance files serve for the d-prefixed base names.
+	base := s1.Instances[0].Base
+	if r := get(t, ts.URL+"/v1/suites/"+s1.Hash+"/instances/"+base+"/qasm"); r.StatusCode != http.StatusOK {
+		t.Errorf("qasm fetch: status %d", r.StatusCode)
+	}
+
+	// Evaluation rows score depth.
+	r := post(t, ts.URL+"/v1/suites/"+s1.Hash+"/eval?tools=lightsabre,tket&trials=2", "")
+	dec := json.NewDecoder(r.Body)
+	rows, summaries := 0, 0
+	for dec.More() {
+		var obj map[string]any
+		if err := dec.Decode(&obj); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := obj["summary"]; ok {
+			summaries++
+			continue
+		}
+		rows++
+		if obj["metric"] != "depth" {
+			t.Errorf("row metric = %v, want depth", obj["metric"])
+		}
+		if obj["ratio"].(float64) < 1 {
+			t.Errorf("depth ratio %v below 1", obj["ratio"])
+		}
+	}
+	if rows != 2 || summaries != 1 {
+		t.Errorf("streamed %d rows and %d summaries, want 2 and 1", rows, summaries)
+	}
+}
+
+// The families endpoint lists the registry so clients can discover what
+// a manifest's generator field may name.
+func TestFamiliesEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	r := get(t, ts.URL+"/v1/families")
+	var listing map[string][]map[string]string
+	if err := json.NewDecoder(r.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]map[string]string{}
+	for _, f := range listing["families"] {
+		byID[f["id"]] = f
+	}
+	if f := byID["qubikos-go/1"]; f == nil || f["metric"] != "swaps" || f["grid_field"] != "swap_counts" {
+		t.Errorf("qubikos family entry = %v", byID["qubikos-go/1"])
+	}
+	if f := byID["queko-depth/1"]; f == nil || f["metric"] != "depth" || f["grid_field"] != "depths" {
+		t.Errorf("queko-depth family entry = %v", byID["queko-depth/1"])
+	}
+}
+
+// An unknown tool in the eval query is rejected with the registered
+// tools listed, never silently skipped.
+func TestEvalRejectsUnknownTool(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var st suite.Suite
+	if err := json.NewDecoder(post(t, ts.URL+"/v1/suites", tinyManifestJSON).Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	r := post(t, ts.URL+"/v1/suites/"+st.Hash+"/eval?tools=lightsabre,warpdrive", "")
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown tool: status %d, want 400", r.StatusCode)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"lightsabre", "ml-qls", "qmap", "tket"} {
+		if !strings.Contains(body["error"], name) {
+			t.Errorf("error %q does not list registered tool %s", body["error"], name)
+		}
+	}
+}

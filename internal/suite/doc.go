@@ -1,11 +1,14 @@
-// Package suite makes QUBIKOS benchmark suites persistent, cacheable and
+// Package suite makes benchmark suites persistent, cacheable and
 // shareable. The unit of exchange is a Manifest — the full recipe for a
-// suite (device, optimal-SWAP-count grid, circuits per count, generator
-// options, base seed) — which hashes to a stable content address. A Store
-// maps that address to an on-disk directory holding every instance of the
-// suite (OpenQASM circuit, known-optimal solution, JSON sidecar) plus a
-// checksum index, so that any two parties holding the same manifest hold
-// bit-identical benchmarks.
+// suite (benchmark family, device, known-optimal metric grid, circuits
+// per grid value, generator options, base seed) — which hashes to a
+// stable content address. A Store maps that address to an on-disk
+// directory holding every instance of the suite (OpenQASM circuit,
+// known-optimal solution, JSON sidecar) plus a checksum index, so that
+// any two parties holding the same manifest hold bit-identical
+// benchmarks. Generation dispatches on the family registry (package
+// family): swap-optimal QUBIKOS suites and depth-optimal QUEKO-style
+// suites flow through the same store.
 //
 // Store.Ensure is the single entry point: it returns the stored suite if
 // present and otherwise generates it — sharded over a worker pool, written

@@ -14,11 +14,20 @@ import (
 // non-empty Error records a tool failure (still a completed attempt — it
 // is not retried on resume).
 type Row struct {
-	Suite     string  `json:"suite"`
-	Instance  string  `json:"instance"`
-	OptSwaps  int     `json:"opt_swaps"`
-	Tool      string  `json:"tool"`
+	Suite    string `json:"suite"`
+	Instance string `json:"instance"`
+	// Metric names the scored metric ("swaps" or "depth"). Rows logged
+	// before multi-metric scoring omit it; they scored swaps.
+	Metric string `json:"metric,omitempty"`
+	// Optimal is the known-optimal value of the scored metric. The JSON
+	// name predates the depth metric and is kept so resumable logs from
+	// earlier releases still aggregate.
+	Optimal int    `json:"opt_swaps"`
+	Tool    string `json:"tool"`
+	// Swaps and Depth are the result's value under each metric; Ratio is
+	// Metric's achieved value over Optimal.
 	Swaps     int     `json:"swaps"`
+	Depth     int     `json:"depth,omitempty"`
 	Ratio     float64 `json:"ratio"`
 	Error     string  `json:"error,omitempty"`
 	ElapsedMS int64   `json:"elapsed_ms"`

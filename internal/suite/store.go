@@ -15,8 +15,8 @@ import (
 	"sync/atomic"
 
 	"repro/internal/arch"
+	"repro/internal/family"
 	"repro/internal/pool"
-	"repro/internal/qubikos"
 )
 
 // ErrNotFound reports a content address with no completed suite on disk.
@@ -54,16 +54,25 @@ type Stats struct {
 type InstanceRef struct {
 	// Base is the file base name shared by the instance's three files.
 	Base string `json:"base"`
-	// OptSwaps is the provably optimal SWAP count.
-	OptSwaps int `json:"opt_swaps"`
-	// Index is the instance's position within its swap count (0-based).
+	// Optimal is the provably optimal value of the suite's scored metric
+	// (SWAP count for swap-metric suites, routed depth for depth-metric
+	// ones).
+	Optimal int `json:"optimal"`
+	// OptSwaps mirrors Optimal for swap-metric suites under the wire
+	// name API clients read before the family registry existed; depth
+	// suites omit it.
+	OptSwaps int `json:"opt_swaps,omitempty"`
+	// Index is the instance's position within its grid value (0-based).
 	Index int `json:"index"`
 }
 
 // Suite is a stored, complete benchmark suite.
 type Suite struct {
-	Hash      string        `json:"hash"`
-	Manifest  Manifest      `json:"manifest"`
+	Hash     string   `json:"hash"`
+	Manifest Manifest `json:"manifest"`
+	// Metric is the scored metric of the suite's family ("swaps" or
+	// "depth"); every instance's Optimal is expressed in it.
+	Metric    family.Metric `json:"metric"`
 	Dir       string        `json:"-"`
 	Instances []InstanceRef `json:"instances"`
 	// Cached reports whether Ensure found the suite on disk (true) or had
@@ -267,27 +276,39 @@ func (s *Store) open(hash string) (*Suite, error) {
 	return &Suite{
 		Hash:      hash,
 		Manifest:  m,
+		Metric:    m.Metric(),
 		Dir:       dir,
-		Instances: m.instanceRefs(),
+		Instances: m.InstanceRefs(),
 		Cached:    true,
 	}, nil
 }
 
-// instanceRefs enumerates the suite's instances in grid order.
-func (m Manifest) instanceRefs() []InstanceRef {
+// InstanceRefs enumerates the suite's instances in grid order.
+func (m Manifest) InstanceRefs() []InstanceRef {
+	metric := m.Metric()
 	refs := make([]InstanceRef, 0, m.NumInstances())
-	for _, n := range m.SwapCounts {
+	for _, n := range m.Grid() {
 		for i := 0; i < m.CircuitsPerCount; i++ {
-			refs = append(refs, InstanceRef{Base: InstanceBase(n, i), OptSwaps: n, Index: i})
+			ref := InstanceRef{Base: instanceBase(metric, n, i), Optimal: n, Index: i}
+			if metric == family.Swaps {
+				ref.OptSwaps = n
+			}
+			refs = append(refs, ref)
 		}
 	}
 	return refs
 }
 
 // LoadInstance parses one stored instance (circuit + sidecar) and
-// cross-checks the sidecar against the circuit.
-func (s *Store) LoadInstance(hash string, ref InstanceRef) (*qubikos.LoadedInstance, error) {
-	return qubikos.ReadInstance(s.InstanceDir(hash), ref.Base)
+// cross-checks the sidecar against the circuit and the family registry.
+func (s *Store) LoadInstance(hash string, ref InstanceRef) (*family.Loaded, error) {
+	return family.ReadInstance(s.InstanceDir(hash), ref.Base)
+}
+
+// LoadInstanceWithSolution additionally parses the stored witness
+// transpilation, which family certificate checks may require.
+func (s *Store) LoadInstanceWithSolution(hash string, ref InstanceRef) (*family.Loaded, error) {
+	return family.ReadInstanceWithSolution(s.InstanceDir(hash), ref.Base)
 }
 
 // generate builds every instance of the manifest into a temp directory,
@@ -297,6 +318,10 @@ func (s *Store) LoadInstance(hash string, ref InstanceRef) (*qubikos.LoadedInsta
 // suite.
 func (s *Store) generate(m Manifest, hash string) (*Suite, error) {
 	dev, err := arch.ByName(m.Device)
+	if err != nil {
+		return nil, err
+	}
+	fam, err := m.Family()
 	if err != nil {
 		return nil, err
 	}
@@ -310,15 +335,15 @@ func (s *Store) generate(m Manifest, hash string) (*Suite, error) {
 		return nil, err
 	}
 
-	refs := m.instanceRefs()
+	refs := m.InstanceRefs()
 	err = pool.ParallelFor(len(refs), s.workers, func(ji int) error {
 		ref := refs[ji]
-		b, err := qubikos.Generate(dev, m.Options(ref.OptSwaps, ref.Index))
+		inst, err := fam.Generate(dev, m.Options(ref.Optimal, ref.Index))
 		if err == nil && s.verify {
-			err = qubikos.Verify(b)
+			err = inst.Verify()
 		}
 		if err == nil {
-			_, err = qubikos.WriteInstance(instDir, ref.Base, b)
+			_, err = family.WriteInstance(instDir, ref.Base, inst)
 		}
 		if err != nil {
 			return fmt.Errorf("suite: instance %s: %w", ref.Base, err)
@@ -359,6 +384,7 @@ func (s *Store) generate(m Manifest, hash string) (*Suite, error) {
 	return &Suite{
 		Hash:      hash,
 		Manifest:  m,
+		Metric:    fam.Metric,
 		Dir:       final,
 		Instances: refs,
 		Cached:    false,

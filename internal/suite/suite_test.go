@@ -9,15 +9,24 @@ import (
 	"testing"
 
 	"repro/internal/arch"
+	"repro/internal/family"
 	"repro/internal/qubikos"
 )
 
 // tinyManifest is a suite small enough to generate in milliseconds.
 func tinyManifest() Manifest {
-	return NewManifest("grid3x3", []int{1, 2}, 2, qubikos.Options{
+	return NewManifest("grid3x3", []int{1, 2}, 2, family.Options{
 		TargetTwoQubitGates: 20,
 		MaxTwoQubitGates:    30,
 		PreferHighDegree:    true,
+		Seed:                3,
+	})
+}
+
+// tinyDepthManifest is the depth-family analogue.
+func tinyDepthManifest() Manifest {
+	return NewFamilyManifest(family.QuekoDepthID, "grid3x3", []int{3, 5}, 2, family.Options{
+		TargetTwoQubitGates: 12,
 		Seed:                3,
 	})
 }
@@ -104,11 +113,11 @@ func TestStoreRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("load %s: %v", ref.Base, err)
 		}
-		if li.Meta.OptimalSwaps != ref.OptSwaps {
-			t.Errorf("%s: sidecar optimum %d, ref says %d", ref.Base, li.Meta.OptimalSwaps, ref.OptSwaps)
+		if li.Meta.OptimalSwaps != ref.Optimal {
+			t.Errorf("%s: sidecar optimum %d, ref says %d", ref.Base, li.Meta.OptimalSwaps, ref.Optimal)
 		}
 		// Regenerate inline from the manifest recipe and compare bytes.
-		b, err := qubikos.Generate(dev, m.Options(ref.OptSwaps, ref.Index))
+		b, err := qubikos.Generate(dev, qubikosOptions(m.Options(ref.Optimal, ref.Index)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -275,9 +284,9 @@ func TestEvalLogResume(t *testing.T) {
 		t.Fatal(err)
 	}
 	rows := []Row{
-		{Suite: "h", Instance: "a", Tool: "t1", OptSwaps: 1, Swaps: 2, Ratio: 2},
-		{Suite: "h", Instance: "b", Tool: "t1", OptSwaps: 1, Swaps: 1, Ratio: 1},
-		{Suite: "h", Instance: "a", Tool: "t2", OptSwaps: 1, Error: "tool failed to route"},
+		{Suite: "h", Instance: "a", Tool: "t1", Optimal: 1, Swaps: 2, Ratio: 2},
+		{Suite: "h", Instance: "b", Tool: "t1", Optimal: 1, Swaps: 1, Ratio: 1},
+		{Suite: "h", Instance: "a", Tool: "t2", Optimal: 1, Error: "tool failed to route"},
 	}
 	for _, r := range rows {
 		if err := log.Append(r); err != nil {
@@ -313,12 +322,12 @@ func TestEvalLogResume(t *testing.T) {
 	if err := log2.Append(rows[0]); err != nil {
 		t.Fatal(err)
 	}
-	if err := log2.Append(Row{Suite: "h", Instance: "b", Tool: "t2", OptSwaps: 1, Swaps: 3, Ratio: 3}); err != nil {
+	if err := log2.Append(Row{Suite: "h", Instance: "b", Tool: "t2", Optimal: 1, Swaps: 3, Ratio: 3}); err != nil {
 		t.Fatal(err)
 	}
 	// A mirror log spanning suites must keep rows whose tool+instance
 	// collide but whose suite differs.
-	if err := log2.Append(Row{Suite: "h2", Instance: "a", Tool: "t1", OptSwaps: 1, Swaps: 1, Ratio: 1}); err != nil {
+	if err := log2.Append(Row{Suite: "h2", Instance: "a", Tool: "t1", Optimal: 1, Swaps: 1, Ratio: 1}); err != nil {
 		t.Fatal(err)
 	}
 	if got := len(log2.Rows()); got != len(rows)+2 {
@@ -335,7 +344,7 @@ func TestEvalLogTornTailRecovers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	good := Row{Suite: "h", Instance: "a", Tool: "t1", OptSwaps: 1, Swaps: 2, Ratio: 2}
+	good := Row{Suite: "h", Instance: "a", Tool: "t1", Optimal: 1, Swaps: 2, Ratio: 2}
 	if err := log.Append(good); err != nil {
 		t.Fatal(err)
 	}
@@ -359,7 +368,7 @@ func TestEvalLogTornTailRecovers(t *testing.T) {
 		t.Fatalf("recovered rows = %+v, want just %+v", got, good)
 	}
 	// The truncated pair re-runs: appending it again must stick.
-	torn := Row{Suite: "h", Instance: "b", Tool: "t1", OptSwaps: 1, Swaps: 1, Ratio: 1}
+	torn := Row{Suite: "h", Instance: "b", Tool: "t1", Optimal: 1, Swaps: 1, Ratio: 1}
 	if err := log2.Append(torn); err != nil {
 		t.Fatal(err)
 	}
@@ -382,5 +391,114 @@ func TestEvalLogTornTailRecovers(t *testing.T) {
 	}
 	if _, err := OpenEvalLog(bad); err == nil {
 		t.Error("mid-file corruption accepted")
+	}
+}
+
+// qubikosOptions converts family-generic options back into the qubikos
+// generator's own option struct, for byte-level cross-checks against the
+// legacy writer.
+func qubikosOptions(o family.Options) qubikos.Options {
+	return qubikos.Options{
+		NumSwaps:            o.Optimal,
+		TargetTwoQubitGates: o.TargetTwoQubitGates,
+		MaxTwoQubitGates:    o.MaxTwoQubitGates,
+		SingleQubitGates:    o.SingleQubitGates,
+		PreferHighDegree:    o.PreferHighDegree,
+		Seed:                o.Seed,
+	}
+}
+
+// The depth manifest hash is pinned like the qubikos one: re-keying
+// would orphan every stored depth suite.
+func TestDepthManifestHashStability(t *testing.T) {
+	m := tinyDepthManifest()
+	if m.Metric() != family.Depth {
+		t.Fatalf("metric = %s, want depth", m.Metric())
+	}
+	const want = "7b483083288d7fd4fcf9df47c404e297abf7c3d48ae4710a9905aa78d28394d3"
+	if got := m.Hash(); got != want {
+		t.Errorf("depth manifest hash changed: got %s want %s", got, want)
+	}
+}
+
+// Manifests must pair the grid with the family's metric: a depth family
+// with swap_counts (or vice versa) is rejected, not silently re-keyed.
+func TestManifestGridMatchesFamilyMetric(t *testing.T) {
+	bad := tinyDepthManifest()
+	bad.SwapCounts = []int{1}
+	if err := bad.Validate(); err == nil {
+		t.Error("depth manifest with swap_counts accepted")
+	}
+	bad = tinyManifest()
+	bad.Depths = []int{3}
+	if err := bad.Validate(); err == nil {
+		t.Error("swap manifest with depths accepted")
+	}
+	bad = tinyManifest()
+	bad.Generator = "no-such-family/9"
+	if err := bad.Validate(); err == nil {
+		t.Error("unregistered family accepted")
+	}
+	bad = tinyDepthManifest()
+	bad.Depths = []int{0}
+	if err := bad.Validate(); err == nil {
+		t.Error("depth 0 accepted (family minimum is 1)")
+	}
+}
+
+// A depth-family suite must round-trip through the store: generation,
+// load, per-instance certificate, checksums, and a pure cache hit on the
+// second Ensure.
+func TestDepthSuiteStoreRoundTrip(t *testing.T) {
+	store := openStore(t)
+	m := tinyDepthManifest()
+	st, err := store.Ensure(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Metric != family.Depth {
+		t.Errorf("suite metric = %s, want depth", st.Metric)
+	}
+	if got, want := len(st.Instances), m.NumInstances(); got != want {
+		t.Fatalf("suite has %d instances, want %d", got, want)
+	}
+	for _, ref := range st.Instances {
+		if ref.Base[0] != 'd' {
+			t.Errorf("depth instance base %q does not carry the d prefix", ref.Base)
+		}
+		li, err := store.LoadInstanceWithSolution(st.Hash, ref)
+		if err != nil {
+			t.Fatalf("load %s: %v", ref.Base, err)
+		}
+		if li.Meta.OptimalDepth != ref.Optimal || li.Meta.Optimal() != ref.Optimal {
+			t.Errorf("%s: sidecar depth %d, ref says %d", ref.Base, li.Meta.OptimalDepth, ref.Optimal)
+		}
+		if li.Meta.OptimalSwaps != 0 {
+			t.Errorf("%s: depth instance claims %d optimal swaps", ref.Base, li.Meta.OptimalSwaps)
+		}
+		if err := li.Certify(); err != nil {
+			t.Errorf("%s: depth certificate: %v", ref.Base, err)
+		}
+	}
+	if err := store.VerifyChecksums(st.Hash); err != nil {
+		t.Errorf("checksums: %v", err)
+	}
+
+	st2, err := store.Ensure(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Cached || st2.Hash != st.Hash {
+		t.Errorf("second Ensure: cached=%v hash=%s, want cache hit on %s", st2.Cached, st2.Hash, st.Hash)
+	}
+}
+
+// Swap- and depth-family manifests with otherwise identical parameters
+// must occupy distinct content addresses.
+func TestFamiliesHashDistinctly(t *testing.T) {
+	swap := NewManifest("grid3x3", []int{3, 5}, 2, family.Options{TargetTwoQubitGates: 12, Seed: 3})
+	depth := tinyDepthManifest()
+	if swap.Hash() == depth.Hash() {
+		t.Error("swap and depth manifests share a content address")
 	}
 }
