@@ -203,6 +203,44 @@ func BenchmarkRouteLightSabreEagle127(b *testing.B) {
 		arch.IBMEagle127(), 5, 3000)
 }
 
+// BenchmarkTketRoute, BenchmarkQmapRoute and BenchmarkMlqlsRoute track
+// the three non-SABRE routing hot paths at the small and large ends of
+// the paper's device range (Aspen-4 at 300 gates, Eagle-127 at 3000).
+// BENCH_routers.json at the repository root snapshots their numbers;
+// compare fresh -benchmem runs against it to catch regressions.
+func BenchmarkTketRoute(b *testing.B) {
+	b.Run("aspen4", func(b *testing.B) {
+		benchRoute(b, func(s int64) router.Router { return tket.New(tket.Options{Seed: s}) },
+			arch.RigettiAspen4(), 5, 300)
+	})
+	b.Run("eagle127", func(b *testing.B) {
+		benchRoute(b, func(s int64) router.Router { return tket.New(tket.Options{Seed: s}) },
+			arch.IBMEagle127(), 20, 3000)
+	})
+}
+
+func BenchmarkQmapRoute(b *testing.B) {
+	b.Run("aspen4", func(b *testing.B) {
+		benchRoute(b, func(s int64) router.Router { return qmap.New(qmap.Options{MaxNodes: 2000, Seed: s}) },
+			arch.RigettiAspen4(), 5, 300)
+	})
+	b.Run("eagle127", func(b *testing.B) {
+		benchRoute(b, func(s int64) router.Router { return qmap.New(qmap.Options{MaxNodes: 2000, Seed: s}) },
+			arch.IBMEagle127(), 20, 3000)
+	})
+}
+
+func BenchmarkMlqlsRoute(b *testing.B) {
+	b.Run("aspen4", func(b *testing.B) {
+		benchRoute(b, func(s int64) router.Router { return mlqls.New(mlqls.Options{Seed: s}) },
+			arch.RigettiAspen4(), 5, 300)
+	})
+	b.Run("eagle127", func(b *testing.B) {
+		benchRoute(b, func(s int64) router.Router { return mlqls.New(mlqls.Options{Seed: s}) },
+			arch.IBMEagle127(), 20, 3000)
+	})
+}
+
 func BenchmarkRouteMLQLSSycamore54(b *testing.B) {
 	benchRoute(b, func(s int64) router.Router { return mlqls.New(mlqls.Options{Seed: s}) },
 		arch.GoogleSycamore54(), 5, 1500)

@@ -31,6 +31,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -54,7 +56,38 @@ func main() {
 	suiteHash := flag.String("suite", "", "evaluate one stored suite by content hash (requires -cache-dir)")
 	jsonlPath := flag.String("jsonl", "", "also stream per-instance result rows to this JSONL file (store mode)")
 	workers := flag.Int("workers", 1, "parallel evaluation workers (store mode)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	// Profiling hooks for perf work on real eval traffic: both flags are
+	// off by default and cost nothing when unset. fatal() exits without
+	// running defers, so an aborted run leaves a truncated CPU profile —
+	// acceptable for a diagnostics channel.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // materialize the live heap before snapshotting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	fam, err := family.Resolve(*famName)
 	if err != nil {

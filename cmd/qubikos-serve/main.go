@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -47,7 +48,31 @@ func main() {
 	maxInstances := flag.Int("max-instances", 4096, "largest suite a single request may ask for")
 	verify := flag.Bool("verify", false, "run the structural verifier on every generated instance")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests to finish")
+	pprofAddr := flag.String("pprof-addr", "", "listen address for the net/http/pprof debug mux (empty = disabled)")
 	flag.Parse()
+
+	// Profiling mux for perf work on live eval traffic: off by default,
+	// and when enabled it listens on its own address (typically a
+	// loopback port) so the debug surface is never exposed on the
+	// serving address.
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fatal(fmt.Errorf("pprof listen: %w", err))
+		}
+		fmt.Printf("qubikos-serve: pprof debug mux on %s\n", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "qubikos-serve: pprof mux:", err)
+			}
+		}()
+	}
 
 	store, err := suite.Open(*cacheDir, suite.StoreOptions{Workers: *genWorkers, Verify: *verify})
 	if err != nil {

@@ -142,14 +142,16 @@ func (r *Router) Route(c *circuit.Circuit, dev *arch.Device) (*router.Result, er
 	}
 
 	// Stitch: emit each segment under its embedding, paying a
-	// token-swapping transition between consecutive embeddings.
+	// token-swapping transition between consecutive embeddings. The
+	// device's cached distance matrix backs every transition — the
+	// solver no longer re-runs an all-pairs BFS per segment boundary.
 	out := circuit.New(nQ)
 	initial := segments[0].mapping.Clone()
 	cur := initial.Clone()
 	swaps := 0
 	for si, seg := range segments {
 		if si > 0 {
-			trans, err := tokenswap.Transition(gc, cur, seg.mapping)
+			trans, err := tokenswap.TransitionDist(gc, dev.Distances(), cur, seg.mapping)
 			if err != nil {
 				return nil, fmt.Errorf("bmt: transition %d: %w", si, err)
 			}

@@ -210,6 +210,25 @@ type EvalItem struct {
 	Metric family.Metric
 	// Optimal is the proven optimal value of Metric.
 	Optimal int
+
+	// prep is the shared routing context (padded circuit, skeleton,
+	// DAGs, layers), built once per instance by the eval paths and
+	// handed read-only to every tool implementing
+	// router.PreparedRouter. nil means each tool derives its own.
+	prep *router.Prepared
+}
+
+// prepare builds the item's shared routing context. A context that
+// cannot be built (circuit wider than the device) is left nil: every
+// tool then fails through its own Route guard, producing the same
+// per-tool failure rows the unshared path produced.
+func (it *EvalItem) prepare() {
+	if it.prep != nil {
+		return
+	}
+	if p, err := router.Prepare(it.Circuit, it.Device); err == nil {
+		it.prep = p
+	}
 }
 
 // Items converts generated qubikos benchmarks into evaluation items.
@@ -291,6 +310,12 @@ func EvaluateItems(metric family.Metric, items []EvalItem, grid []int, tools []T
 				it.ID, metric, it.Optimal)
 		}
 	}
+	// Build each instance's routing context once; every tool in the loop
+	// below shares it instead of re-padding, re-skeletonizing, and
+	// re-building DAGs per (tool, instance) pair.
+	for i := range items {
+		items[i].prepare()
+	}
 	var cells []Cell
 	for _, tool := range tools {
 		for _, n := range grid {
@@ -299,7 +324,7 @@ func EvaluateItems(metric family.Metric, items []EvalItem, grid []int, tools []T
 				if it.Optimal != n {
 					continue
 				}
-				res, err := routeOne(tool, it, seed)
+				res, _, err := routeOne(tool, it, seed)
 				if err != nil {
 					return nil, err
 				}
@@ -330,24 +355,32 @@ func EvaluateItems(metric family.Metric, items []EvalItem, grid []int, tools []T
 	return cells, nil
 }
 
-// routeOne runs one tool on one item. A tool failure returns (nil, nil) —
-// an aggregable outcome; an invalid or optimum-beating result returns an
-// error because it falsifies the suite's guarantee.
-func routeOne(tool ToolSpec, it EvalItem, seed int64) (*router.Result, error) {
+// routeOne runs one tool on one item, through the item's shared
+// routing context when the tool supports it. A tool failure returns a
+// nil result plus the tool's error string — an aggregable, diagnosable
+// outcome; an invalid or optimum-beating result returns an error
+// because it falsifies the suite's guarantee.
+func routeOne(tool ToolSpec, it EvalItem, seed int64) (*router.Result, string, error) {
 	r := tool.Make(seed + 7919)
-	res, err := r.Route(it.Circuit, it.Device)
+	var res *router.Result
+	var err error
+	if pr, ok := r.(router.PreparedRouter); ok && it.prep != nil {
+		res, err = pr.RoutePrepared(it.prep)
+	} else {
+		res, err = r.Route(it.Circuit, it.Device)
+	}
 	if err != nil {
-		return nil, nil
+		return nil, err.Error(), nil
 	}
 	if err := router.Validate(it.Circuit, it.Device, res); err != nil {
-		return nil, fmt.Errorf("harness: %s produced invalid result on %s (%s): %w",
+		return nil, "", fmt.Errorf("harness: %s produced invalid result on %s (%s): %w",
 			tool.Name, it.Device.Name(), it.ID, err)
 	}
 	if achieved := it.Metric.Achieved(res); achieved < it.Optimal {
-		return nil, fmt.Errorf("harness: %s beat the proven optimal %s on %s (%s): %d < %d",
+		return nil, "", fmt.Errorf("harness: %s beat the proven optimal %s on %s (%s): %d < %d",
 			tool.Name, it.Metric, it.Device.Name(), it.ID, achieved, it.Optimal)
 	}
-	return res, nil
+	return res, "", nil
 }
 
 // ToolAverage is one row of the abstract's summary (63x / 117x / 250x /

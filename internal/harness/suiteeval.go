@@ -119,19 +119,24 @@ func RunStoredEval(store *suite.Store, st *suite.Suite, tools []ToolSpec, opts S
 		if err != nil {
 			return nil, err
 		}
-		items[ref.Base] = EvalItem{
+		it := EvalItem{
 			ID:      ref.Base,
 			Device:  li.Device,
 			Circuit: li.Circuit,
 			Metric:  metric,
 			Optimal: li.Meta.Optimal(),
 		}
+		// One shared routing context per instance: every tool's worker
+		// routes from the same read-only Prepared instead of re-deriving
+		// the padded circuit, skeleton, and DAGs per (tool, instance) job.
+		it.prepare()
+		items[ref.Base] = it
 	}
 
 	run := func(j job) error {
 		it := items[j.ref.Base]
 		t0 := time.Now()
-		res, err := routeOne(j.tool, it, opts.Seed)
+		res, toolErr, err := routeOne(j.tool, it, opts.Seed)
 		if err != nil {
 			return err
 		}
@@ -144,7 +149,7 @@ func RunStoredEval(store *suite.Store, st *suite.Suite, tools []ToolSpec, opts S
 			ElapsedMS: time.Since(t0).Milliseconds(),
 		}
 		if res == nil {
-			row.Error = "tool failed to route"
+			row.Error = "tool failed to route: " + toolErr
 		} else {
 			row.Swaps = res.SwapCount
 			row.Depth = res.RoutedDepth()

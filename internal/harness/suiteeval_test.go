@@ -1,12 +1,15 @@
 package harness
 
 import (
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
 
 	"repro/internal/arch"
+	"repro/internal/circuit"
 	"repro/internal/family"
+	"repro/internal/router"
 	"repro/internal/suite"
 )
 
@@ -140,6 +143,78 @@ func TestStoredEvalParallelMatchesSerial(t *testing.T) {
 	parallel := runWith(4)
 	if !reflect.DeepEqual(serial.Cells, parallel.Cells) {
 		t.Errorf("parallel evaluation diverged from serial:\nserial:   %+v\nparallel: %+v", serial.Cells, parallel.Cells)
+	}
+}
+
+// TestStoredEvalSharedPreparedParallel pins the shared-context
+// contract: every tool of a parallel evaluation routes from the same
+// per-instance router.Prepared, and the aggregate still equals a serial
+// run's. Run under -race in CI, this proves no tool mutates the shared
+// context.
+func TestStoredEvalSharedPreparedParallel(t *testing.T) {
+	cfg := tinyCfg()
+	tools := DefaultTools(2)
+	store := openStore(t)
+	st, err := store.Ensure(cfg.Manifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWith := func(workers int, key string) *Figure {
+		fig, err := RunStoredEval(store, st, tools, StoredEvalOptions{
+			Seed: cfg.Seed, Workers: workers, Key: key,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fig
+	}
+	serial := runWith(1, "serial")
+	parallel := runWith(8, "parallel")
+	if !reflect.DeepEqual(serial.Cells, parallel.Cells) {
+		t.Errorf("parallel run over shared Prepared diverged from serial:\nserial:   %+v\nparallel: %+v",
+			serial.Cells, parallel.Cells)
+	}
+}
+
+// failingRouter always errors; RunStoredEval must surface the real
+// message in the row, not a generic "tool failed to route".
+type failingRouter struct{}
+
+func (failingRouter) Name() string { return "failing" }
+func (failingRouter) Route(*circuit.Circuit, *arch.Device) (*router.Result, error) {
+	return nil, errors.New("synthetic failure: boom")
+}
+
+func TestStoredEvalPropagatesRouterError(t *testing.T) {
+	cfg := tinyCfg()
+	store := openStore(t)
+	st, err := store.Ensure(cfg.Manifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tools := []ToolSpec{{Name: "failing", Make: func(int64) router.Router { return failingRouter{} }}}
+	var rows []suite.Row
+	fig, err := RunStoredEval(store, st, tools, StoredEvalOptions{
+		Seed:  cfg.Seed,
+		OnRow: func(r suite.Row) { rows = append(rows, r) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != st.Manifest.NumInstances() {
+		t.Fatalf("streamed %d rows, want %d", len(rows), st.Manifest.NumInstances())
+	}
+	for _, r := range rows {
+		if !strings.Contains(r.Error, "synthetic failure: boom") {
+			t.Errorf("row %s error = %q, want the router's message in it", r.Instance, r.Error)
+		}
+	}
+	failures := 0
+	for _, c := range fig.Cells {
+		failures += c.Failures
+	}
+	if failures != st.Manifest.NumInstances() {
+		t.Errorf("aggregated %d failures, want %d", failures, st.Manifest.NumInstances())
 	}
 }
 

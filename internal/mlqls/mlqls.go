@@ -8,6 +8,15 @@
 // pipeline commits to its constructed placement — which tracks the
 // paper's observation that ML-QLS matches LightSABRE on small and medium
 // devices but falls behind on Eagle.
+//
+// The weighted interaction graphs of the hierarchy are flat: neighbor
+// lists with parallel edge-index slices into one edge array, replacing
+// the former map[[2]int]int weight table. Every weight lookup in the
+// greedy placement and refinement sweeps is an index into the edge
+// array instead of a hash, with insertion and iteration orders
+// preserved exactly, so placements — and therefore routed results — are
+// bit-identical to the map-backed implementation (pinned by
+// TestGoldenCorpus).
 package mlqls
 
 import (
@@ -74,15 +83,24 @@ func (r *Router) RouteFrom(c *circuit.Circuit, dev *arch.Device, initial router.
 }
 
 // weightedGraph is an interaction graph with edge multiplicities, the
-// object the multilevel hierarchy coarsens.
+// object the multilevel hierarchy coarsens. Edges live in one flat
+// array; the per-vertex adjacency keeps a parallel slice of indices
+// into it, so a weight lookup along a neighbor walk is a single index.
 type weightedGraph struct {
-	n      int
-	weight map[[2]int]int // normalized (u<v) -> multiplicity
-	adj    [][]int
+	n     int
+	adj   [][]int32 // neighbor lists, insertion order
+	eix   [][]int32 // parallel edge indices into edges
+	edges []wedge   // normalized (u<v) edges, insertion order
+}
+
+// wedge is one weighted undirected edge with u < v.
+type wedge struct {
+	u, v int32
+	w    int32
 }
 
 func newWeightedGraph(n int) *weightedGraph {
-	return &weightedGraph{n: n, weight: map[[2]int]int{}, adj: make([][]int, n)}
+	return &weightedGraph{n: n, adj: make([][]int32, n), eix: make([][]int32, n)}
 }
 
 func (w *weightedGraph) addEdge(u, v, wt int) {
@@ -92,18 +110,27 @@ func (w *weightedGraph) addEdge(u, v, wt int) {
 	if u > v {
 		u, v = v, u
 	}
-	if _, ok := w.weight[[2]int{u, v}]; !ok {
-		w.adj[u] = append(w.adj[u], v)
-		w.adj[v] = append(w.adj[v], u)
+	for i, x := range w.adj[u] {
+		if int(x) == v {
+			w.edges[w.eix[u][i]].w += int32(wt)
+			return
+		}
 	}
-	w.weight[[2]int{u, v}] += wt
+	ei := int32(len(w.edges))
+	w.edges = append(w.edges, wedge{u: int32(u), v: int32(v), w: int32(wt)})
+	w.adj[u] = append(w.adj[u], int32(v))
+	w.eix[u] = append(w.eix[u], ei)
+	w.adj[v] = append(w.adj[v], int32(u))
+	w.eix[v] = append(w.eix[v], ei)
 }
 
 func (w *weightedGraph) edgeWeight(u, v int) int {
-	if u > v {
-		u, v = v, u
+	for i, x := range w.adj[u] {
+		if int(x) == v {
+			return int(w.edges[w.eix[u][i]].w)
+		}
 	}
-	return w.weight[[2]int{u, v}]
+	return 0
 }
 
 // level is one rung of the multilevel hierarchy.
@@ -115,21 +142,26 @@ type level struct {
 
 // Route implements router.Router.
 func (r *Router) Route(c *circuit.Circuit, dev *arch.Device) (*router.Result, error) {
-	if c.NumQubits > dev.NumQubits() {
-		return nil, fmt.Errorf("mlqls: circuit needs %d qubits, device has %d", c.NumQubits, dev.NumQubits())
+	p, err := router.Prepare(c, dev)
+	if err != nil {
+		return nil, fmt.Errorf("mlqls: %w", err)
 	}
-	work := router.PadToDevice(c, dev)
-	skeleton := router.TwoQubitSkeleton(work)
-	rng := rand.New(rand.NewSource(r.opts.Seed))
+	return r.RoutePrepared(p)
+}
 
-	placement := r.multilevelPlace(skeleton, dev, rng)
+// RoutePrepared implements router.PreparedRouter: the multilevel
+// placement runs over the shared skeleton and the SABRE routing stage
+// reuses the shared DAGs, producing exactly the result Route would.
+func (r *Router) RoutePrepared(p *router.Prepared) (*router.Result, error) {
+	rng := rand.New(rand.NewSource(r.opts.Seed))
+	placement := r.multilevelPlace(p.Skeleton, p.Device, rng)
 
 	// Route with a SABRE engine pinned to the multilevel placement.
 	eng := sabre.NewFixedMapping(sabre.Options{
 		Trials: r.opts.RoutingTrials,
 		Seed:   r.opts.Seed + 1,
 	}, placement)
-	res, err := eng.Route(c, dev)
+	res, err := eng.RoutePrepared(p)
 	if err != nil {
 		return nil, fmt.Errorf("mlqls: %w", err)
 	}
@@ -187,10 +219,10 @@ func coarsen(g *weightedGraph, rng *rand.Rand) (*weightedGraph, []int) {
 			continue
 		}
 		bestU, bestW := -1, -1
-		for _, u := range g.adj[v] {
+		for i, u := range g.adj[v] {
 			if match[u] == -1 {
-				if wt := g.edgeWeight(v, u); wt > bestW {
-					bestU, bestW = u, wt
+				if wt := int(g.edges[g.eix[v][i]].w); wt > bestW {
+					bestU, bestW = int(u), wt
 				}
 			}
 		}
@@ -211,20 +243,17 @@ func coarsen(g *weightedGraph, rng *rand.Rand) (*weightedGraph, []int) {
 		}
 	}
 	coarse := newWeightedGraph(nc)
-	keys := make([][2]int, 0, len(g.weight))
-	for e := range g.weight {
-		keys = append(keys, e)
-	}
+	keys := append([]wedge(nil), g.edges...)
 	sort.Slice(keys, func(i, j int) bool {
-		if keys[i][0] != keys[j][0] {
-			return keys[i][0] < keys[j][0]
+		if keys[i].u != keys[j].u {
+			return keys[i].u < keys[j].u
 		}
-		return keys[i][1] < keys[j][1]
+		return keys[i].v < keys[j].v
 	})
 	for _, e := range keys {
-		pu, pv := parent[e[0]], parent[e[1]]
+		pu, pv := parent[e.u], parent[e.v]
 		if pu != pv {
-			coarse.addEdge(pu, pv, g.weight[e])
+			coarse.addEdge(pu, pv, int(e.w))
 		}
 	}
 	return coarse, parent
@@ -237,9 +266,9 @@ func placeGreedy(g *weightedGraph, dev *arch.Device, rng *rand.Rand) router.Mapp
 
 	// Vertex order: decreasing weighted degree.
 	wdeg := make([]int, g.n)
-	for e, wt := range g.weight {
-		wdeg[e[0]] += wt
-		wdeg[e[1]] += wt
+	for _, e := range g.edges {
+		wdeg[e.u] += int(e.w)
+		wdeg[e.v] += int(e.w)
 	}
 	order := rng.Perm(g.n)
 	sort.SliceStable(order, func(a, b int) bool { return wdeg[order[a]] > wdeg[order[b]] })
@@ -263,9 +292,9 @@ func placeGreedy(g *weightedGraph, dev *arch.Device, rng *rand.Rand) router.Mapp
 				continue
 			}
 			cost := 0
-			for _, u := range g.adj[v] {
+			for i, u := range g.adj[v] {
 				if place[u] != -1 {
-					cost += g.edgeWeight(v, u) * dist.At(p, place[u])
+					cost += int(g.edges[g.eix[v][i]].w) * dist.At(p, place[u])
 				}
 			}
 			if place[v] == -1 && cost == 0 {
@@ -291,18 +320,18 @@ func project(lv level, coarse router.Mapping, dev *arch.Device, rng *rand.Rand) 
 	for i := range fine {
 		fine[i] = -1
 	}
-	// Children grouped by cluster.
-	children := map[int][]int{}
+	// Children grouped by cluster; cluster ids are compact (0..nc-1), so
+	// the former sorted-map walk is a plain slice in id order.
+	nc := len(coarse)
+	children := make([][]int, nc)
 	for v, p := range lv.parent {
 		children[p] = append(children[p], v)
 	}
-	clusters := make([]int, 0, len(children))
-	for cluster := range children {
-		clusters = append(clusters, cluster)
-	}
-	sort.Ints(clusters)
-	for _, cluster := range clusters {
+	for cluster := 0; cluster < nc; cluster++ {
 		kids := children[cluster]
+		if len(kids) == 0 {
+			continue
+		}
 		slot := coarse[cluster]
 		rng.Shuffle(len(kids), func(i, j int) { kids[i], kids[j] = kids[j], kids[i] })
 		for i, kid := range kids {
@@ -336,9 +365,9 @@ func refine(g *weightedGraph, place router.Mapping, dev *arch.Device, passes int
 
 	cost := func(v, p int) int {
 		c := 0
-		for _, u := range g.adj[v] {
-			if u != v && place[u] != -1 {
-				c += g.edgeWeight(v, u) * dist.At(p, place[u])
+		for i, u := range g.adj[v] {
+			if int(u) != v && place[u] != -1 {
+				c += int(g.edges[g.eix[v][i]].w) * dist.At(p, place[u])
 			}
 		}
 		return c

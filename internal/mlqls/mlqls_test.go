@@ -60,18 +60,18 @@ func TestCoarseningPreservesTotalWeight(t *testing.T) {
 	// Weight across clusters plus weight absorbed inside clusters must
 	// equal the original total.
 	absorbed := 0
-	for e, wt := range g.weight {
-		if parent[e[0]] == parent[e[1]] {
-			absorbed += wt
+	for _, e := range g.edges {
+		if parent[e.u] == parent[e.v] {
+			absorbed += int(e.w)
 		}
 	}
 	crossing := 0
-	for _, wt := range coarse.weight {
-		crossing += wt
+	for _, e := range coarse.edges {
+		crossing += int(e.w)
 	}
 	total := 0
-	for _, wt := range g.weight {
-		total += wt
+	for _, e := range g.edges {
+		total += int(e.w)
 	}
 	if absorbed+crossing != total {
 		t.Fatalf("weight leak: absorbed %d + crossing %d != total %d", absorbed, crossing, total)
@@ -147,6 +147,31 @@ func TestRouteOnAllPaperDevices(t *testing.T) {
 		if err := router.Validate(b.Circuit, b.Device, res); err != nil {
 			t.Fatalf("%s: %v", dev.Name(), err)
 		}
+	}
+}
+
+// TestRefineSteadyStateAllocsBounded pins the flat-graph rewrite of the
+// refinement sweep: a pass allocates only its visit permutation — every
+// weight lookup is an index into the flat edge array, never a map.
+func TestRefineSteadyStateAllocsBounded(t *testing.T) {
+	dev := arch.Grid3x3()
+	g := newWeightedGraph(9)
+	for i := 0; i < 9; i++ {
+		g.addEdge(i, (i+1)%9, i+1)
+		g.addEdge(i, (i+4)%9, 1)
+	}
+	base := router.IdentityMapping(9)
+	const passes = 6
+	allocs := testing.AllocsPerRun(10, func() {
+		rng := rand.New(rand.NewSource(3))
+		pl := base.Clone()
+		refine(g, pl, dev, passes, rng)
+	})
+	// Budget: the RNG (2), the placement clone (1), the inverse (1), and
+	// one visit permutation per pass. Map-backed weights blew far past
+	// this on every cost() call.
+	if allocs > passes+6 {
+		t.Fatalf("refine allocates %.1f objects over %d passes; weight lookups are allocating again", allocs, passes)
 	}
 }
 

@@ -1,0 +1,94 @@
+package qmap_test
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/qmap"
+	"repro/internal/qubikos"
+	"repro/internal/router"
+)
+
+// goldenCase pins one routing instance: the expected swap count and a
+// fingerprint over the initial mapping and the full transpiled gate
+// stream. The expectations were recorded from the pre-optimization
+// engine (pointer-based A* states, container/heap, map-backed closed
+// set and touch lists, per-layer Zobrist tables); the allocation-free
+// engine must reproduce them exactly on both the seeds-varied and
+// placed-mapping paths.
+type goldenCase struct {
+	name   string
+	device func() *arch.Device
+	swaps  int
+	gates  int
+	seed   int64
+	opts   qmap.Options
+	placed bool
+	want   int
+	print  uint64
+}
+
+func goldenCases() []goldenCase {
+	return []goldenCase{
+		{name: "aspen4-route", device: arch.RigettiAspen4, swaps: 5, gates: 300, seed: 9,
+			opts: qmap.Options{MaxNodes: 2000, Seed: 7}, want: 267, print: 0xccb0f0cd3c0d9a2c},
+		{name: "sycamore54-route", device: arch.GoogleSycamore54, swaps: 8, gates: 500, seed: 11,
+			opts: qmap.Options{MaxNodes: 2000, Seed: 13}, want: 763, print: 0xbe38d4581bc57463},
+		{name: "eagle127-route", device: arch.IBMEagle127, swaps: 5, gates: 600, seed: 17,
+			opts: qmap.Options{MaxNodes: 2000, Seed: 21}, want: 3013, print: 0xda984ccfa977f3c5},
+		{name: "aspen4-truncated", device: arch.RigettiAspen4, swaps: 3, gates: 80, seed: 7,
+			opts: qmap.Options{MaxNodes: 3, Seed: 7}, want: 85, print: 0xd0c90317290ccd23},
+		{name: "aspen4-placed", device: arch.RigettiAspen4, swaps: 5, gates: 300, seed: 9,
+			opts: qmap.Options{MaxNodes: 2000, Seed: 7}, placed: true, want: 8, print: 0x419eba7b38760eb6},
+		{name: "eagle127-placed", device: arch.IBMEagle127, swaps: 5, gates: 600, seed: 17,
+			opts: qmap.Options{MaxNodes: 2000, Seed: 21}, placed: true, want: 11, print: 0x24c13b1c50f37a19},
+	}
+}
+
+func fingerprint(res *router.Result) uint64 {
+	h := fnv.New64a()
+	for _, p := range res.InitialMapping {
+		fmt.Fprintf(h, "m%d,", p)
+	}
+	for _, g := range res.Transpiled.Gates {
+		fmt.Fprintf(h, "g%d:%d:%d;", g.Kind, g.Q0, g.Q1)
+	}
+	return h.Sum64()
+}
+
+// TestGoldenCorpus routes the pinned-seed corpus and compares against
+// the recorded pre-refactor expectations. Results are also re-validated
+// independently, so a fingerprint match can't hide an invalid routing.
+func TestGoldenCorpus(t *testing.T) {
+	for _, gc := range goldenCases() {
+		gc := gc
+		t.Run(gc.name, func(t *testing.T) {
+			dev := gc.device()
+			b, err := qubikos.Generate(dev, qubikos.Options{
+				NumSwaps: gc.swaps, TargetTwoQubitGates: gc.gates, Seed: gc.seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := qmap.New(gc.opts)
+			var res *router.Result
+			if gc.placed {
+				res, err = r.RouteFrom(b.Circuit, dev, b.InitialMapping)
+			} else {
+				res, err = r.Route(b.Circuit, dev)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := router.Validate(b.Circuit, dev, res); err != nil {
+				t.Fatalf("result no longer validates: %v", err)
+			}
+			if res.SwapCount != gc.want || fingerprint(res) != gc.print {
+				t.Errorf("swaps=%d print=%#x, pre-refactor engine produced swaps=%d print=%#x",
+					res.SwapCount, fingerprint(res), gc.want, gc.print)
+			}
+		})
+	}
+}

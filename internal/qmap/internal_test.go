@@ -60,16 +60,70 @@ func TestZobristSwapInvariance(t *testing.T) {
 	}
 }
 
-func TestSeqFromRoot(t *testing.T) {
-	root := &state{}
-	s1 := &state{parent: root, swap: [2]int{0, 1}, depth: 1}
-	s2 := &state{parent: s1, swap: [2]int{2, 3}, depth: 2}
-	seq := s2.seqFromRoot()
+func TestApplyReconstructsSwapPath(t *testing.T) {
+	// The arena replaces per-node swap paths: apply must re-materialize a
+	// node's mapping by replaying its root path, and appliedSeq must
+	// return that path in root-to-node order.
+	dev := arch.Line(4)
+	e := newEngine(dev, 4, 1)
+	e.states = append(e.states,
+		astate{parent: -1},
+		astate{parent: 0, swap: [2]int32{0, 1}, depth: 1},
+		astate{parent: 1, swap: [2]int32{2, 3}, depth: 2},
+	)
+	m := router.IdentityMapping(4)
+	inv := m.Inverse(4)
+	e.apply(2, m, inv)
+	seq := e.appliedSeq()
 	if len(seq) != 2 || seq[0] != [2]int{0, 1} || seq[1] != [2]int{2, 3} {
 		t.Fatalf("seq=%v", seq)
 	}
-	if root.seqFromRoot() != nil {
+	want := router.Mapping{1, 0, 3, 2}
+	for q := range want {
+		if m[q] != want[q] {
+			t.Fatalf("mapping after replay = %v, want %v", m, want)
+		}
+	}
+	// Jumping back to the root rewinds everything.
+	e.apply(0, m, inv)
+	if e.appliedSeq() != nil {
 		t.Fatal("root has a sequence")
+	}
+	for q := 0; q < 4; q++ {
+		if m[q] != q {
+			t.Fatalf("rewind left mapping %v", m)
+		}
+	}
+}
+
+func TestU64SetMembership(t *testing.T) {
+	var s u64set
+	s.reset()
+	keys := []uint64{0, 1, 42, 1 << 63, 0x9E3779B97F4A7C15}
+	for _, k := range keys {
+		if !s.addIfAbsent(k) {
+			t.Fatalf("fresh key %#x reported present", k)
+		}
+		if s.addIfAbsent(k) {
+			t.Fatalf("inserted key %#x reported absent", k)
+		}
+	}
+	// Reset empties the set without reallocating.
+	s.reset()
+	for _, k := range keys {
+		if !s.addIfAbsent(k) {
+			t.Fatalf("key %#x survived reset", k)
+		}
+	}
+	// Growth keeps every inserted key.
+	s.reset()
+	for i := uint64(0); i < 5000; i++ {
+		s.addIfAbsent(i * 0x9E3779B97F4A7C15)
+	}
+	for i := uint64(0); i < 5000; i++ {
+		if s.addIfAbsent(i * 0x9E3779B97F4A7C15) {
+			t.Fatalf("key %d lost across growth", i)
+		}
 	}
 }
 
@@ -102,6 +156,28 @@ func TestSearchLayerSolvesDistanceTwo(t *testing.T) {
 	}
 	if !dev.Graph().HasEdge(final[0], final[1]) {
 		t.Fatal("layer not executable after search")
+	}
+}
+
+// TestSearchLayerSteadyStateAllocs pins the arena rewrite: once the
+// engine's scratch (state arena, open-list heap, closed set, touch
+// lists) has grown to fit a layer, repeated layer searches allocate
+// only their returned swap sequence and final mapping — node expansion
+// itself is allocation-free.
+func TestSearchLayerSteadyStateAllocs(t *testing.T) {
+	dev := arch.RigettiAspen4()
+	nQ := dev.NumQubits()
+	c := circuit.New(nQ)
+	c.MustAppend(circuit.NewCX(0, 4), circuit.NewCX(8, 12), circuit.NewCX(2, 6))
+	dag := circuit.NewDAG(c)
+	layer := dag.Layers()[0]
+	start := router.IdentityMapping(nQ)
+	r := New(Options{MaxNodes: 500, Seed: 1})
+	e := r.ensureEngine(dev, nQ, dag.N())
+	search := func() { e.searchLayer(r.opts, start, layer, nil, dag) }
+	search() // warm-up: arena, heap, and closed set grow once
+	if a := testing.AllocsPerRun(20, search); a > 4 {
+		t.Fatalf("warm layer search allocates %.1f objects, want at most the returned seq+mapping (4)", a)
 	}
 }
 

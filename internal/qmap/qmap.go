@@ -5,16 +5,28 @@
 // whole layer is executable, with a one-layer discounted lookahead. Each
 // layer is optimized mostly in isolation, which lets the mapping drift —
 // the behaviour behind QMAP's large optimality gaps in the paper.
+//
+// The A* search is built for throughput in the SABRE-engine style (see
+// docs/performance.md): search nodes live in a flat arena addressed by
+// index (no *state pointers), the open list is an index heap replicating
+// container/heap's ordering exactly, the closed set is a reusable
+// open-addressed hash table instead of a per-layer map[uint64]bool, the
+// per-qubit gate lists and per-expansion candidate dedup are
+// epoch-stamped scratch, and the Zobrist table is built once per Route
+// instead of once per layer. Steady-state node expansion performs zero
+// heap allocations, and every decision — heap order, closed-set
+// membership, heuristic arithmetic — is bit-identical to the
+// straightforward implementation (pinned by TestGoldenCorpus).
 package qmap
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sort"
 
 	"repro/internal/arch"
 	"repro/internal/circuit"
+	"repro/internal/graph"
 	"repro/internal/router"
 )
 
@@ -39,10 +51,13 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Router is the QMAP-style tool.
+// Router is the QMAP-style tool. A Router reuses its search scratch
+// across Route calls and is therefore not safe for concurrent use;
+// create one Router per goroutine (the harness builds one per job).
 type Router struct {
 	opts    Options
 	initial router.Mapping // non-nil: skip placement
+	eng     *engine        // A* scratch reused across calls
 }
 
 // New returns a QMAP-style router.
@@ -59,15 +74,22 @@ func (r *Router) Name() string { return "qmap" }
 
 // Route implements router.Router.
 func (r *Router) Route(c *circuit.Circuit, dev *arch.Device) (*router.Result, error) {
-	if c.NumQubits > dev.NumQubits() {
-		return nil, fmt.Errorf("qmap: circuit needs %d qubits, device has %d", c.NumQubits, dev.NumQubits())
+	p, err := router.Prepare(c, dev)
+	if err != nil {
+		return nil, fmt.Errorf("qmap: %w", err)
 	}
-	work := router.PadToDevice(c, dev)
-	skeleton := router.TwoQubitSkeleton(work)
+	return r.RoutePrepared(p)
+}
+
+// RoutePrepared implements router.PreparedRouter: it routes from a
+// shared pre-built context, producing exactly the result Route would.
+func (r *Router) RoutePrepared(p *router.Prepared) (*router.Result, error) {
+	dev := p.Device
+	skeleton := p.Skeleton
 	rng := rand.New(rand.NewSource(r.opts.Seed))
 
-	dag := circuit.NewDAG(skeleton)
-	layers := dag.Layers()
+	dag := p.DAG()
+	layers := p.Layers()
 
 	var mapping router.Mapping
 	if r.initial != nil {
@@ -77,8 +99,9 @@ func (r *Router) Route(c *circuit.Circuit, dev *arch.Device) (*router.Result, er
 	}
 	initial := mapping.Clone()
 
-	g := dev.Graph()
-	dist := dev.Distances()
+	e := r.ensureEngine(dev, len(mapping), dag.N())
+	g := e.g
+	dist := e.dist
 	out := circuit.New(skeleton.NumQubits)
 	swaps := 0
 
@@ -87,7 +110,7 @@ func (r *Router) Route(c *circuit.Circuit, dev *arch.Device) (*router.Result, er
 		if li+1 < len(layers) {
 			next = layers[li+1]
 		}
-		seq, final := r.searchLayer(mapping, layer, next, dag, dev)
+		seq, final := e.searchLayer(r.opts, mapping, layer, next, dag)
 		for _, sw := range seq {
 			out.MustAppend(circuit.NewSwap(sw[0], sw[1]))
 			swaps++
@@ -117,7 +140,7 @@ func (r *Router) Route(c *circuit.Circuit, dev *arch.Device) (*router.Result, er
 		}
 	}
 
-	woven, err := router.WeaveSingleQubitGates(work, out)
+	woven, err := router.WeaveSingleQubitGates(p.Padded, out)
 	if err != nil {
 		return nil, fmt.Errorf("qmap: %w", err)
 	}
@@ -130,189 +153,169 @@ func (r *Router) Route(c *circuit.Circuit, dev *arch.Device) (*router.Result, er
 	}, nil
 }
 
-// state is an A* node. To keep expansion cheap on 127-qubit devices the
-// mapping is not stored per node: each node records only the swap that
-// produced it and its parent, plus an incrementally maintained heuristic
-// and Zobrist hash. The full mapping is re-materialized by replaying the
-// swap path when the node is popped.
-type state struct {
-	parent *state
-	swap   [2]int // program qubits; parent==nil means no swap
-	depth  int
+// searchLayer keeps the historical entry point used by internal tests:
+// it runs the arena A* on a throwaway engine-backed search.
+func (r *Router) searchLayer(start router.Mapping, layer, next []int, dag *circuit.DAG, dev *arch.Device) ([][2]int, router.Mapping) {
+	e := r.ensureEngine(dev, len(start), dag.N())
+	return e.searchLayer(r.opts, start, layer, next, dag)
+}
+
+func (r *Router) ensureEngine(dev *arch.Device, nQ, dagN int) *engine {
+	// Keyed on the device's coupling graph (immutable, so pointer
+	// identity suffices), not just sizes: a same-size different device
+	// must not inherit this one's adjacency, distances, or Zobrist keys.
+	if r.eng == nil || r.eng.g != dev.Graph() || r.eng.nQ != nQ || len(r.eng.seenL) < dagN {
+		r.eng = newEngine(dev, nQ, dagN)
+	}
+	return r.eng
+}
+
+// astate is an A* node in the flat arena. To keep expansion cheap on
+// 127-qubit devices the mapping is not stored per node: each node
+// records only the swap that produced it and its parent index, plus an
+// incrementally maintained heuristic and Zobrist hash. The full mapping
+// is re-materialized by replaying the swap path when the node is popped.
+type astate struct {
+	parent int32 // arena index; -1 for the root
+	swap   [2]int32
+	depth  int32
 	hCost  float64 // heuristic at this node
 	fCost  float64 // depth + hCost (+ lookahead already inside hCost)
 	hash   uint64
-	index  int
 }
 
-type stateHeap []*state
+// engine owns every piece of search scratch, sized once and reused
+// across layers and Route calls so steady-state expansion allocates
+// nothing.
+type engine struct {
+	g    *graph.Graph
+	dist *graph.DistanceMatrix
+	nQ   int // program register size (== padded device size)
+	nP   int // physical qubit count
 
-func (h stateHeap) Len() int           { return len(h) }
-func (h stateHeap) Less(i, j int) bool { return h[i].fCost < h[j].fCost }
-func (h stateHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
-func (h *stateHeap) Push(x any)        { s := x.(*state); s.index = len(*h); *h = append(*h, s) }
-func (h *stateHeap) Pop() any {
-	old := *h
-	n := len(old)
-	s := old[n-1]
-	*h = old[:n-1]
-	return s
+	zob []uint64 // Zobrist keys, (program qubit, physical qubit) pairs
+
+	states []astate
+	heap   []int32 // open list of arena indices, container/heap order
+	closed u64set
+
+	// Per-layer per-qubit gate lists (layer and lookahead separately),
+	// epoch-stamped so nothing is cleared between layers.
+	touchL     [][]int32
+	touchN     [][]int32
+	touchStamp []int32
+	layerEpoch int32
+
+	// Per-expansion candidate dedup on the program-qubit pair.
+	candSeen    []int32
+	expandEpoch int32
+
+	// Per-hDelta gate dedup (layer and lookahead gates separately).
+	seenL     []int32
+	seenN     []int32
+	evalEpoch int32
+
+	// Swap-path replay scratch.
+	m       router.Mapping
+	inv     []int
+	applied [][2]int32
 }
 
-// seq reconstructs the swap sequence from the root to this node.
-func (s *state) seqFromRoot() [][2]int {
-	if s.parent == nil {
-		return nil
+func newEngine(dev *arch.Device, nQ, dagN int) *engine {
+	nP := dev.NumQubits()
+	return &engine{
+		g:          dev.Graph(),
+		dist:       dev.Distances(),
+		nQ:         nQ,
+		nP:         nP,
+		zob:        zobristFor(nQ, nP),
+		touchL:     make([][]int32, nQ),
+		touchN:     make([][]int32, nQ),
+		touchStamp: make([]int32, nQ),
+		candSeen:   make([]int32, nQ*nQ),
+		seenL:      make([]int32, dagN),
+		seenN:      make([]int32, dagN),
+		m:          make(router.Mapping, nQ),
+		inv:        make([]int, nP),
 	}
-	out := make([][2]int, s.depth)
-	for n := s; n.parent != nil; n = n.parent {
-		out[n.depth-1] = n.swap
-	}
-	return out
 }
 
 // searchLayer runs A* from the current mapping to one under which every
 // layer gate is executable. Candidate moves are SWAPs on coupler edges
 // touching the layer's qubits. Returns the swap sequence and final
 // mapping; on node exhaustion, the most promising frontier state.
-func (r *Router) searchLayer(start router.Mapping, layer, next []int, dag *circuit.DAG, dev *arch.Device) ([][2]int, router.Mapping) {
-	g := dev.Graph()
-	dist := dev.Distances()
-	nQ := len(start)
-	nP := dev.NumQubits()
+func (e *engine) searchLayer(opts Options, start router.Mapping, layer, next []int, dag *circuit.DAG) ([][2]int, router.Mapping) {
+	g := e.g
+	nP := e.nP
 
 	// Gates touching each program qubit (layer and lookahead separately).
-	touchL := make([][]int, nQ)
+	e.layerEpoch++
 	for _, v := range layer {
 		gt := dag.Gate(v)
-		touchL[gt.Q0] = append(touchL[gt.Q0], v)
-		touchL[gt.Q1] = append(touchL[gt.Q1], v)
+		e.touch(&e.touchL, gt.Q0, v)
+		e.touch(&e.touchL, gt.Q1, v)
 	}
-	touchN := make([][]int, nQ)
 	for _, v := range next {
 		gt := dag.Gate(v)
-		touchN[gt.Q0] = append(touchN[gt.Q0], v)
-		touchN[gt.Q1] = append(touchN[gt.Q1], v)
+		e.touch(&e.touchN, gt.Q0, v)
+		e.touch(&e.touchN, gt.Q1, v)
 	}
 
-	h := func(m router.Mapping) float64 {
-		s := 0.0
-		for _, v := range layer {
-			gt := dag.Gate(v)
-			s += float64(dist.At(m[gt.Q0], m[gt.Q1]) - 1)
-		}
-		look := 0.0
-		for _, v := range next {
-			gt := dag.Gate(v)
-			look += float64(dist.At(m[gt.Q0], m[gt.Q1]) - 1)
-		}
-		return s + r.opts.LookaheadWeight*look
-	}
-	// hDelta returns h(after) - h(before) for swapping program qubits a,b,
-	// evaluated with the mapping already swapped.
-	hDelta := func(m router.Mapping, a, b, paOld, pbOld int) float64 {
-		d := 0.0
-		recompute := func(v int, weight float64) {
-			gt := dag.Gate(v)
-			q0, q1 := gt.Q0, gt.Q1
-			// New positions.
-			p0, p1 := m[q0], m[q1]
-			// Old positions: undo the swap for the two moved qubits.
-			o0, o1 := p0, p1
-			if q0 == a {
-				o0 = paOld
-			} else if q0 == b {
-				o0 = pbOld
-			}
-			if q1 == a {
-				o1 = paOld
-			} else if q1 == b {
-				o1 = pbOld
-			}
-			d += weight * float64(dist.At(p0, p1)-dist.At(o0, o1))
-		}
-		seenGate := map[int]bool{}
-		for _, q := range []int{a, b} {
-			for _, v := range touchL[q] {
-				if !seenGate[v] {
-					seenGate[v] = true
-					recompute(v, 1)
-				}
-			}
-			for _, v := range touchN[q] {
-				if !seenGate[v+1<<30] {
-					seenGate[v+1<<30] = true
-					recompute(v, r.opts.LookaheadWeight)
-				}
-			}
-		}
-		return d
-	}
-	goal := func(m router.Mapping) bool {
-		for _, v := range layer {
-			gt := dag.Gate(v)
-			if !g.HasEdge(m[gt.Q0], m[gt.Q1]) {
-				return false
-			}
-		}
-		return true
-	}
-
-	// Zobrist table for closed-set hashing.
-	zob := zobristFor(nQ, nP)
-	hash0 := uint64(0)
-	for q, p := range start {
-		hash0 ^= zob[q*nP+p]
-	}
-
-	root := &state{hCost: h(start), hash: hash0}
-	root.fCost = root.hCost
-	if goal(start) {
+	if e.goal(layer, start, dag) {
 		return nil, start.Clone()
 	}
 
-	open := &stateHeap{}
-	heap.Init(open)
-	heap.Push(open, root)
-	closed := map[uint64]bool{root.hash: true}
-
-	// Scratch mapping replayed per pop.
-	m := start.Clone()
-	inv := m.Inverse(nP)
-	var applied [][2]int // swaps currently applied to m
-	apply := func(target *state) {
-		// Rewind and replay: cheap because depths are small.
-		for i := len(applied) - 1; i >= 0; i-- {
-			sw := applied[i]
-			pa, pb := m[sw[0]], m[sw[1]]
-			m[sw[0]], m[sw[1]] = pb, pa
-			inv[pa], inv[pb] = sw[1], sw[0]
-		}
-		applied = target.seqFromRoot()
-		for _, sw := range applied {
-			pa, pb := m[sw[0]], m[sw[1]]
-			m[sw[0]], m[sw[1]] = pb, pa
-			inv[pa], inv[pb] = sw[1], sw[0]
-		}
+	// Zobrist hash of the start mapping.
+	hash0 := uint64(0)
+	for q, p := range start {
+		hash0 ^= e.zob[q*nP+p]
 	}
 
-	bestFrontier := root
+	e.states = e.states[:0]
+	e.heap = e.heap[:0]
+	e.closed.reset()
+	root := astate{parent: -1, hCost: e.h(opts, layer, next, start, dag), hash: hash0}
+	root.fCost = root.hCost
+	e.states = append(e.states, root)
+	e.heapPush(0)
+	e.closed.addIfAbsent(hash0)
+
+	// Scratch mapping replayed per pop.
+	m := e.m[:len(start)]
+	copy(m, start)
+	inv := e.inv
+	for i := range inv {
+		inv[i] = -1
+	}
+	for q, p := range m {
+		inv[p] = q
+	}
+	e.applied = e.applied[:0]
+
+	bestFrontier := int32(0)
 	nodes := 0
-	for open.Len() > 0 && nodes < r.opts.MaxNodes {
-		cur := heap.Pop(open).(*state)
+	for len(e.heap) > 0 && nodes < opts.MaxNodes {
+		cur := e.heapPop()
 		nodes++
-		apply(cur)
-		if goal(m) {
-			return cur.seqFromRoot(), m.Clone()
+		e.apply(cur, m, inv)
+		if e.goal(layer, m, dag) {
+			return e.appliedSeq(), m.Clone()
 		}
-		if cur.hCost < bestFrontier.hCost {
+		if e.states[cur].hCost < e.states[bestFrontier].hCost {
 			bestFrontier = cur
 		}
 		// Expand: SWAPs on coupler edges touching active qubits.
-		seen := map[[2]int]bool{}
+		e.expandEpoch++
+		curHash := e.states[cur].hash
+		curDepth := e.states[cur].depth
+		curH := e.states[cur].hCost
 		for _, v := range layer {
 			gt := dag.Gate(v)
-			for _, q := range []int{gt.Q0, gt.Q1} {
+			for k := 0; k < 2; k++ {
+				q := gt.Q0
+				if k == 1 {
+					q = gt.Q1
+				}
 				p := m[q]
 				for _, pn := range g.Neighbors(p) {
 					qn := inv[pn]
@@ -320,37 +323,291 @@ func (r *Router) searchLayer(start router.Mapping, layer, next []int, dag *circu
 					if a > b {
 						a, b = b, a
 					}
-					if seen[[2]int{a, b}] {
+					if e.candSeen[a*e.nQ+b] == e.expandEpoch {
 						continue
 					}
-					seen[[2]int{a, b}] = true
+					e.candSeen[a*e.nQ+b] = e.expandEpoch
 					pa, pb := m[a], m[b]
-					nh := cur.hash ^ zob[a*nP+pa] ^ zob[a*nP+pb] ^ zob[b*nP+pb] ^ zob[b*nP+pa]
-					if closed[nh] {
+					nh := curHash ^ e.zob[a*nP+pa] ^ e.zob[a*nP+pb] ^ e.zob[b*nP+pb] ^ e.zob[b*nP+pa]
+					if !e.closed.addIfAbsent(nh) {
 						continue
 					}
-					closed[nh] = true
 					// Evaluate the heuristic delta with the swap applied.
 					m[a], m[b] = pb, pa
-					dh := hDelta(m, a, b, pa, pb)
+					dh := e.hDelta(opts, m, a, b, pa, pb, dag)
 					m[a], m[b] = pa, pb
-					ns := &state{
+					ns := astate{
 						parent: cur,
-						swap:   [2]int{a, b},
-						depth:  cur.depth + 1,
-						hCost:  cur.hCost + dh,
+						swap:   [2]int32{int32(a), int32(b)},
+						depth:  curDepth + 1,
+						hCost:  curH + dh,
 						hash:   nh,
 					}
 					ns.fCost = float64(ns.depth) + ns.hCost
-					heap.Push(open, ns)
+					idx := int32(len(e.states))
+					e.states = append(e.states, ns)
+					e.heapPush(idx)
 				}
 			}
 		}
 	}
 	// Exhausted: hand the most promising state back; the caller finishes
 	// greedily.
-	apply(bestFrontier)
-	return bestFrontier.seqFromRoot(), m.Clone()
+	e.apply(bestFrontier, m, inv)
+	return e.appliedSeq(), m.Clone()
+}
+
+// touch appends gate v to qubit q's list in lists, lazily resetting the
+// list when it still holds the previous layer's entries.
+func (e *engine) touch(lists *[][]int32, q, v int) {
+	if e.touchStamp[q] != e.layerEpoch {
+		e.touchStamp[q] = e.layerEpoch
+		e.touchL[q] = e.touchL[q][:0]
+		e.touchN[q] = e.touchN[q][:0]
+	}
+	(*lists)[q] = append((*lists)[q], int32(v))
+}
+
+// touchOf returns qubit q's list for the current layer (nil when q was
+// not touched this layer).
+func (e *engine) touchOf(lists [][]int32, q int) []int32 {
+	if e.touchStamp[q] != e.layerEpoch {
+		return nil
+	}
+	return lists[q]
+}
+
+// h is the layer heuristic: summed excess distance of the layer's gates
+// plus the discounted lookahead term.
+func (e *engine) h(opts Options, layer, next []int, m router.Mapping, dag *circuit.DAG) float64 {
+	dist := e.dist
+	s := 0.0
+	for _, v := range layer {
+		gt := dag.Gate(v)
+		s += float64(dist.At(m[gt.Q0], m[gt.Q1]) - 1)
+	}
+	look := 0.0
+	for _, v := range next {
+		gt := dag.Gate(v)
+		look += float64(dist.At(m[gt.Q0], m[gt.Q1]) - 1)
+	}
+	return s + opts.LookaheadWeight*look
+}
+
+// hDelta returns h(after) - h(before) for swapping program qubits a,b,
+// evaluated with the mapping already swapped. Only gates touching a or
+// b can have moved; a gate in both qubits' lists is recomputed once
+// (epoch-stamped dedup), preserving the reference implementation's
+// accumulation order exactly.
+func (e *engine) hDelta(opts Options, m router.Mapping, a, b, paOld, pbOld int, dag *circuit.DAG) float64 {
+	e.evalEpoch++
+	dist := e.dist
+	d := 0.0
+	recompute := func(v int, weight float64) {
+		gt := dag.Gate(v)
+		q0, q1 := gt.Q0, gt.Q1
+		// New positions.
+		p0, p1 := m[q0], m[q1]
+		// Old positions: undo the swap for the two moved qubits.
+		o0, o1 := p0, p1
+		if q0 == a {
+			o0 = paOld
+		} else if q0 == b {
+			o0 = pbOld
+		}
+		if q1 == a {
+			o1 = paOld
+		} else if q1 == b {
+			o1 = pbOld
+		}
+		d += weight * float64(dist.At(p0, p1)-dist.At(o0, o1))
+	}
+	for k := 0; k < 2; k++ {
+		q := a
+		if k == 1 {
+			q = b
+		}
+		for _, v := range e.touchOf(e.touchL, q) {
+			if e.seenL[v] != e.evalEpoch {
+				e.seenL[v] = e.evalEpoch
+				recompute(int(v), 1)
+			}
+		}
+		for _, v := range e.touchOf(e.touchN, q) {
+			if e.seenN[v] != e.evalEpoch {
+				e.seenN[v] = e.evalEpoch
+				recompute(int(v), opts.LookaheadWeight)
+			}
+		}
+	}
+	return d
+}
+
+func (e *engine) goal(layer []int, m router.Mapping, dag *circuit.DAG) bool {
+	for _, v := range layer {
+		gt := dag.Gate(v)
+		if !e.g.HasEdge(m[gt.Q0], m[gt.Q1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// apply re-materializes target's mapping into m/inv by rewinding the
+// currently applied swap path and replaying target's path from the
+// root. Paths are short, so rewind-and-replay beats storing mappings.
+func (e *engine) apply(target int32, m router.Mapping, inv []int) {
+	for i := len(e.applied) - 1; i >= 0; i-- {
+		sw := e.applied[i]
+		pa, pb := m[sw[0]], m[sw[1]]
+		m[sw[0]], m[sw[1]] = pb, pa
+		inv[pa], inv[pb] = int(sw[1]), int(sw[0])
+	}
+	d := int(e.states[target].depth)
+	if cap(e.applied) < d {
+		e.applied = make([][2]int32, d)
+	} else {
+		e.applied = e.applied[:d]
+	}
+	for n := target; e.states[n].parent != -1; n = e.states[n].parent {
+		e.applied[e.states[n].depth-1] = e.states[n].swap
+	}
+	for _, sw := range e.applied {
+		pa, pb := m[sw[0]], m[sw[1]]
+		m[sw[0]], m[sw[1]] = pb, pa
+		inv[pa], inv[pb] = int(sw[1]), int(sw[0])
+	}
+}
+
+// appliedSeq copies the currently applied swap path out of the scratch
+// buffer (the per-layer return value).
+func (e *engine) appliedSeq() [][2]int {
+	if len(e.applied) == 0 {
+		return nil
+	}
+	out := make([][2]int, len(e.applied))
+	for i, sw := range e.applied {
+		out[i] = [2]int{int(sw[0]), int(sw[1])}
+	}
+	return out
+}
+
+// --- open list: an index heap replicating container/heap exactly -----
+
+func (e *engine) heapLess(i, j int32) bool { return e.states[i].fCost < e.states[j].fCost }
+
+func (e *engine) heapPush(x int32) {
+	e.heap = append(e.heap, x)
+	e.heapUp(len(e.heap) - 1)
+}
+
+func (e *engine) heapPop() int32 {
+	n := len(e.heap) - 1
+	e.heap[0], e.heap[n] = e.heap[n], e.heap[0]
+	e.heapDown(0, n)
+	x := e.heap[n]
+	e.heap = e.heap[:n]
+	return x
+}
+
+func (e *engine) heapUp(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !e.heapLess(e.heap[j], e.heap[i]) {
+			break
+		}
+		e.heap[i], e.heap[j] = e.heap[j], e.heap[i]
+		j = i
+	}
+}
+
+func (e *engine) heapDown(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && e.heapLess(e.heap[j2], e.heap[j1]) {
+			j = j2 // = 2*i + 2  // right child
+		}
+		if !e.heapLess(e.heap[j], e.heap[i]) {
+			break
+		}
+		e.heap[i], e.heap[j] = e.heap[j], e.heap[i]
+		i = j
+	}
+}
+
+// --- closed set: reusable open-addressed uint64 hash set -------------
+
+// u64set is an open-addressed hash set of uint64 keys with epoch-based
+// clearing: reset invalidates every slot in O(1), and the table only
+// grows (amortized) until it fits the largest layer's search, after
+// which membership tests allocate nothing. Presence is tracked by an
+// epoch stamp, so a stored key of 0 is representable.
+type u64set struct {
+	keys  []uint64
+	stamp []int32
+	epoch int32
+	count int
+}
+
+func (s *u64set) reset() {
+	s.epoch++
+	s.count = 0
+	if len(s.keys) == 0 {
+		s.grow(1024)
+	}
+}
+
+func (s *u64set) grow(n int) {
+	old := s.keys
+	oldStamp := s.stamp
+	s.keys = make([]uint64, n)
+	s.stamp = make([]int32, n)
+	for i, st := range oldStamp {
+		if st == s.epoch {
+			s.insert(old[i])
+		}
+	}
+}
+
+func (s *u64set) insert(k uint64) {
+	mask := len(s.keys) - 1
+	i := int(splitmix64(k)) & mask
+	for s.stamp[i] == s.epoch {
+		i = (i + 1) & mask
+	}
+	s.keys[i] = k
+	s.stamp[i] = s.epoch
+}
+
+// addIfAbsent inserts k and reports true when it was not present.
+func (s *u64set) addIfAbsent(k uint64) bool {
+	mask := len(s.keys) - 1
+	i := int(splitmix64(k)) & mask
+	for s.stamp[i] == s.epoch {
+		if s.keys[i] == k {
+			return false
+		}
+		i = (i + 1) & mask
+	}
+	s.keys[i] = k
+	s.stamp[i] = s.epoch
+	s.count++
+	if s.count*4 > len(s.keys)*3 {
+		s.grow(len(s.keys) * 2)
+	}
+	return true
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
 }
 
 // zobristFor returns deterministic pseudo-random keys for (program qubit,

@@ -26,7 +26,7 @@ func TestLayoutSwapMaintainsInverse(t *testing.T) {
 func TestReverseCircuit(t *testing.T) {
 	c := circuit.New(3)
 	c.MustAppend(circuit.NewCX(0, 1), circuit.NewCX(1, 2), circuit.NewCX(0, 2))
-	r := reverseCircuit(c)
+	r := router.ReverseSkeleton(c)
 	if r.Gates[0].Q1 != 2 || r.Gates[2].Q1 != 1 {
 		t.Fatalf("reverse order wrong: %v", r.Gates)
 	}

@@ -158,18 +158,25 @@ func (r *Router) Name() string { return r.name }
 
 // Route implements router.Router.
 func (r *Router) Route(c *circuit.Circuit, dev *arch.Device) (*router.Result, error) {
-	if c.NumQubits > dev.NumQubits() {
-		return nil, fmt.Errorf("sabre: circuit needs %d qubits, device has %d", c.NumQubits, dev.NumQubits())
+	p, err := router.Prepare(c, dev)
+	if err != nil {
+		return nil, fmt.Errorf("sabre: %w", err)
 	}
-	work := router.PadToDevice(c, dev)
-	skeleton := router.TwoQubitSkeleton(work)
+	return r.RoutePrepared(p)
+}
 
-	// The dependency DAGs and the reversed skeleton are deterministic
-	// functions of the circuit: build them once and share them read-only
-	// across every trial goroutine instead of reconstructing them inside
-	// each trial.
-	fwdDAG := circuit.NewDAG(skeleton)
-	bwdDAG := circuit.NewDAG(reverseCircuit(skeleton))
+// RoutePrepared implements router.PreparedRouter: it routes from a
+// shared pre-built context, producing exactly the result Route would.
+// The context's padded circuit, skeleton, and forward/backward DAGs are
+// deterministic functions of the circuit, so sharing them across tools
+// (and across this router's trial goroutines) is purely a performance
+// channel.
+func (r *Router) RoutePrepared(p *router.Prepared) (*router.Result, error) {
+	dev := p.Device
+	work := p.Padded
+	skeleton := p.Skeleton
+	fwdDAG := p.DAG()
+	bwdDAG := p.ReversedDAG()
 
 	// Trials are independent; run them across the available CPUs with
 	// per-trial deterministic seeds. Ties break toward the lower trial
@@ -258,16 +265,6 @@ func (r *Router) runTrial(e *passEngine, skeleton *circuit.Circuit, fwdDAG, bwdD
 	initial := mapping.Clone()
 	e.run(fwdDAG, mapping, rng, true, r.opts.Trace, trial)
 	return &trialResult{initial: initial, out: e.out, swaps: e.swaps}
-}
-
-// reverseCircuit returns the gates in reverse order (the dependency DAG
-// reversed), used by the bidirectional mapping passes.
-func reverseCircuit(c *circuit.Circuit) *circuit.Circuit {
-	out := circuit.New(c.NumQubits)
-	for i := len(c.Gates) - 1; i >= 0; i-- {
-		out.MustAppend(c.Gates[i])
-	}
-	return out
 }
 
 // passEngine routes one circuit per run call. All scratch is sized once

@@ -10,6 +10,16 @@
 // The rigid slice boundary — no gate from a later slice can execute
 // before the current slice completes — is the behaviour that drives
 // t|ket⟩'s large optimality gap in the paper, and is reproduced here.
+//
+// The swap-decision loop is allocation-free in steady state, in the
+// same style as the SABRE engine (see docs/performance.md): per-qubit
+// gate lists and candidate dedup live in epoch-stamped scratch reused
+// across decisions, and each candidate swap is scored as an integer
+// distance delta over the few gates touching the swapped qubits rather
+// than re-summing every slice. Sums stay in integers until the final
+// discount weighting, so scores — and therefore routing decisions —
+// are bit-identical to the straightforward evaluation (pinned by
+// TestGoldenCorpus).
 package tket
 
 import (
@@ -44,10 +54,13 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Router is the t|ket⟩-style tool.
+// Router is the t|ket⟩-style tool. A Router reuses its scratch buffers
+// across Route calls and is therefore not safe for concurrent use;
+// create one Router per goroutine (the harness builds one per job).
 type Router struct {
 	opts    Options
 	initial router.Mapping // non-nil: skip placement
+	eng     *engine        // scratch reused across calls on one device size
 }
 
 // New returns a t|ket⟩-style router.
@@ -64,15 +77,22 @@ func (r *Router) Name() string { return "tket" }
 
 // Route implements router.Router.
 func (r *Router) Route(c *circuit.Circuit, dev *arch.Device) (*router.Result, error) {
-	if c.NumQubits > dev.NumQubits() {
-		return nil, fmt.Errorf("tket: circuit needs %d qubits, device has %d", c.NumQubits, dev.NumQubits())
+	p, err := router.Prepare(c, dev)
+	if err != nil {
+		return nil, fmt.Errorf("tket: %w", err)
 	}
-	work := router.PadToDevice(c, dev)
-	skeleton := router.TwoQubitSkeleton(work)
+	return r.RoutePrepared(p)
+}
+
+// RoutePrepared implements router.PreparedRouter: it routes from a
+// shared pre-built context, producing exactly the result Route would.
+func (r *Router) RoutePrepared(p *router.Prepared) (*router.Result, error) {
+	dev := p.Device
+	skeleton := p.Skeleton
 	rng := rand.New(rand.NewSource(r.opts.Seed))
 
-	dag := circuit.NewDAG(skeleton)
-	slices := dag.Layers()
+	dag := p.DAG()
+	slices := p.Layers()
 
 	var mapping router.Mapping
 	if r.initial != nil {
@@ -81,16 +101,24 @@ func (r *Router) Route(c *circuit.Circuit, dev *arch.Device) (*router.Result, er
 		mapping = place(skeleton, dev, rng)
 	}
 	initial := mapping.Clone()
-	inv := mapping.Inverse(dev.NumQubits())
-	lay := &layout{m: mapping, inv: inv}
+	lay := &layout{m: mapping, inv: mapping.Inverse(dev.NumQubits())}
 
-	g := dev.Graph()
-	dist := dev.Distances()
+	// The cache key is the device's coupling graph (devices are
+	// immutable, so pointer identity suffices): matching on size alone
+	// would reuse another same-size device's adjacency and distances.
+	if r.eng == nil || r.eng.g != dev.Graph() {
+		r.eng = newEngine(dev, r.opts.LookaheadSlices)
+	}
+	e := r.eng
+
+	g := e.g
+	dist := e.dist
 	out := circuit.New(skeleton.NumQubits)
 	swaps := 0
 
 	for si := 0; si < len(slices); si++ {
-		pending := append([]int(nil), slices[si]...)
+		e.pending = append(e.pending[:0], slices[si]...)
+		pending := e.pending
 		for len(pending) > 0 {
 			// Emit everything currently executable in this slice.
 			progressed := false
@@ -112,28 +140,32 @@ func (r *Router) Route(c *circuit.Circuit, dev *arch.Device) (*router.Result, er
 				continue
 			}
 
-			// Greedy SWAP choice: candidates touch an active qubit.
-			cands := r.candidates(pending, dag, lay, g)
+			// Greedy SWAP choice: candidates touch an active qubit. The
+			// decision opens an epoch; base slice-distance sums and the
+			// per-qubit gate lists are built once, then every candidate
+			// is scored as an integer delta over the gates touching its
+			// two qubits.
+			e.beginDecision(pending, slices, si, dag, lay, r.opts.LookaheadSlices)
+			cands := e.collectCandidates(pending, dag, lay)
 			bestIdx, bestScore := -1, 0.0
-			for ci, cd := range cands {
-				lay.swap(cd[0], cd[1])
-				score := r.score(pending, slices, si, dag, lay, dist)
-				lay.swap(cd[0], cd[1])
+			var bestDelta0 int64
+			for ci := range cands {
+				a, b := int(cands[ci][0]), int(cands[ci][1])
+				lay.swap(a, b)
+				score, d0 := e.scoreCandidate(a, b, slices, si, dag, lay, r.opts)
+				lay.swap(a, b)
 				if bestIdx == -1 || score < bestScore || (score == bestScore && rng.Intn(2) == 0) {
-					bestIdx, bestScore = ci, score
+					bestIdx, bestScore, bestDelta0 = ci, score, d0
 				}
 			}
 			if bestIdx == -1 {
 				return nil, fmt.Errorf("tket: no candidate swaps for a pending slice")
 			}
 			// Only accept a swap that strictly improves the current-slice
-			// distance; otherwise force progress along a shortest path for
-			// the first pending gate (prevents oscillation).
-			cur := r.sliceDistance(pending, dag, lay, dist)
-			cd := cands[bestIdx]
-			lay.swap(cd[0], cd[1])
-			if r.sliceDistance(pending, dag, lay, dist) >= cur {
-				lay.swap(cd[0], cd[1]) // undo
+			// distance (delta < 0); otherwise force progress along a
+			// shortest path for the first pending gate (prevents
+			// oscillation).
+			if bestDelta0 >= 0 {
 				v := pending[0]
 				gt := dag.Gate(v)
 				for !g.HasEdge(lay.m[gt.Q0], lay.m[gt.Q1]) {
@@ -150,12 +182,14 @@ func (r *Router) Route(c *circuit.Circuit, dev *arch.Device) (*router.Result, er
 				}
 				continue
 			}
-			out.MustAppend(circuit.NewSwap(cd[0], cd[1]))
+			cd := cands[bestIdx]
+			lay.swap(int(cd[0]), int(cd[1]))
+			out.MustAppend(circuit.NewSwap(int(cd[0]), int(cd[1])))
 			swaps++
 		}
 	}
 
-	woven, err := router.WeaveSingleQubitGates(work, out)
+	woven, err := router.WeaveSingleQubitGates(p.Padded, out)
 	if err != nil {
 		return nil, fmt.Errorf("tket: %w", err)
 	}
@@ -179,51 +213,162 @@ func (l *layout) swap(qa, qb int) {
 	l.inv[pa], l.inv[pb] = qb, qa
 }
 
-// candidates returns the program-qubit pairs of coupler edges touching a
-// qubit active in the pending gates.
-func (r *Router) candidates(pending []int, dag *circuit.DAG, lay *layout, g interface {
-	Neighbors(int) []int
-}) [][2]int {
-	seen := map[[2]int]bool{}
-	var out [][2]int
+// engine holds the decision loop's scratch. Everything is either
+// epoch-stamped (compared against the per-decision epoch instead of
+// being cleared) or length-reset with its backing array retained, so a
+// steady-state swap decision performs zero heap allocations.
+type engine struct {
+	g    *graph.Graph
+	dist *graph.DistanceMatrix
+	nQ   int // device qubit count == padded register size
+
+	// epoch increments once per swap decision.
+	epoch    int32
+	candSeen []int32    // program-qubit pair (a*nQ+b) -> epoch it was emitted
+	cands    [][2]int32 // candidate swaps (program qubits, a < b)
+
+	// Per-qubit lists of the gates scored this decision, as a node pool:
+	// node -> (DAG gate, slice depth, distance at decision start).
+	listHead  []int32 // program qubit -> head node (-1 ends), valid when listStamp == epoch
+	listStamp []int32
+	nodeGate  []int32
+	nodeDepth []int32
+	nodeOld   []int32
+	nodeNext  []int32
+
+	// base[d] is the decision-start distance sum of slice depth d
+	// (0 = the pending remainder of the current slice); delta[d] is the
+	// per-candidate adjustment. Sums stay integral until weighting.
+	base  []int64
+	delta []int64
+
+	pending []int // current-slice worklist (backing reused across slices)
+}
+
+func newEngine(dev *arch.Device, lookahead int) *engine {
+	nQ := dev.NumQubits()
+	return &engine{
+		g:         dev.Graph(),
+		dist:      dev.Distances(),
+		nQ:        nQ,
+		candSeen:  make([]int32, nQ*nQ),
+		cands:     make([][2]int32, 0, dev.NumCouplers()),
+		listHead:  make([]int32, nQ),
+		listStamp: make([]int32, nQ),
+		base:      make([]int64, lookahead+1),
+		delta:     make([]int64, lookahead+1),
+	}
+}
+
+// beginDecision opens a new decision epoch and records the base
+// distance sums and per-qubit gate lists for the pending gates and the
+// lookahead slices.
+func (e *engine) beginDecision(pending []int, slices [][]int, si int, dag *circuit.DAG, lay *layout, lookahead int) {
+	e.epoch++
+	for i := range e.base {
+		e.base[i] = 0
+	}
+	e.nodeGate = e.nodeGate[:0]
+	e.nodeDepth = e.nodeDepth[:0]
+	e.nodeOld = e.nodeOld[:0]
+	e.nodeNext = e.nodeNext[:0]
+	e.addSlice(pending, 0, dag, lay)
+	for d := 1; d <= lookahead && si+d < len(slices); d++ {
+		e.addSlice(slices[si+d], d, dag, lay)
+	}
+}
+
+func (e *engine) addSlice(gates []int, depth int, dag *circuit.DAG, lay *layout) {
+	ep := e.epoch
+	dist := e.dist
+	for _, v := range gates {
+		gt := dag.Gate(v)
+		d := int64(dist.At(lay.m[gt.Q0], lay.m[gt.Q1]))
+		e.base[depth] += d
+		for k := 0; k < 2; k++ {
+			q := gt.Q0
+			if k == 1 {
+				q = gt.Q1
+			}
+			if e.listStamp[q] != ep {
+				e.listStamp[q] = ep
+				e.listHead[q] = -1
+			}
+			node := int32(len(e.nodeGate))
+			e.nodeGate = append(e.nodeGate, int32(v))
+			e.nodeDepth = append(e.nodeDepth, int32(depth))
+			e.nodeOld = append(e.nodeOld, int32(d))
+			e.nodeNext = append(e.nodeNext, e.listHead[q])
+			e.listHead[q] = node
+		}
+	}
+}
+
+// collectCandidates returns the program-qubit pairs of coupler edges
+// touching a qubit active in the pending gates, in first-seen order.
+// Dedup is an epoch stamp on the pair, not a map.
+func (e *engine) collectCandidates(pending []int, dag *circuit.DAG, lay *layout) [][2]int32 {
+	ep := e.epoch
+	cands := e.cands[:0]
 	for _, v := range pending {
 		gt := dag.Gate(v)
-		for _, q := range []int{gt.Q0, gt.Q1} {
-			for _, pn := range g.Neighbors(lay.m[q]) {
+		for k := 0; k < 2; k++ {
+			q := gt.Q0
+			if k == 1 {
+				q = gt.Q1
+			}
+			for _, pn := range e.g.Neighbors(lay.m[q]) {
 				qn := lay.inv[pn]
 				a, b := q, qn
 				if a > b {
 					a, b = b, a
 				}
-				if !seen[[2]int{a, b}] {
-					seen[[2]int{a, b}] = true
-					out = append(out, [2]int{a, b})
+				if e.candSeen[a*e.nQ+b] != ep {
+					e.candSeen[a*e.nQ+b] = ep
+					cands = append(cands, [2]int32{int32(a), int32(b)})
 				}
 			}
 		}
 	}
-	return out
+	e.cands = cands
+	return cands
 }
 
-func (r *Router) sliceDistance(pending []int, dag *circuit.DAG, lay *layout, dist *graph.DistanceMatrix) float64 {
-	s := 0.0
-	for _, v := range pending {
-		gt := dag.Gate(v)
-		s += float64(dist.At(lay.m[gt.Q0], lay.m[gt.Q1]))
+// scoreCandidate evaluates the discounted slice-distance score with the
+// candidate swap of program qubits a and b already applied to lay. Only
+// the gates in a's and b's lists can have moved; a gate on exactly
+// (a, b) appears in both lists with a zero delta, so no dedup is
+// needed. The weighted total replays the exact float operation order of
+// the direct evaluation over the integer sums, so scores are
+// bit-identical. The returned delta0 is the current-slice change — the
+// strict-improvement test the caller applies.
+func (e *engine) scoreCandidate(a, b int, slices [][]int, si int, dag *circuit.DAG, lay *layout, opts Options) (float64, int64) {
+	ep := e.epoch
+	for i := range e.delta {
+		e.delta[i] = 0
 	}
-	return s
-}
-
-// score sums the current slice's distances plus geometrically discounted
-// contributions from the next LookaheadSlices slices.
-func (r *Router) score(pending []int, slices [][]int, si int, dag *circuit.DAG, lay *layout, dist *graph.DistanceMatrix) float64 {
-	total := r.sliceDistance(pending, dag, lay, dist)
-	w := r.opts.LookaheadDiscount
-	for d := 1; d <= r.opts.LookaheadSlices && si+d < len(slices); d++ {
-		total += w * r.sliceDistance(slices[si+d], dag, lay, dist)
-		w *= r.opts.LookaheadDiscount
+	dist := e.dist
+	for k := 0; k < 2; k++ {
+		q := a
+		if k == 1 {
+			q = b
+		}
+		if e.listStamp[q] != ep {
+			continue
+		}
+		for node := e.listHead[q]; node != -1; node = e.nodeNext[node] {
+			gt := dag.Gate(int(e.nodeGate[node]))
+			nd := int64(dist.At(lay.m[gt.Q0], lay.m[gt.Q1]))
+			e.delta[e.nodeDepth[node]] += nd - int64(e.nodeOld[node])
+		}
 	}
-	return total
+	total := float64(e.base[0] + e.delta[0])
+	w := opts.LookaheadDiscount
+	for d := 1; d <= opts.LookaheadSlices && si+d < len(slices); d++ {
+		total += w * float64(e.base[d]+e.delta[d])
+		w *= opts.LookaheadDiscount
+	}
+	return total, e.delta[0]
 }
 
 // place produces the initial mapping: program qubits in decreasing

@@ -95,6 +95,26 @@ func TestRouteOnAllPaperDevices(t *testing.T) {
 	}
 }
 
+func TestRouterReuseAcrossSameSizeDevices(t *testing.T) {
+	// A Router caches its engine per device; re-routing on a different
+	// device of the same size must rebuild it, not reuse the previous
+	// device's adjacency and distances.
+	c := circuit.New(8)
+	for i := 0; i < 7; i++ {
+		c.MustAppend(circuit.NewCX(i, i+1), circuit.NewCX(i, (i+3)%8))
+	}
+	r := New(Options{Seed: 5})
+	for _, dev := range []*arch.Device{arch.Ring(8), arch.Line(8), arch.Grid(2, 4)} {
+		res, err := r.Route(c, dev)
+		if err != nil {
+			t.Fatalf("%s: %v", dev.Name(), err)
+		}
+		if err := router.Validate(c, dev, res); err != nil {
+			t.Fatalf("%s: reused router produced invalid result: %v", dev.Name(), err)
+		}
+	}
+}
+
 func TestRouteTooManyQubits(t *testing.T) {
 	c := circuit.New(9)
 	if _, err := New(Options{}).Route(c, arch.Line(4)); err == nil {

@@ -30,7 +30,17 @@ type Swap struct {
 // Formally, tokens are named by their destination: token t must travel to
 // vertex t; initially vertex v holds token at[v] = target... callers
 // usually think in terms of two placements; see Transition.
+//
+// Solve builds the graph's distance matrix itself; callers that already
+// hold one (every arch.Device caches its matrix behind Distances())
+// should use SolveDist so repeated transitions on the same device never
+// re-run the all-pairs BFS.
 func Solve(g *graph.Graph, tokenAt []int) ([]Swap, error) {
+	return SolveDist(g, graph.NewDistanceMatrix(g), tokenAt)
+}
+
+// SolveDist is Solve with a caller-supplied distance matrix of g.
+func SolveDist(g *graph.Graph, dist *graph.DistanceMatrix, tokenAt []int) ([]Swap, error) {
 	n := g.N()
 	if len(tokenAt) != n {
 		return nil, fmt.Errorf("tokenswap: %d tokens for %d vertices", len(tokenAt), n)
@@ -44,7 +54,6 @@ func Solve(g *graph.Graph, tokenAt []int) ([]Swap, error) {
 		}
 		seen[t] = true
 	}
-	dist := graph.NewDistanceMatrix(g)
 	var out []Swap
 
 	apply := func(u, v int) {
@@ -164,7 +173,15 @@ func Solve(g *graph.Graph, tokenAt []int) ([]Swap, error) {
 // Transition returns swaps moving arrangement "from" into arrangement
 // "to", where from[q] and to[q] are the vertices assigned to item q. The
 // returned swaps are on vertices; applying them to "from" yields "to".
+// Callers holding the graph's distance matrix (e.g. a device's cached
+// Distances()) should use TransitionDist.
 func Transition(g *graph.Graph, from, to []int) ([]Swap, error) {
+	return TransitionDist(g, graph.NewDistanceMatrix(g), from, to)
+}
+
+// TransitionDist is Transition with a caller-supplied distance matrix
+// of g.
+func TransitionDist(g *graph.Graph, dist *graph.DistanceMatrix, from, to []int) ([]Swap, error) {
 	if len(from) != len(to) {
 		return nil, fmt.Errorf("tokenswap: arrangement sizes differ")
 	}
@@ -206,14 +223,19 @@ func Transition(g *graph.Graph, from, to []int) ([]Swap, error) {
 			fi++
 		}
 	}
-	return Solve(g, tokenAt)
+	return SolveDist(g, dist, tokenAt)
 }
 
 // LowerBound returns the Σ ceil(d/1)/... standard token-swapping lower
 // bound max(Σ d_i / 2, max d_i): every swap reduces the total distance by
 // at most 2, and the farthest token needs at least its distance in swaps.
+// Callers holding the graph's distance matrix should use LowerBoundDist.
 func LowerBound(g *graph.Graph, tokenAt []int) int {
-	dist := graph.NewDistanceMatrix(g)
+	return LowerBoundDist(graph.NewDistanceMatrix(g), tokenAt)
+}
+
+// LowerBoundDist is LowerBound with a caller-supplied distance matrix.
+func LowerBoundDist(dist *graph.DistanceMatrix, tokenAt []int) int {
 	total, far := 0, 0
 	for v, t := range tokenAt {
 		d := dist.At(v, t)
