@@ -28,6 +28,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -56,6 +57,7 @@ func main() {
 	suiteHash := flag.String("suite", "", "evaluate one stored suite by content hash (requires -cache-dir)")
 	jsonlPath := flag.String("jsonl", "", "also stream per-instance result rows to this JSONL file (store mode)")
 	workers := flag.Int("workers", 1, "parallel evaluation workers (store mode)")
+	toolTimeout := flag.Duration("tool-timeout", 0, "per-(tool, instance) routing budget; a tool over budget becomes a failure row instead of hanging the run (0 = unlimited)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -128,7 +130,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fig := evalStored(store, st, tools, *trials, *seed, *workers, *jsonlPath)
+		fig := evalStored(store, st, tools, *trials, *seed, *workers, *toolTimeout, *jsonlPath)
 		figs = append(figs, fig)
 		harness.RenderFigure(os.Stdout, fig)
 	} else {
@@ -167,9 +169,11 @@ func main() {
 					status = "cache hit"
 				}
 				fmt.Printf("suite %s (%s)\n", st.Hash, status)
-				fig = evalStored(store, st, tools, *trials, *seed, *workers, *jsonlPath)
+				fig = evalStored(store, st, tools, *trials, *seed, *workers, *toolTimeout, *jsonlPath)
 			} else {
-				if fig, err = harness.RunFigure(cfg, tools); err != nil {
+				fig, err = harness.RunFigureCtx(context.Background(), cfg, tools,
+					harness.EvalConfig{Seed: cfg.Seed, ToolTimeout: *toolTimeout})
+				if err != nil {
 					fatal(err)
 				}
 			}
@@ -210,16 +214,17 @@ func main() {
 
 // evalStored runs the resumable store-backed evaluation of one suite,
 // optionally mirroring new rows to an external JSONL file.
-func evalStored(store *suite.Store, st *suite.Suite, tools []harness.ToolSpec, trials int, seed int64, workers int, jsonlPath string) *harness.Figure {
+func evalStored(store *suite.Store, st *suite.Suite, tools []harness.ToolSpec, trials int, seed int64, workers int, toolTimeout time.Duration, jsonlPath string) *harness.Figure {
 	var keyParts []string
 	for _, t := range tools {
 		keyParts = append(keyParts, t.Name)
 	}
 	keyParts = append(keyParts, fmt.Sprintf("trials=%d", trials), fmt.Sprintf("seed=%d", seed))
 	opts := harness.StoredEvalOptions{
-		Seed:    seed,
-		Workers: workers,
-		Key:     harness.EvalKey(keyParts...),
+		Seed:        seed,
+		Workers:     workers,
+		Key:         harness.EvalKey(keyParts...),
+		ToolTimeout: toolTimeout,
 	}
 	var mirror *suite.EvalLog
 	if jsonlPath != "" {

@@ -10,14 +10,19 @@
 //
 //	qubikos-route -dir bench -base qubikos_aspen4_s5_g300_i000 -tool lightsabre
 //	qubikos-route -dir bench -base ... -tool tket -from-optimal
+//	qubikos-route -dir bench -base ... -tool qmap -timeout 30s
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 
 	"repro/internal/bmt"
 	"repro/internal/family"
@@ -47,6 +52,7 @@ func main() {
 	trials := flag.Int("trials", 32, "LightSABRE trials")
 	seed := flag.Int64("seed", 1, "router seed")
 	fromOptimal := flag.Bool("from-optimal", false, "route from the planted optimal initial mapping")
+	timeout := flag.Duration("timeout", 0, "routing budget; an over-budget run exits non-zero instead of hanging (0 = unlimited)")
 	flag.Parse()
 
 	if *base == "" {
@@ -70,17 +76,35 @@ func main() {
 		fatal(fmt.Errorf("unknown tool %q (registered: %s)", *tool, strings.Join(names, ", ")))
 	}
 
+	// The routing call honours -timeout and SIGINT/SIGTERM through one
+	// context; routers that implement the ctx-aware interfaces stop
+	// mid-search, legacy ones are at least refused up front when the
+	// budget is already spent.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	var res *router.Result
 	if *fromOptimal {
 		pr, ok := r.(router.PlacedRouter)
 		if !ok {
 			fatal(fmt.Errorf("tool %q cannot route from a fixed mapping", *tool))
 		}
+		if err := ctx.Err(); err != nil {
+			fatal(err)
+		}
 		res, err = pr.RouteFrom(inst.Circuit, inst.Device, router.Mapping(inst.Meta.InitialMapping))
 	} else {
-		res, err = r.Route(inst.Circuit, inst.Device)
+		res, err = router.RouteWithContext(ctx, r, inst.Circuit, inst.Device)
 	}
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fatal(fmt.Errorf("routing exceeded the -timeout budget %v", *timeout))
+		}
 		fatal(err)
 	}
 	if err := router.Validate(inst.Circuit, inst.Device, res); err != nil {

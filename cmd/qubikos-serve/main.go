@@ -6,10 +6,12 @@
 // instance files or stream an evaluation as JSONL. An in-memory LRU
 // keeps hot suites resident.
 //
-// On SIGTERM or SIGINT the server stops accepting connections, drains
-// in-flight requests (generation and evaluation included) for up to
-// -drain-timeout, and exits 0 — so rolling restarts never kill an
-// evaluation mid-stream.
+// On SIGTERM or SIGINT the server first flips /healthz/ready to 503
+// (liveness at /healthz/live stays green) and keeps serving for
+// -drain-grace so load balancers deroute it, then stops accepting
+// connections and drains in-flight requests (generation and evaluation
+// included) for up to -drain-timeout, exiting 0 — so rolling restarts
+// never kill an evaluation mid-stream.
 //
 // Usage:
 //
@@ -47,7 +49,10 @@ func main() {
 	evalWorkers := flag.Int("eval-workers", 1, "parallel evaluation workers per request")
 	maxInstances := flag.Int("max-instances", 4096, "largest suite a single request may ask for")
 	verify := flag.Bool("verify", false, "run the structural verifier on every generated instance")
+	genTimeout := flag.Duration("gen-timeout", 0, "per-request budget for suite generation (0 = unlimited); over-budget requests get 503 + Retry-After")
+	evalTimeout := flag.Duration("eval-timeout", 0, "per-request budget for evaluations (0 = unlimited); timed-out evaluations resume on retry")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests to finish")
+	drainGrace := flag.Duration("drain-grace", time.Second, "how long readiness reports 503 before the listener closes, so load balancers can deroute")
 	pprofAddr := flag.String("pprof-addr", "", "listen address for the net/http/pprof debug mux (empty = disabled)")
 	flag.Parse()
 
@@ -78,8 +83,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	api := server.New(store, server.Options{
+		LRUSuites:    *lruSuites,
+		MaxInstances: *maxInstances,
+		EvalWorkers:  *evalWorkers,
+		GenTimeout:   *genTimeout,
+		EvalTimeout:  *evalTimeout,
+	})
 	srv := &http.Server{
-		Handler:           server.New(store, server.Options{LRUSuites: *lruSuites, MaxInstances: *maxInstances, EvalWorkers: *evalWorkers}),
+		Handler:           api,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -104,7 +116,13 @@ func main() {
 		}
 	case <-ctx.Done():
 		stop() // a second signal kills immediately via the default handler
-		fmt.Printf("qubikos-serve: signal received, draining in-flight requests (up to %v)\n", *drainTimeout)
+		// Flip readiness red first and keep serving for the grace window:
+		// load balancers see /healthz/ready go 503 and stop routing new
+		// work before the listener disappears.
+		api.StartDraining()
+		fmt.Printf("qubikos-serve: signal received, readiness red; draining in-flight requests (grace %v, up to %v)\n",
+			*drainGrace, *drainTimeout)
+		time.Sleep(*drainGrace)
 		sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := srv.Shutdown(sctx); err != nil {

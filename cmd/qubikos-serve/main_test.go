@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+var listenRE = regexp.MustCompile(`listening on (\S+)`)
+
+// The shutdown contract, exercised against the real binary: readiness
+// goes red on SIGTERM while liveness stays green for the whole grace
+// window, and the process exits 0 once drained — the sequence a rolling
+// restart depends on.
+func TestServeDrainSequence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	bin := filepath.Join(t.TempDir(), "qubikos-serve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-cache-dir", t.TempDir(),
+		"-drain-grace", "2s",
+		"-drain-timeout", "10s",
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The server prints its live address once the listener is up; with
+	// :0 that line is the only way to learn the port.
+	var addr string
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if m := listenRE.FindStringSubmatch(sc.Text()); m != nil {
+			addr = m[1]
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("server never announced its address: %v", sc.Err())
+	}
+	// Drain the rest of stdout so the child never blocks on a full pipe.
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+	base := "http://" + addr
+	if strings.HasPrefix(addr, ":") {
+		base = "http://127.0.0.1" + addr
+	}
+
+	status := func(path string) int {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return -1
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	waitFor := func(path string, want int) error {
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if status(path) == want {
+				return nil
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		return fmt.Errorf("%s never reached %d", path, want)
+	}
+
+	if err := waitFor("/healthz/ready", http.StatusOK); err != nil {
+		t.Fatalf("server never became ready: %v", err)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// Inside the grace window the listener is still up: readiness must
+	// read 503 so load balancers deroute, liveness must stay 200 so
+	// nothing restarts a healthy-but-draining process.
+	if err := waitFor("/healthz/ready", http.StatusServiceUnavailable); err != nil {
+		t.Fatalf("readiness never went red after SIGTERM: %v", err)
+	}
+	if got := status("/healthz/live"); got != http.StatusOK {
+		t.Errorf("liveness during drain = %d, want 200", got)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("clean drain exited non-zero: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Error("server never exited after SIGTERM")
+	}
+}

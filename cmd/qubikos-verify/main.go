@@ -13,7 +13,10 @@
 //
 // Certification fans out over a worker pool (-workers, default all
 // CPUs); each instance owns its verification state, so the table is
-// identical for any worker count.
+// identical for any worker count. The whole run is governed by one
+// context: -timeout bounds it and SIGINT/SIGTERM cancels it — the SAT
+// solver polls the context between conflicts, so even a deep UNSAT
+// search stops promptly instead of hanging the process.
 //
 // With -suite and -cache-dir it certifies every instance of a stored
 // suite from the content-addressed store, dispatching on the suite's
@@ -26,17 +29,22 @@
 //
 //	qubikos-verify -circuits 10 -seed 7          # the study
 //	qubikos-verify -circuits 10 -workers 4       # bounded parallelism
+//	qubikos-verify -circuits 100 -timeout 10m    # hard certification budget
 //	qubikos-verify -family queko-depth -depths 8,16
 //	qubikos-verify -qasm bench.qasm -arch aspen4 -claim 3
 //	qubikos-verify -cache-dir cache -suite <hash>
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/arch"
@@ -61,18 +69,30 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel certification workers (0 = all CPUs)")
 	suiteHash := flag.String("suite", "", "certify a stored suite by content hash (requires -cache-dir)")
 	cacheDir := flag.String("cache-dir", "", "suite store root for -suite mode")
+	timeout := flag.Duration("timeout", 0, "overall certification budget; an over-budget run exits non-zero instead of hanging (0 = unlimited)")
 	flag.Parse()
+
+	// One context governs the whole run: SIGINT/SIGTERM cancels it (the
+	// SAT solver polls it between conflicts, so even a hard UNSAT search
+	// stops promptly) and -timeout turns it into a deadline.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *suiteHash != "" {
 		if *cacheDir == "" {
 			fatal(fmt.Errorf("-suite requires -cache-dir"))
 		}
-		verifySuite(*cacheDir, *suiteHash, *workers)
+		verifySuite(ctx, *cacheDir, *suiteHash, *workers)
 		return
 	}
 
 	if *qasm != "" {
-		verifyFile(*qasm, *archName, *claim, *maxK)
+		verifyFile(ctx, *qasm, *archName, *claim, *maxK)
 		return
 	}
 
@@ -85,7 +105,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		runDepthStudy(fam, counts, *circuits, *seed, *workers)
+		runDepthStudy(ctx, fam, counts, *circuits, *seed, *workers)
 		return
 	}
 
@@ -98,9 +118,9 @@ func main() {
 	cfg.SwapCounts = counts
 
 	t0 := time.Now()
-	rows, err := harness.RunOptimalityStudy(cfg)
+	rows, err := harness.RunOptimalityStudyCtx(ctx, cfg)
 	if err != nil {
-		fatal(err)
+		fatal(budgetErr(ctx, err, *timeout))
 	}
 	harness.RenderOptimality(os.Stdout, rows)
 	total, dev := 0, 0
@@ -118,7 +138,7 @@ func main() {
 // study: generate instances on the study devices and re-check each one's
 // structural depth certificate through a serialize/parse round trip — the
 // exact path a stored suite takes.
-func runDepthStudy(fam *family.Family, depths []int, circuits int, seed int64, workers int) {
+func runDepthStudy(ctx context.Context, fam *family.Family, depths []int, circuits int, seed int64, workers int) {
 	devices := []*arch.Device{arch.RigettiAspen4(), arch.Grid3x3()}
 	type job struct {
 		dev *arch.Device
@@ -142,7 +162,7 @@ func runDepthStudy(fam *family.Family, depths []int, circuits int, seed int64, w
 		fatal(err)
 	}
 	defer os.RemoveAll(dir)
-	err = pool.ParallelFor(len(jobs), workers, func(ji int) error {
+	err = pool.ParallelForCtx(ctx, len(jobs), workers, func(ji int) error {
 		j := jobs[ji]
 		inst, err := fam.Generate(j.dev, family.Options{
 			Optimal:             j.d,
@@ -184,7 +204,7 @@ func runDepthStudy(fam *family.Family, depths []int, circuits int, seed int64, w
 // instance per its family's metric — the exact SAT solver for
 // swap-metric suites, the structural depth certificate for depth-metric
 // ones — fanned over a worker pool. Any deviation exits non-zero.
-func verifySuite(cacheDir, hash string, workers int) {
+func verifySuite(ctx context.Context, cacheDir, hash string, workers int) {
 	store, err := suite.Open(cacheDir, suite.StoreOptions{})
 	if err != nil {
 		fatal(err)
@@ -204,9 +224,10 @@ func verifySuite(cacheDir, hash string, workers int) {
 	depthMetric := st.Metric == family.Depth
 	t0 := time.Now()
 	// Every instance is attempted (certification failures are collected,
-	// not fail-fast), so the per-index fn always returns nil.
+	// not fail-fast), so the per-index fn always returns nil and the only
+	// pool-level error is a cancellation.
 	errs := make([]error, len(st.Instances))
-	pool.ParallelFor(len(st.Instances), workers, func(ji int) error {
+	poolErr := pool.ParallelForCtx(ctx, len(st.Instances), workers, func(ji int) error {
 		ref := st.Instances[ji]
 		if depthMetric {
 			li, err := store.LoadInstanceWithSolution(hash, ref)
@@ -228,11 +249,17 @@ func verifySuite(cacheDir, hash string, workers int) {
 			errs[ji] = fmt.Errorf("%s: %w", ref.Base, err)
 			return nil
 		}
-		if err := s.VerifyOptimal(li.Meta.OptimalSwaps); err != nil {
+		if err := s.VerifyOptimalCtx(ctx, li.Meta.OptimalSwaps); err != nil {
+			if ctx.Err() != nil {
+				return err
+			}
 			errs[ji] = fmt.Errorf("%s: %w", ref.Base, err)
 		}
 		return nil
 	})
+	if poolErr != nil {
+		fatal(budgetErr(ctx, poolErr, 0))
+	}
 	bad := 0
 	for _, err := range errs {
 		if err != nil {
@@ -251,7 +278,7 @@ func verifySuite(cacheDir, hash string, workers int) {
 	}
 }
 
-func verifyFile(path, archName string, claim, maxK int) {
+func verifyFile(ctx context.Context, path, archName string, claim, maxK int) {
 	devc, err := arch.ByName(archName)
 	if err != nil {
 		fatal(err)
@@ -270,15 +297,15 @@ func verifyFile(path, archName string, claim, maxK int) {
 		fatal(err)
 	}
 	if claim >= 0 {
-		if err := s.VerifyOptimal(claim); err != nil {
-			fatal(err)
+		if err := s.VerifyOptimalCtx(ctx, claim); err != nil {
+			fatal(budgetErr(ctx, err, 0))
 		}
 		fmt.Printf("%s: optimal SWAP count is exactly %d (verified)\n", path, claim)
 		return
 	}
-	res, err := s.MinSwaps(maxK)
+	res, err := s.MinSwapsCtx(ctx, maxK)
 	if err != nil {
-		fatal(err)
+		fatal(budgetErr(ctx, err, 0))
 	}
 	fmt.Printf("%s: optimal SWAP count is %d (searched up to %d)\n", path, res.SwapCount, maxK)
 }
@@ -293,6 +320,23 @@ func parseCounts(s string) ([]int, error) {
 		out = append(out, n)
 	}
 	return out, nil
+}
+
+// budgetErr rewrites a cancellation-shaped error into a message that
+// names its cause — an elapsed -timeout budget or an interrupt signal —
+// instead of the bare "context deadline exceeded".
+func budgetErr(ctx context.Context, err error, timeout time.Duration) error {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		if timeout > 0 {
+			return fmt.Errorf("certification exceeded the -timeout budget %v", timeout)
+		}
+		return fmt.Errorf("certification exceeded its deadline: %w", err)
+	case errors.Is(err, context.Canceled) && ctx.Err() != nil:
+		return fmt.Errorf("interrupted; certification stopped cleanly")
+	default:
+		return err
+	}
 }
 
 func fatal(err error) {

@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/router"
+)
+
+// EvalConfig carries the runtime knobs of an evaluation sweep that are
+// orthogonal to what is evaluated: the tool-constructor seed and the
+// fault-isolation budget.
+type EvalConfig struct {
+	// Seed feeds each tool's constructor (offset per routeOne's schedule).
+	Seed int64
+	// ToolTimeout bounds each single (tool, instance) routing attempt.
+	// Zero means no per-tool deadline: only the caller's context limits
+	// the run.
+	ToolTimeout time.Duration
+}
+
+// routeOutcome carries one guarded tool run across its goroutine
+// boundary.
+type routeOutcome struct {
+	res      *router.Result
+	err      error
+	panicked bool
+	panicVal any
+	stack    []byte
+}
+
+// routeOneCtx runs one tool on one item in a fault-isolated worker: the
+// tool executes in its own goroutine under the caller's context plus an
+// optional per-tool timeout. Three outcome classes keep a sweep alive:
+//
+//   - tool failure, timeout, or panic → (nil, reason, nil): an
+//     aggregable per-row error (panics additionally log their stack);
+//   - caller cancellation → a hard error, because the whole sweep is
+//     being abandoned and partial figures should not pretend otherwise;
+//   - an invalid or optimum-beating result → a hard error, because it
+//     falsifies the suite's guarantee.
+func routeOneCtx(ctx context.Context, tool ToolSpec, it EvalItem, seed int64, toolTimeout time.Duration) (*router.Result, string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, "", err
+	}
+	toolCtx, cancel := ctx, context.CancelFunc(func() {})
+	if toolTimeout > 0 {
+		toolCtx, cancel = context.WithTimeout(ctx, toolTimeout)
+	}
+	defer cancel()
+
+	ch := make(chan routeOutcome, 1)
+	go func() {
+		defer func() {
+			if v := recover(); v != nil {
+				ch <- routeOutcome{panicked: true, panicVal: v, stack: debug.Stack()}
+			}
+		}()
+		r := tool.Make(seed + 7919)
+		var out routeOutcome
+		if it.prep != nil {
+			out.res, out.err = router.RoutePreparedWithContext(toolCtx, r, it.prep)
+		} else {
+			out.res, out.err = router.RouteWithContext(toolCtx, r, it.Circuit, it.Device)
+		}
+		ch <- out
+	}()
+
+	var out routeOutcome
+	select {
+	case out = <-ch:
+	case <-toolCtx.Done():
+		// The tool overran its budget or the caller gave up. A cooperative
+		// tool unwinds through its context checks shortly after; a wedged
+		// one leaks its goroutine — the price of isolation without
+		// preemption. Either way this worker moves on immediately.
+		if err := ctx.Err(); err != nil {
+			return nil, "", err
+		}
+		return nil, fmt.Sprintf("tool timed out after %v", toolTimeout), nil
+	}
+
+	if out.panicked {
+		log.Printf("harness: tool %s panicked on %s (%s): %v\n%s",
+			tool.Name, it.Device.Name(), it.ID, out.panicVal, out.stack)
+		return nil, fmt.Sprintf("tool panicked: %v", out.panicVal), nil
+	}
+	if out.err != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, "", err
+		}
+		if toolCtx.Err() != nil {
+			// The per-tool deadline fired inside the tool and it unwound
+			// on its own before the select noticed.
+			return nil, fmt.Sprintf("tool timed out after %v", toolTimeout), nil
+		}
+		return nil, out.err.Error(), nil
+	}
+	if err := router.Validate(it.Circuit, it.Device, out.res); err != nil {
+		return nil, "", fmt.Errorf("harness: %s produced invalid result on %s (%s): %w",
+			tool.Name, it.Device.Name(), it.ID, err)
+	}
+	if achieved := it.Metric.Achieved(out.res); achieved < it.Optimal {
+		return nil, "", fmt.Errorf("harness: %s beat the proven optimal %s on %s (%s): %d < %d",
+			tool.Name, it.Metric, it.Device.Name(), it.ID, achieved, it.Optimal)
+	}
+	return out.res, "", nil
+}

@@ -18,6 +18,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -281,6 +282,14 @@ func GenerateItems(cfg SuiteConfig) ([]EvalItem, error) {
 // one-shot path. Production runs should generate through a suite.Store
 // and use RunStoredEval so repeated evaluations never regenerate.
 func RunFigure(cfg SuiteConfig, tools []ToolSpec) (*Figure, error) {
+	return RunFigureCtx(context.Background(), cfg, tools, EvalConfig{Seed: cfg.Seed})
+}
+
+// RunFigureCtx is RunFigure under a cancellation context and an explicit
+// evaluation config: generation is checked between instances, and every
+// (tool, instance) routing attempt runs fault-isolated under
+// ec.ToolTimeout.
+func RunFigureCtx(ctx context.Context, cfg SuiteConfig, tools []ToolSpec, ec EvalConfig) (*Figure, error) {
 	m := cfg.Manifest()
 	items, err := GenerateItems(cfg)
 	if err != nil {
@@ -291,7 +300,7 @@ func RunFigure(cfg SuiteConfig, tools []ToolSpec) (*Figure, error) {
 		Metric: string(m.Metric()),
 		Gates:  cfg.TargetTwoQubitGates,
 	}
-	fig.Cells, err = EvaluateItems(m.Metric(), items, m.Grid(), tools, cfg.Seed)
+	fig.Cells, err = EvaluateItemsCtx(ctx, m.Metric(), items, m.Grid(), tools, ec)
 	if err != nil {
 		return nil, err
 	}
@@ -304,6 +313,16 @@ func RunFigure(cfg SuiteConfig, tools []ToolSpec) (*Figure, error) {
 // optimality lower bound; violations are returned as errors because they
 // would falsify the benchmark's guarantee.
 func EvaluateItems(metric family.Metric, items []EvalItem, grid []int, tools []ToolSpec, seed int64) ([]Cell, error) {
+	return EvaluateItemsCtx(context.Background(), metric, items, grid, tools, EvalConfig{Seed: seed})
+}
+
+// EvaluateItemsCtx is EvaluateItems under a cancellation context and an
+// explicit evaluation config. Each (tool, instance) pair routes in a
+// fault-isolated worker bounded by ec.ToolTimeout: a tool that times
+// out, fails, or panics becomes a cell failure while the rest of the
+// sweep completes; cancelling ctx aborts the whole sweep with its
+// cause.
+func EvaluateItemsCtx(ctx context.Context, metric family.Metric, items []EvalItem, grid []int, tools []ToolSpec, ec EvalConfig) ([]Cell, error) {
 	for _, it := range items {
 		if it.Optimal <= 0 {
 			return nil, fmt.Errorf("harness: instance %s has no positive optimal %s to score (got %d)",
@@ -324,7 +343,7 @@ func EvaluateItems(metric family.Metric, items []EvalItem, grid []int, tools []T
 				if it.Optimal != n {
 					continue
 				}
-				res, _, err := routeOne(tool, it, seed)
+				res, _, err := routeOneCtx(ctx, tool, it, ec.Seed, ec.ToolTimeout)
 				if err != nil {
 					return nil, err
 				}
@@ -353,34 +372,6 @@ func EvaluateItems(metric family.Metric, items []EvalItem, grid []int, tools []T
 		}
 	}
 	return cells, nil
-}
-
-// routeOne runs one tool on one item, through the item's shared
-// routing context when the tool supports it. A tool failure returns a
-// nil result plus the tool's error string — an aggregable, diagnosable
-// outcome; an invalid or optimum-beating result returns an error
-// because it falsifies the suite's guarantee.
-func routeOne(tool ToolSpec, it EvalItem, seed int64) (*router.Result, string, error) {
-	r := tool.Make(seed + 7919)
-	var res *router.Result
-	var err error
-	if pr, ok := r.(router.PreparedRouter); ok && it.prep != nil {
-		res, err = pr.RoutePrepared(it.prep)
-	} else {
-		res, err = r.Route(it.Circuit, it.Device)
-	}
-	if err != nil {
-		return nil, err.Error(), nil
-	}
-	if err := router.Validate(it.Circuit, it.Device, res); err != nil {
-		return nil, "", fmt.Errorf("harness: %s produced invalid result on %s (%s): %w",
-			tool.Name, it.Device.Name(), it.ID, err)
-	}
-	if achieved := it.Metric.Achieved(res); achieved < it.Optimal {
-		return nil, "", fmt.Errorf("harness: %s beat the proven optimal %s on %s (%s): %d < %d",
-			tool.Name, it.Metric, it.Device.Name(), it.ID, achieved, it.Optimal)
-	}
-	return res, "", nil
 }
 
 // ToolAverage is one row of the abstract's summary (63x / 117x / 250x /
@@ -553,6 +544,16 @@ type OptimalityRow struct {
 // bounded worker pool (cfg.Workers, defaulting to GOMAXPROCS) and the
 // aggregated rows are identical for any worker count.
 func RunOptimalityStudy(cfg OptimalityConfig) ([]OptimalityRow, error) {
+	return RunOptimalityStudyCtx(context.Background(), cfg)
+}
+
+// RunOptimalityStudyCtx is RunOptimalityStudy under a cancellation
+// context: the deadline propagates into every SAT search (alongside any
+// conflict budget) and into the worker pool's dispatch loop, so an
+// abandoned study stops certifying promptly instead of finishing the
+// sweep. A cancelled study returns the cancellation cause, never a
+// partial table.
+func RunOptimalityStudyCtx(ctx context.Context, cfg OptimalityConfig) ([]OptimalityRow, error) {
 	type job struct {
 		dev *arch.Device
 		n   int
@@ -592,7 +593,12 @@ func RunOptimalityStudy(cfg OptimalityConfig) ([]OptimalityRow, error) {
 		if err != nil {
 			return outcome{err: err}
 		}
-		return outcome{verified: s.VerifyOptimal(j.n) == nil}
+		verr := s.VerifyOptimalCtx(ctx, j.n)
+		if verr != nil && ctx.Err() != nil {
+			// Cancellation mid-proof, not a deviation: abort the study.
+			return outcome{err: verr}
+		}
+		return outcome{verified: verr == nil}
 	}
 
 	workers := cfg.Workers
@@ -604,7 +610,7 @@ func RunOptimalityStudy(cfg OptimalityConfig) ([]OptimalityRow, error) {
 	// lowest-indexed error, so success/failure (and, on success, every
 	// row) is deterministic for any worker count.
 	outcomes := make([]outcome, len(jobs))
-	if err := pool.ParallelFor(len(jobs), workers, func(ji int) error {
+	if err := pool.ParallelForCtx(ctx, len(jobs), workers, func(ji int) error {
 		outcomes[ji] = run(jobs[ji])
 		return outcomes[ji].err
 	}); err != nil {

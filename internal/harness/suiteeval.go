@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -52,6 +53,11 @@ type StoredEvalOptions struct {
 	// OnRow, when non-nil, observes every newly produced row as soon as
 	// it is durably logged — the streaming hook qubikos-serve uses.
 	OnRow func(suite.Row)
+	// ToolTimeout bounds each single (tool, instance) routing attempt.
+	// A tool that exceeds it (or panics) yields a row with a non-empty
+	// Error while the rest of the sweep completes; zero means no
+	// per-tool deadline.
+	ToolTimeout time.Duration
 }
 
 // RunStoredEval fans every tool over every instance of a stored suite,
@@ -63,6 +69,17 @@ type StoredEvalOptions struct {
 // invalid or beat the proven optimum abort with an error, because they
 // falsify the suite's guarantee.
 func RunStoredEval(store *suite.Store, st *suite.Suite, tools []ToolSpec, opts StoredEvalOptions) (*Figure, error) {
+	return RunStoredEvalCtx(context.Background(), store, st, tools, opts)
+}
+
+// RunStoredEvalCtx is RunStoredEval under a cancellation context. Each
+// (tool, instance) pair routes in a fault-isolated worker bounded by
+// opts.ToolTimeout — a hung or panicking tool becomes an error row, not
+// a wedged or crashed sweep. Cancelling ctx stops dispatching new pairs
+// and aborts with the cancellation cause; rows already appended stay
+// durable, so a later run with the same key resumes where this one
+// stopped.
+func RunStoredEvalCtx(ctx context.Context, store *suite.Store, st *suite.Suite, tools []ToolSpec, opts StoredEvalOptions) (*Figure, error) {
 	key := opts.Key
 	if key == "" {
 		names := make([]string, 0, len(tools)+1)
@@ -136,7 +153,7 @@ func RunStoredEval(store *suite.Store, st *suite.Suite, tools []ToolSpec, opts S
 	run := func(j job) error {
 		it := items[j.ref.Base]
 		t0 := time.Now()
-		res, toolErr, err := routeOne(j.tool, it, opts.Seed)
+		res, toolErr, err := routeOneCtx(ctx, j.tool, it, opts.Seed, opts.ToolTimeout)
 		if err != nil {
 			return err
 		}
@@ -164,7 +181,7 @@ func RunStoredEval(store *suite.Store, st *suite.Suite, tools []ToolSpec, opts S
 		return nil
 	}
 
-	if err := pool.ParallelFor(len(jobs), opts.Workers, func(ji int) error {
+	if err := pool.ParallelForCtx(ctx, len(jobs), opts.Workers, func(ji int) error {
 		return run(jobs[ji])
 	}); err != nil {
 		return nil, err

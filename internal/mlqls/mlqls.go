@@ -20,6 +20,7 @@
 package mlqls
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -142,26 +143,45 @@ type level struct {
 
 // Route implements router.Router.
 func (r *Router) Route(c *circuit.Circuit, dev *arch.Device) (*router.Result, error) {
+	return r.RouteCtx(context.Background(), c, dev)
+}
+
+// RouteCtx implements router.RouterCtx.
+func (r *Router) RouteCtx(ctx context.Context, c *circuit.Circuit, dev *arch.Device) (*router.Result, error) {
 	p, err := router.Prepare(c, dev)
 	if err != nil {
 		return nil, fmt.Errorf("mlqls: %w", err)
 	}
-	return r.RoutePrepared(p)
+	return r.RoutePreparedCtx(ctx, p)
 }
 
 // RoutePrepared implements router.PreparedRouter: the multilevel
 // placement runs over the shared skeleton and the SABRE routing stage
 // reuses the shared DAGs, producing exactly the result Route would.
 func (r *Router) RoutePrepared(p *router.Prepared) (*router.Result, error) {
+	return r.RoutePreparedCtx(context.Background(), p)
+}
+
+// RoutePreparedCtx implements router.PreparedRouterCtx. The placement
+// hierarchy checks for cancellation between coarsening rounds and
+// refinement levels (its stages are polynomial and small, so latency is
+// bounded by one level's work); the SABRE routing stage polls inside
+// its decision loop.
+func (r *Router) RoutePreparedCtx(ctx context.Context, p *router.Prepared) (*router.Result, error) {
 	rng := rand.New(rand.NewSource(r.opts.Seed))
-	placement := r.multilevelPlace(p.Skeleton, p.Device, rng)
+	var check router.CtxChecker
+	check.Reset(ctx)
+	placement := r.multilevelPlace(p.Skeleton, p.Device, rng, &check)
+	if err := check.Err(); err != nil {
+		return nil, fmt.Errorf("mlqls: %w", err)
+	}
 
 	// Route with a SABRE engine pinned to the multilevel placement.
 	eng := sabre.NewFixedMapping(sabre.Options{
 		Trials: r.opts.RoutingTrials,
 		Seed:   r.opts.Seed + 1,
 	}, placement)
-	res, err := eng.RoutePrepared(p)
+	res, err := eng.RoutePreparedCtx(ctx, p)
 	if err != nil {
 		return nil, fmt.Errorf("mlqls: %w", err)
 	}
@@ -170,8 +190,10 @@ func (r *Router) RoutePrepared(p *router.Prepared) (*router.Result, error) {
 }
 
 // multilevelPlace builds the coarsening hierarchy, places the coarsest
-// graph, and uncoarsens with refinement.
-func (r *Router) multilevelPlace(skeleton *circuit.Circuit, dev *arch.Device, rng *rand.Rand) router.Mapping {
+// graph, and uncoarsens with refinement. A cancelled check makes it
+// return early with whatever placement it has; the caller detects the
+// cancellation through check.Err() and discards the result.
+func (r *Router) multilevelPlace(skeleton *circuit.Circuit, dev *arch.Device, rng *rand.Rand, check *router.CtxChecker) router.Mapping {
 	// Level 0: the raw interaction graph with gate multiplicities.
 	w0 := newWeightedGraph(skeleton.NumQubits)
 	for _, g := range skeleton.Gates {
@@ -181,6 +203,9 @@ func (r *Router) multilevelPlace(skeleton *circuit.Circuit, dev *arch.Device, rn
 	var levels []level
 	cur := w0
 	for cur.n > r.opts.CoarsestSize {
+		if check.Tick() {
+			return router.IdentityMapping(skeleton.NumQubits)
+		}
 		next, parent := coarsen(cur, rng)
 		if next.n == cur.n {
 			break // no matching possible (isolated vertices only)
@@ -196,6 +221,9 @@ func (r *Router) multilevelPlace(skeleton *circuit.Circuit, dev *arch.Device, rn
 
 	// Uncoarsen: children inherit cluster slots, then refine.
 	for li := len(levels) - 1; li >= 0; li-- {
+		if check.Tick() {
+			return place
+		}
 		lv := levels[li]
 		place = project(lv, place, dev, rng)
 		refine(lv.g, place, dev, r.opts.RefinePasses, rng)

@@ -86,7 +86,7 @@ func TestPlacementIsInjective(t *testing.T) {
 	}
 	r := New(Options{Seed: 3})
 	skeleton := router.TwoQubitSkeleton(b.Circuit)
-	place := r.multilevelPlace(skeleton, b.Device, newTestRand())
+	place := r.multilevelPlace(skeleton, b.Device, newTestRand(), new(router.CtxChecker))
 	if err := place.Validate(b.Device.NumQubits()); err != nil {
 		t.Fatalf("multilevel placement invalid: %v", err)
 	}

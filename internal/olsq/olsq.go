@@ -22,6 +22,7 @@
 package olsq
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -107,11 +108,21 @@ func (s *Solver) ensureEncoded(k int) *encoding {
 // when satisfiable it returns the witness result. A third "unknown" state
 // is reported via err when the conflict budget is exhausted.
 func (s *Solver) Decide(k int) (bool, *Result, error) {
+	return s.DecideCtx(context.Background(), k)
+}
+
+// DecideCtx is Decide under a cancellation context, propagated into the
+// SAT search alongside the conflict budget: once ctx is done the solve
+// stops at its next conflict poll and ctx.Err() is returned (wrapped),
+// distinguishable from budget exhaustion via errors.Is. The solver's
+// incremental state stays valid, so a later call with a fresh context
+// resumes the bound sweep with everything learned so far.
+func (s *Solver) DecideCtx(ctx context.Context, k int) (bool, *Result, error) {
 	if k < 0 {
 		return false, nil, fmt.Errorf("olsq: negative swap bound %d", k)
 	}
 	if s.opts.NonIncremental {
-		return s.decideFresh(k)
+		return s.decideFresh(ctx, k)
 	}
 	enc := s.ensureEncoded(k)
 	enc.solver.Budget = s.opts.MaxConflicts
@@ -128,7 +139,7 @@ func (s *Solver) Decide(k int) (bool, *Result, error) {
 			asm = append(asm, enc.act[b].Neg())
 		}
 	}
-	switch enc.solver.SolveAssuming(asm) {
+	switch enc.solver.SolveAssumingCtx(ctx, asm) {
 	case sat.Sat:
 		res, err := s.extract(enc, k)
 		if err != nil {
@@ -138,6 +149,9 @@ func (s *Solver) Decide(k int) (bool, *Result, error) {
 	case sat.Unsat:
 		return false, nil, nil
 	default:
+		if err := ctx.Err(); err != nil {
+			return false, nil, fmt.Errorf("olsq: solve cancelled at k=%d: %w", k, err)
+		}
 		return false, nil, fmt.Errorf("olsq: conflict budget exhausted at k=%d", k)
 	}
 }
@@ -145,7 +159,7 @@ func (s *Solver) Decide(k int) (bool, *Result, error) {
 // decideFresh is the legacy per-bound path: encode at exactly k, assert
 // every activation and the finalization literal, and solve on a cold
 // solver.
-func (s *Solver) decideFresh(k int) (bool, *Result, error) {
+func (s *Solver) decideFresh(ctx context.Context, k int) (bool, *Result, error) {
 	enc := s.encode(k)
 	for _, a := range enc.act {
 		if err := enc.solver.AddClause(a); err != nil {
@@ -156,7 +170,7 @@ func (s *Solver) decideFresh(k int) (bool, *Result, error) {
 		return false, nil, err
 	}
 	enc.solver.Budget = s.opts.MaxConflicts
-	switch enc.solver.Solve() {
+	switch enc.solver.SolveCtx(ctx) {
 	case sat.Sat:
 		res, err := s.extract(enc, k)
 		if err != nil {
@@ -166,6 +180,9 @@ func (s *Solver) decideFresh(k int) (bool, *Result, error) {
 	case sat.Unsat:
 		return false, nil, nil
 	default:
+		if err := ctx.Err(); err != nil {
+			return false, nil, fmt.Errorf("olsq: solve cancelled at k=%d: %w", k, err)
+		}
 		return false, nil, fmt.Errorf("olsq: conflict budget exhausted at k=%d", k)
 	}
 }
@@ -177,6 +194,12 @@ func (s *Solver) decideFresh(k int) (bool, *Result, error) {
 // below it. With Options.UseLowerBound the search starts at LowerBound()
 // instead of 0. It returns an error if even maxK is infeasible.
 func (s *Solver) MinSwaps(maxK int) (*Result, error) {
+	return s.MinSwapsCtx(context.Background(), maxK)
+}
+
+// MinSwapsCtx is MinSwaps under a cancellation context, checked before
+// each bound and propagated into each Decide's SAT search.
+func (s *Solver) MinSwapsCtx(ctx context.Context, maxK int) (*Result, error) {
 	start := 0
 	if s.opts.UseLowerBound {
 		lb := s.LowerBound()
@@ -186,7 +209,7 @@ func (s *Solver) MinSwaps(maxK int) (*Result, error) {
 		start = lb
 	}
 	for k := start; k <= maxK; k++ {
-		ok, res, err := s.Decide(k)
+		ok, res, err := s.DecideCtx(ctx, k)
 		if err != nil {
 			return nil, err
 		}
@@ -264,8 +287,15 @@ const lowerBoundVF2Nodes = 2_000_000
 // below n. Both checks run on the same persistent solver: the n-1 UNSAT
 // proof's learned clauses are reused by the satisfiable check at n.
 func (s *Solver) VerifyOptimal(n int) error {
+	return s.VerifyOptimalCtx(context.Background(), n)
+}
+
+// VerifyOptimalCtx is VerifyOptimal under a cancellation context; both
+// decisions run their SAT searches with the context's deadline
+// alongside any conflict budget.
+func (s *Solver) VerifyOptimalCtx(ctx context.Context, n int) error {
 	if n > 0 {
-		ok, _, err := s.Decide(n - 1)
+		ok, _, err := s.DecideCtx(ctx, n-1)
 		if err != nil {
 			return err
 		}
@@ -273,7 +303,7 @@ func (s *Solver) VerifyOptimal(n int) error {
 			return fmt.Errorf("olsq: circuit solvable with %d swaps, claimed optimum %d", n-1, n)
 		}
 	}
-	ok, _, err := s.Decide(n)
+	ok, _, err := s.DecideCtx(ctx, n)
 	if err != nil {
 		return err
 	}

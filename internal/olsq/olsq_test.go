@@ -1,9 +1,12 @@
 package olsq
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/circuit"
@@ -464,5 +467,63 @@ func TestExportDIMACSRoundTrip(t *testing.T) {
 				t.Fatalf("iter %d k=%d: incremental=%v per-k=%v", iter, k, okI, okF)
 			}
 		}
+	}
+}
+
+func TestDecideCtxCancellationDistinctFromBudget(t *testing.T) {
+	// A dead context surfaces as a context error, not as the conflict-
+	// budget message, so callers can retry on deadline but trust budget
+	// exhaustion as a configuration signal.
+	c := circuit.New(9)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 25; i++ {
+		a, b := rng.Intn(9), rng.Intn(9)
+		if a != b {
+			c.MustAppend(circuit.NewCX(a, b))
+		}
+	}
+	s, err := New(c, arch.Grid3x3(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err = s.DecideCtx(ctx, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The incremental encoding must remain usable after cancellation.
+	ok, _, err := s.DecideCtx(context.Background(), 0)
+	if err != nil {
+		t.Fatalf("post-cancel decide: %v", err)
+	}
+	_ = ok
+}
+
+func TestVerifyOptimalCtxDeadline(t *testing.T) {
+	// A deliberately hard instance under a tiny deadline: the SAT search
+	// must stop and report the deadline within a sane wall-clock bound.
+	c := circuit.New(9)
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 40; i++ {
+		a, b := rng.Intn(9), rng.Intn(9)
+		if a != b {
+			c.MustAppend(circuit.NewCX(a, b))
+		}
+	}
+	s, err := New(c, arch.Grid3x3(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = s.VerifyOptimalCtx(ctx, 9)
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("verification ran %v past a 10ms deadline", elapsed)
+	}
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		// The solver reached a verdict before the deadline fired.
+		t.Skipf("instance decided within the deadline (err=%v); nothing to assert", err)
 	}
 }

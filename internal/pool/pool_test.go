@@ -1,10 +1,13 @@
 package pool
 
 import (
+	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestParallelForRunsEveryIndex(t *testing.T) {
@@ -70,5 +73,92 @@ func TestParallelForStopsDispatchAfterError(t *testing.T) {
 	// fewer than all indices run.
 	if got := ran.Load(); got > 10 {
 		t.Errorf("dispatched %d indices after failure, expected fail-fast", got)
+	}
+}
+
+func TestParallelForRecoversWorkerPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ParallelFor(10, workers, func(i int) error {
+			if i == 5 {
+				panic("worker exploded")
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: panic swallowed", workers)
+		}
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err %T (%v), want *PanicError", workers, err, err)
+		}
+		if pe.Value != "worker exploded" {
+			t.Errorf("workers=%d: panic value %v", workers, pe.Value)
+		}
+		if !bytes.Contains(pe.Stack, []byte("pool_test")) {
+			t.Errorf("workers=%d: stack does not reference the panic site:\n%s", workers, pe.Stack)
+		}
+	}
+}
+
+func TestParallelForPanicStopsDispatch(t *testing.T) {
+	var ran atomic.Int32
+	ParallelFor(1000, 2, func(i int) error {
+		ran.Add(1)
+		panic("immediate")
+	})
+	if got := ran.Load(); got > 10 {
+		t.Errorf("dispatched %d indices after panic, expected fail-fast", got)
+	}
+}
+
+func TestParallelForCtxCancelStopsDispatch(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int32
+		err := ParallelForCtx(ctx, 1000, workers, func(i int) error {
+			if ran.Add(1) == 3 {
+				cancel()
+			}
+			time.Sleep(time.Millisecond)
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if got := ran.Load(); got > 100 {
+			t.Errorf("workers=%d: dispatched %d indices after cancel", workers, got)
+		}
+	}
+}
+
+func TestParallelForCtxErrorBeatsCancel(t *testing.T) {
+	// A real fn error recorded before cancellation is preferred over
+	// ctx.Err(), keeping diagnostics deterministic.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	want := errors.New("real failure")
+	err := ParallelForCtx(ctx, 10, 1, func(i int) error {
+		if i == 2 {
+			cancel()
+			return want
+		}
+		return nil
+	})
+	if !errors.Is(err, want) {
+		t.Fatalf("err = %v, want the fn error", err)
+	}
+}
+
+func TestParallelForCtxBackgroundRunsAll(t *testing.T) {
+	var ran atomic.Int32
+	if err := ParallelForCtx(context.Background(), 50, 8, func(i int) error {
+		ran.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 50 {
+		t.Fatalf("ran %d of 50", ran.Load())
 	}
 }

@@ -20,6 +20,7 @@
 package qmap
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -74,16 +75,30 @@ func (r *Router) Name() string { return "qmap" }
 
 // Route implements router.Router.
 func (r *Router) Route(c *circuit.Circuit, dev *arch.Device) (*router.Result, error) {
+	return r.RouteCtx(context.Background(), c, dev)
+}
+
+// RouteCtx implements router.RouterCtx: Route under a cancellation
+// context, polled once per A* node expansion.
+func (r *Router) RouteCtx(ctx context.Context, c *circuit.Circuit, dev *arch.Device) (*router.Result, error) {
 	p, err := router.Prepare(c, dev)
 	if err != nil {
 		return nil, fmt.Errorf("qmap: %w", err)
 	}
-	return r.RoutePrepared(p)
+	return r.RoutePreparedCtx(ctx, p)
 }
 
 // RoutePrepared implements router.PreparedRouter: it routes from a
 // shared pre-built context, producing exactly the result Route would.
 func (r *Router) RoutePrepared(p *router.Prepared) (*router.Result, error) {
+	return r.RoutePreparedCtx(context.Background(), p)
+}
+
+// RoutePreparedCtx implements router.PreparedRouterCtx. Cancellation
+// cuts the per-layer A* short exactly as node exhaustion would; the
+// layer loop then aborts before emitting anything from the truncated
+// search, so no partial result escapes.
+func (r *Router) RoutePreparedCtx(ctx context.Context, p *router.Prepared) (*router.Result, error) {
 	dev := p.Device
 	skeleton := p.Skeleton
 	rng := rand.New(rand.NewSource(r.opts.Seed))
@@ -100,6 +115,7 @@ func (r *Router) RoutePrepared(p *router.Prepared) (*router.Result, error) {
 	initial := mapping.Clone()
 
 	e := r.ensureEngine(dev, len(mapping), dag.N())
+	e.check.Reset(ctx)
 	g := e.g
 	dist := e.dist
 	out := circuit.New(skeleton.NumQubits)
@@ -111,6 +127,9 @@ func (r *Router) RoutePrepared(p *router.Prepared) (*router.Result, error) {
 			next = layers[li+1]
 		}
 		seq, final := e.searchLayer(r.opts, mapping, layer, next, dag)
+		if err := e.check.Err(); err != nil {
+			return nil, fmt.Errorf("qmap: %w", err)
+		}
 		for _, sw := range seq {
 			out.MustAppend(circuit.NewSwap(sw[0], sw[1]))
 			swaps++
@@ -192,6 +211,10 @@ type engine struct {
 	dist *graph.DistanceMatrix
 	nQ   int // program register size (== padded device size)
 	nP   int // physical qubit count
+
+	// check polls for cancellation once per A* node expansion; the zero
+	// value (direct engine users, background contexts) is inert.
+	check router.CtxChecker
 
 	zob []uint64 // Zobrist keys, (program qubit, physical qubit) pairs
 
@@ -292,9 +315,12 @@ func (e *engine) searchLayer(opts Options, start router.Mapping, layer, next []i
 	}
 	e.applied = e.applied[:0]
 
+	// Cancellation cuts the search short through the same exit as node
+	// exhaustion: the most promising frontier state is handed back, and
+	// the Route-level layer loop aborts before using it.
 	bestFrontier := int32(0)
 	nodes := 0
-	for len(e.heap) > 0 && nodes < opts.MaxNodes {
+	for len(e.heap) > 0 && nodes < opts.MaxNodes && !e.check.Tick() {
 		cur := e.heapPop()
 		nodes++
 		e.apply(cur, m, inv)

@@ -1,0 +1,143 @@
+package router
+
+import (
+	"context"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+)
+
+// RouterCtx is a Router whose search can be cancelled. RouteCtx must
+// return promptly (within a bounded number of decision-loop iterations)
+// once ctx is done, reporting ctx.Err() — possibly wrapped — instead of
+// a Result. With a context that never fires, RouteCtx must be
+// behaviourally identical to Route: bit-identical results and no extra
+// allocations in the warm decision loop (the CtxChecker below is how
+// implementations meet that bar).
+type RouterCtx interface {
+	Router
+	RouteCtx(ctx context.Context, c *circuit.Circuit, dev *arch.Device) (*Result, error)
+}
+
+// PreparedRouterCtx is the cancellable analogue of PreparedRouter: it
+// routes from a shared pre-built context under a cancellation context.
+// The same contract applies — identical to RoutePrepared when ctx never
+// fires, prompt ctx.Err() when it does, and no mutation of p.
+type PreparedRouterCtx interface {
+	Router
+	RoutePreparedCtx(ctx context.Context, p *Prepared) (*Result, error)
+}
+
+// RouteWithContext routes c on dev through the most capable interface r
+// implements: RouterCtx when available, plain Route otherwise. Callers
+// that hold a context should always go through this helper (or
+// RoutePreparedWithContext) so cancellation reaches every tool that can
+// honour it.
+func RouteWithContext(ctx context.Context, r Router, c *circuit.Circuit, dev *arch.Device) (*Result, error) {
+	if rc, ok := r.(RouterCtx); ok {
+		return rc.RouteCtx(ctx, c, dev)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return r.Route(c, dev)
+}
+
+// RoutePreparedWithContext routes from a shared Prepared through the
+// most capable interface r implements, in preference order:
+// PreparedRouterCtx, PreparedRouter, RouterCtx, Router.
+func RoutePreparedWithContext(ctx context.Context, r Router, p *Prepared) (*Result, error) {
+	if pc, ok := r.(PreparedRouterCtx); ok {
+		return pc.RoutePreparedCtx(ctx, p)
+	}
+	if pr, ok := r.(PreparedRouter); ok {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return pr.RoutePrepared(p)
+	}
+	return RouteWithContext(ctx, r, p.Circuit, p.Device)
+}
+
+// ctxCheckInterval is how many Tick calls a CtxChecker lets pass between
+// ctx.Err() polls. Decision loops tick once per iteration; a poll every
+// 256 iterations keeps the cancellation latency of even the slowest
+// loop (QMAP A* node expansion, ~µs/iteration) well under a
+// millisecond while making the common-case cost of Tick a single
+// decrement and branch.
+const ctxCheckInterval = 256
+
+// CtxChecker amortizes context-cancellation polling over the iterations
+// of a hot decision loop. The zero value is inert (never reports
+// cancellation, costs one branch per Tick), which lets engines embed it
+// unconditionally: uncancellable entry points simply leave it zero.
+//
+// Reset installs a context; Tick is then called once per loop iteration
+// and polls ctx.Err() every ctxCheckInterval ticks, caching a non-nil
+// error so every later Tick and Err call reports cancellation
+// immediately. A context that cannot fire (ctx.Done() == nil, e.g.
+// context.Background()) disables polling entirely at Reset time, so the
+// cancellable path stays zero-cost and allocation-free when no deadline
+// is attached — the alloc-flatness and golden-corpus pins run through
+// exactly this path.
+//
+// CtxChecker is a value type with no heap state; embedding it in an
+// engine adds no allocations.
+type CtxChecker struct {
+	ctx       context.Context
+	countdown int
+	err       error
+	armed     bool
+}
+
+// Reset points the checker at ctx and clears any cached error. A nil
+// ctx, or one that can never be cancelled, disarms the checker.
+func (c *CtxChecker) Reset(ctx context.Context) {
+	c.err = nil
+	c.countdown = ctxCheckInterval
+	if ctx == nil || ctx.Done() == nil {
+		c.ctx = nil
+		c.armed = false
+		return
+	}
+	c.ctx = ctx
+	c.armed = true
+}
+
+// Tick records one loop iteration and reports whether the context has
+// been cancelled. It polls the context only every ctxCheckInterval
+// ticks; once cancellation is observed it is latched and every
+// subsequent Tick returns true.
+func (c *CtxChecker) Tick() bool {
+	if !c.armed {
+		return false
+	}
+	if c.err != nil {
+		return true
+	}
+	c.countdown--
+	if c.countdown > 0 {
+		return false
+	}
+	c.countdown = ctxCheckInterval
+	if err := c.ctx.Err(); err != nil {
+		c.err = err
+		return true
+	}
+	return false
+}
+
+// Err returns the latched cancellation cause, polling the context once
+// more if nothing is latched yet (so callers that observed Tick()==true
+// — or want a final answer at loop exit — always get the real
+// ctx.Err()). Returns nil when the checker is disarmed or the context
+// is still live.
+func (c *CtxChecker) Err() error {
+	if !c.armed {
+		return nil
+	}
+	if c.err == nil {
+		c.err = c.ctx.Err()
+	}
+	return c.err
+}

@@ -1,0 +1,139 @@
+package router_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/mlqls"
+	"repro/internal/qmap"
+	"repro/internal/router"
+	"repro/internal/sabre"
+	"repro/internal/tket"
+)
+
+// ctxTools is every QLS tool in the repository; each must implement the
+// full cancellable contract.
+func ctxTools() []router.Router {
+	return []router.Router{
+		sabre.New(sabre.Options{Trials: 2, Seed: 3}),
+		tket.New(tket.Options{Seed: 3}),
+		qmap.New(qmap.Options{Seed: 3}),
+		mlqls.New(mlqls.Options{Seed: 3}),
+	}
+}
+
+func conformCircuit() *circuit.Circuit {
+	c := circuit.New(9)
+	rng := rand.New(rand.NewSource(7))
+	for len(c.Gates) < 120 {
+		a, b := rng.Intn(9), rng.Intn(9)
+		if a != b {
+			c.MustAppend(circuit.NewCX(a, b))
+		}
+	}
+	return c
+}
+
+func resultPrint(res *router.Result) uint64 {
+	h := fnv.New64a()
+	for _, p := range res.InitialMapping {
+		fmt.Fprintf(h, "m%d,", p)
+	}
+	for _, g := range res.Transpiled.Gates {
+		fmt.Fprintf(h, "g%d:%d:%d;", g.Kind, g.Q0, g.Q1)
+	}
+	return h.Sum64()
+}
+
+// TestAllToolsImplementCtxInterfaces pins the tentpole contract: every
+// router exposes both cancellable entry points.
+func TestAllToolsImplementCtxInterfaces(t *testing.T) {
+	for _, r := range ctxTools() {
+		if _, ok := r.(router.RouterCtx); !ok {
+			t.Errorf("%s does not implement router.RouterCtx", r.Name())
+		}
+		if _, ok := r.(router.PreparedRouterCtx); !ok {
+			t.Errorf("%s does not implement router.PreparedRouterCtx", r.Name())
+		}
+	}
+}
+
+// TestRouteCtxBitIdenticalWithLiveContext asserts that an armed (but
+// never-fired) cancellation context changes nothing: the ctx-aware path
+// must produce bit-identical results to the plain path. tket and qmap
+// cache engine scratch per Router, so each leg uses a fresh instance.
+func TestRouteCtxBitIdenticalWithLiveContext(t *testing.T) {
+	dev := arch.Grid3x3()
+	c := conformCircuit()
+	plain := ctxTools()
+	armed := ctxTools()
+	for i := range plain {
+		r := plain[i]
+		t.Run(r.Name(), func(t *testing.T) {
+			base, err := r.Route(c, dev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			got, err := armed[i].(router.RouterCtx).RouteCtx(ctx, c, dev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.SwapCount != base.SwapCount || resultPrint(got) != resultPrint(base) {
+				t.Errorf("ctx-aware path diverged: %d swaps (plain %d), print %#x (plain %#x)",
+					got.SwapCount, base.SwapCount, resultPrint(got), resultPrint(base))
+			}
+		})
+	}
+}
+
+// TestRouteCtxCancelledBeforeStart asserts every tool reports a dead
+// context instead of routing.
+func TestRouteCtxCancelledBeforeStart(t *testing.T) {
+	dev := arch.Grid3x3()
+	c := conformCircuit()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, r := range ctxTools() {
+		t.Run(r.Name(), func(t *testing.T) {
+			res, err := r.(router.RouterCtx).RouteCtx(ctx, c, dev)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if res != nil {
+				t.Fatal("partial result escaped a cancelled route")
+			}
+		})
+	}
+}
+
+// TestRoutePreparedCtxCancelled exercises the prepared-path dispatch
+// helper against every tool with a dead context.
+func TestRoutePreparedCtxCancelled(t *testing.T) {
+	dev := arch.Grid3x3()
+	c := conformCircuit()
+	p, err := router.Prepare(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, r := range ctxTools() {
+		t.Run(r.Name(), func(t *testing.T) {
+			res, err := router.RoutePreparedWithContext(ctx, r, p)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if res != nil {
+				t.Fatal("partial result escaped a cancelled route")
+			}
+		})
+	}
+}

@@ -19,6 +19,7 @@
 package sabre
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -158,11 +159,19 @@ func (r *Router) Name() string { return r.name }
 
 // Route implements router.Router.
 func (r *Router) Route(c *circuit.Circuit, dev *arch.Device) (*router.Result, error) {
+	return r.RouteCtx(context.Background(), c, dev)
+}
+
+// RouteCtx implements router.RouterCtx: Route under a cancellation
+// context. The trial engines poll the context with an amortized
+// CtxChecker, so an uncancellable context (the Route path) costs
+// nothing in the decision loop.
+func (r *Router) RouteCtx(ctx context.Context, c *circuit.Circuit, dev *arch.Device) (*router.Result, error) {
 	p, err := router.Prepare(c, dev)
 	if err != nil {
 		return nil, fmt.Errorf("sabre: %w", err)
 	}
-	return r.RoutePrepared(p)
+	return r.RoutePreparedCtx(ctx, p)
 }
 
 // RoutePrepared implements router.PreparedRouter: it routes from a
@@ -172,6 +181,14 @@ func (r *Router) Route(c *circuit.Circuit, dev *arch.Device) (*router.Result, er
 // (and across this router's trial goroutines) is purely a performance
 // channel.
 func (r *Router) RoutePrepared(p *router.Prepared) (*router.Result, error) {
+	return r.RoutePreparedCtx(context.Background(), p)
+}
+
+// RoutePreparedCtx implements router.PreparedRouterCtx. Cancellation is
+// observed inside every trial's routing loop; once ctx is done the
+// remaining trial work collapses to fast no-ops and ctx.Err() is
+// returned instead of a partial result.
+func (r *Router) RoutePreparedCtx(ctx context.Context, p *router.Prepared) (*router.Result, error) {
 	dev := p.Device
 	work := p.Padded
 	skeleton := p.Skeleton
@@ -196,6 +213,7 @@ func (r *Router) RoutePrepared(p *router.Prepared) (*router.Result, error) {
 		go func() {
 			defer wg.Done()
 			e := newPassEngine(dev, r.opts, fwdDAG.N())
+			e.check.Reset(ctx)
 			for trial := range next {
 				rng := rand.New(rand.NewSource(r.opts.Seed + 1000003*int64(trial)))
 				results[trial] = r.runTrial(e, skeleton, fwdDAG, bwdDAG, dev, rng, trial)
@@ -207,6 +225,13 @@ func (r *Router) RoutePrepared(p *router.Prepared) (*router.Result, error) {
 	}
 	close(next)
 	wg.Wait()
+
+	// A trial cut short by cancellation leaves a partial (invalid)
+	// result; ctx.Err() is necessarily non-nil by then, so checking it
+	// here guarantees no truncated routing ever escapes.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sabre: %w", err)
+	}
 
 	best := results[0]
 	for _, tr := range results[1:] {
@@ -277,6 +302,11 @@ type passEngine struct {
 	dist *graph.DistanceMatrix
 	opts Options
 	nQ   int // padded register size == device qubit count
+
+	// check polls for cancellation once per outer routing iteration.
+	// The zero value is inert, so direct engine users (tests, the
+	// background-context Route path) pay one branch per iteration.
+	check router.CtxChecker
 
 	// Per-pass state, reset at the top of run.
 	indeg []int
@@ -398,6 +428,12 @@ func (e *passEngine) run(dag *circuit.DAG, mapping router.Mapping, rng *rand.Ran
 	releaseThreshold := 10 * e.opts.ExtendedSetSize
 
 	for executed < n {
+		// Cancellation point: abandon the pass mid-route. The caller
+		// (RoutePreparedCtx) discards the truncated output by checking
+		// ctx.Err() before assembling a Result.
+		if e.check.Tick() {
+			break
+		}
 		// Execute every front gate whose qubits are adjacent.
 		progressed := false
 		for i := 0; i < len(front); {

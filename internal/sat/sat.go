@@ -16,6 +16,7 @@
 package sat
 
 import (
+	"context"
 	"fmt"
 	"slices"
 )
@@ -627,8 +628,37 @@ func luby(i int64) int64 {
 	}
 }
 
+// ctxCheckConflicts is how many conflicts pass between context polls in
+// a cancellable solve. A conflict costs microseconds (propagation +
+// analysis + backtracking), so polling every 1024 keeps cancellation
+// latency in the low milliseconds while adding one masked-counter
+// branch per conflict.
+const ctxCheckConflicts = 1024
+
 // Solve decides the formula with no assumptions.
 func (s *Solver) Solve() Status { return s.SolveAssuming(nil) }
+
+// SolveCtx is Solve under a cancellation context: see SolveAssumingCtx.
+func (s *Solver) SolveCtx(ctx context.Context) Status { return s.SolveAssumingCtx(ctx, nil) }
+
+// SolveAssumingCtx is SolveAssuming under a cancellation context. Once
+// ctx is done the search stops at the next conflict poll and Unknown is
+// returned — the same verdict as conflict-budget exhaustion, and
+// equally sound: the solver's learned state stays valid for later
+// calls. Callers distinguish cancellation from budget exhaustion by
+// checking ctx.Err(). An uncancellable context adds no work to the
+// search loop.
+func (s *Solver) SolveAssumingCtx(ctx context.Context, assumptions []Lit) Status {
+	done := ctx.Done()
+	if done != nil {
+		select {
+		case <-done:
+			return Unknown
+		default:
+		}
+	}
+	return s.solveAssuming(done, assumptions)
+}
 
 // SolveAssuming decides the formula under the given assumption literals.
 // The assumptions behave like temporary unit clauses: Unsat means the
@@ -637,6 +667,10 @@ func (s *Solver) Solve() Status { return s.SolveAssuming(nil) }
 // learned clauses and activity state, which is what makes the OLSQ
 // bound sweep incremental.
 func (s *Solver) SolveAssuming(assumptions []Lit) Status {
+	return s.solveAssuming(nil, assumptions)
+}
+
+func (s *Solver) solveAssuming(done <-chan struct{}, assumptions []Lit) Status {
 	if s.unsat {
 		return Unsat
 	}
@@ -694,6 +728,14 @@ func (s *Solver) SolveAssuming(assumptions []Lit) Status {
 			if s.Budget > 0 && s.conflicts-conflictsAtStart >= s.Budget {
 				s.backtrackTo(0)
 				return Unknown
+			}
+			if done != nil && (s.conflicts-conflictsAtStart)%ctxCheckConflicts == 0 {
+				select {
+				case <-done:
+					s.backtrackTo(0)
+					return Unknown
+				default:
+				}
 			}
 			if s.conflicts-conflictsAtStart >= conflictBudget {
 				// Luby restart.

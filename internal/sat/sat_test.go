@@ -1,8 +1,10 @@
 package sat
 
 import (
+	"context"
 	"math/rand"
 	"testing"
+	"time"
 )
 
 func newVars(s *Solver, n int) []Lit {
@@ -600,5 +602,47 @@ func mustAdd(t *testing.T, s *Solver, lits ...Lit) {
 	t.Helper()
 	if err := s.AddClause(lits...); err != nil {
 		t.Fatalf("AddClause(%v): %v", lits, err)
+	}
+}
+
+func TestSolveCtxCancelledBeforeStart(t *testing.T) {
+	s := pigeonhole(6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if got := s.SolveCtx(ctx); got != Unknown {
+		t.Fatalf("dead-context solve returned %v, want Unknown", got)
+	}
+	// The solver must still be usable with a live context.
+	if got := s.SolveCtx(context.Background()); got != Unsat {
+		t.Fatalf("post-cancel solve returned %v, want Unsat", got)
+	}
+}
+
+func TestSolveCtxCancelledMidSearch(t *testing.T) {
+	s := pigeonhole(8)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	got := s.SolveCtx(ctx)
+	elapsed := time.Since(start)
+	if got == Unsat {
+		t.Skipf("solver finished PHP(8) within the deadline (%v)", elapsed)
+	}
+	if got != Unknown {
+		t.Fatalf("cancelled solve returned %v, want Unknown", got)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v; the conflict poll is not firing", elapsed)
+	}
+}
+
+func TestSolveCtxBackgroundMatchesSolve(t *testing.T) {
+	// An uncancellable context must not change the verdict.
+	for _, n := range []int{3, 4, 5} {
+		a := pigeonhole(n)
+		b := pigeonhole(n)
+		if got, want := a.SolveCtx(context.Background()), b.Solve(); got != want {
+			t.Fatalf("PHP(%d): SolveCtx=%v Solve=%v", n, got, want)
+		}
 	}
 }

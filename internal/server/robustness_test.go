@@ -1,0 +1,246 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/harness"
+	"repro/internal/router"
+	"repro/internal/sabre"
+	"repro/internal/suite"
+)
+
+// fourInstanceManifest gives cancellation tests room to stop mid-sweep.
+const fourInstanceManifest = `{
+	"device": "grid3x3",
+	"swap_counts": [1, 2],
+	"circuits_per_count": 2,
+	"target_two_qubit_gates": 15,
+	"max_two_qubit_gates": 30,
+	"prefer_high_degree": true,
+	"seed": 9
+}`
+
+// chaosToolResolver maps tool names to chaos modes so eval requests can
+// summon misbehaving tools by name.
+func chaosToolResolver(sleep time.Duration) func(string, int) ([]harness.ToolSpec, error) {
+	mk := func(name string, mode chaos.Mode) harness.ToolSpec {
+		return harness.ToolSpec{Name: name, Make: func(seed int64) router.Router {
+			return &chaos.Router{
+				Inner: sabre.New(sabre.Options{Trials: 1, Seed: seed}),
+				Mode:  mode,
+				Sleep: sleep,
+			}
+		}}
+	}
+	specs := map[string]harness.ToolSpec{
+		"slow": mk("slow", chaos.Delay),
+		"hung": mk("hung", chaos.HangUntilCancel),
+	}
+	return func(list string, trials int) ([]harness.ToolSpec, error) {
+		var out []harness.ToolSpec
+		for _, name := range strings.Split(list, ",") {
+			out = append(out, specs[strings.TrimSpace(name)])
+		}
+		return out, nil
+	}
+}
+
+// Liveness stays green through a drain; readiness flips red so load
+// balancers stop routing while in-flight work finishes.
+func TestHealthSplitLivenessReadinessDrain(t *testing.T) {
+	store, err := suite.Open(t.TempDir(), suite.StoreOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(store, Options{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	for _, path := range []string{"/healthz", "/healthz/live", "/healthz/ready"} {
+		if r := get(t, ts.URL+path); r.StatusCode != http.StatusOK {
+			t.Errorf("%s before drain: status %d", path, r.StatusCode)
+		}
+	}
+
+	srv.StartDraining()
+	if r := get(t, ts.URL+"/healthz/live"); r.StatusCode != http.StatusOK {
+		t.Errorf("liveness went red during drain: %d", r.StatusCode)
+	}
+	r := get(t, ts.URL+"/healthz/ready")
+	if r.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readiness during drain: status %d, want 503", r.StatusCode)
+	}
+	if r.Header.Get("Retry-After") == "" {
+		t.Error("draining readiness carries no Retry-After")
+	}
+	var health map[string]any
+	if err := json.NewDecoder(get(t, ts.URL+"/healthz").Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health["draining"] != true {
+		t.Errorf("healthz draining = %v, want true", health["draining"])
+	}
+}
+
+// Acceptance (c): cancelling an in-flight eval request frees its worker
+// — a follow-up request for the same configuration acquires the eval
+// lock promptly, resumes off the durable log, and completes — and the
+// store's on-disk state stays fully verifiable.
+func TestEvalCancelledInFlightFreesWorkerAndResumes(t *testing.T) {
+	store, err := suite.Open(t.TempDir(), suite.StoreOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(store, Options{SelectTools: chaosToolResolver(150 * time.Millisecond)})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var st suite.Suite
+	if err := json.NewDecoder(post(t, ts.URL+"/v1/suites", fourInstanceManifest).Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	evalURL := ts.URL + "/v1/suites/" + st.Hash + "/eval?tools=slow&seed=1"
+
+	// Start an eval of four slow instances and abandon it after the
+	// first streamed row.
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, evalURL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatal("no first row before cancellation")
+	}
+	firstLine := sc.Text()
+	cancel()
+	resp.Body.Close()
+	var firstRow suite.Row
+	if err := json.Unmarshal([]byte(firstLine), &firstRow); err != nil || firstRow.Error != "" {
+		t.Fatalf("first streamed row = %q (err %v), want a clean row", firstLine, err)
+	}
+
+	// The retry must not wedge behind a leaked lock: bound it hard.
+	client := &http.Client{Timeout: 20 * time.Second}
+	resp2, err := client.Post(evalURL, "application/json", nil)
+	if err != nil {
+		t.Fatalf("follow-up eval after cancellation: %v", err)
+	}
+	defer resp2.Body.Close()
+	var rows, summaries int
+	sc2 := bufio.NewScanner(resp2.Body)
+	for sc2.Scan() {
+		var line map[string]json.RawMessage
+		if err := json.Unmarshal(sc2.Bytes(), &line); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc2.Text(), err)
+		}
+		switch {
+		case line["summary"] != nil:
+			summaries++
+		case line["error"] != nil:
+			t.Fatalf("follow-up eval errored in-band: %s", sc2.Text())
+		default:
+			rows++
+		}
+	}
+	if summaries != 1 {
+		t.Fatalf("follow-up eval streamed %d summaries, want 1", summaries)
+	}
+	// Resume means: the cancelled run's durable rows are not re-run, so
+	// the two runs together cover each instance exactly once.
+	n := len(st.Instances)
+	if rows >= n {
+		t.Errorf("follow-up streamed %d rows for %d instances: nothing was resumed", rows, n)
+	}
+	if err := store.VerifyChecksums(st.Hash); err != nil {
+		t.Errorf("store corrupted by cancelled eval: %v", err)
+	}
+	if r := get(t, ts.URL+"/healthz/ready"); r.StatusCode != http.StatusOK {
+		t.Errorf("server unready after cancelled eval: %d", r.StatusCode)
+	}
+}
+
+// The tool_timeout_ms request field reaches the harness: a
+// hang-until-cancel tool times out into error rows and the request still
+// produces its summary.
+func TestEvalToolTimeoutParameter(t *testing.T) {
+	store, err := suite.Open(t.TempDir(), suite.StoreOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(store, Options{SelectTools: chaosToolResolver(0)})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var st suite.Suite
+	if err := json.NewDecoder(post(t, ts.URL+"/v1/suites", tinyManifestJSON).Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp := post(t, ts.URL+"/v1/suites/"+st.Hash+"/eval?tools=hung&seed=1&tool_timeout_ms=100", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var timeoutRows, summaries int
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var row suite.Row
+		if json.Unmarshal(sc.Bytes(), &row) == nil && strings.Contains(row.Error, "timed out") {
+			timeoutRows++
+		}
+		if strings.Contains(sc.Text(), `"summary"`) {
+			summaries++
+		}
+	}
+	if timeoutRows != len(st.Instances) || summaries != 1 {
+		t.Errorf("got %d timeout rows and %d summaries, want %d and 1",
+			timeoutRows, summaries, len(st.Instances))
+	}
+}
+
+// A generation that cannot finish inside the server budget is refused
+// with 503 + Retry-After, and the same manifest succeeds once the
+// slowness clears — over-budget is back-pressure, not poison.
+func TestEnsureOverBudgetReturns503WithRetryAfter(t *testing.T) {
+	var slow atomic.Bool
+	slow.Store(true)
+	store, err := suite.Open(t.TempDir(), suite.StoreOptions{Workers: 1, Faults: &suite.Faults{
+		BeforeInstance: func(string) error {
+			if slow.Load() {
+				time.Sleep(300 * time.Millisecond)
+			}
+			return nil
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(store, Options{GenTimeout: 50 * time.Millisecond}))
+	defer ts.Close()
+
+	r := post(t, ts.URL+"/v1/suites", tinyManifestJSON)
+	if r.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-budget generation: status %d, want 503", r.StatusCode)
+	}
+	if r.Header.Get("Retry-After") == "" {
+		t.Error("503 carries no Retry-After")
+	}
+
+	slow.Store(false)
+	r2 := post(t, ts.URL+"/v1/suites", tinyManifestJSON)
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("retry after budget pressure cleared: status %d, want 200", r2.StatusCode)
+	}
+}

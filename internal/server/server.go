@@ -7,7 +7,9 @@
 //
 // Endpoints (see docs/cli.md for examples):
 //
-//	GET  /healthz                                  liveness + stats
+//	GET  /healthz                                  health + stats (includes draining flag)
+//	GET  /healthz/live                             liveness probe (green while the process runs)
+//	GET  /healthz/ready                            readiness probe (503 during drain)
 //	GET  /v1/families                              registered benchmark families
 //	GET  /v1/suites                                stored suite hashes
 //	POST /v1/suites                                manifest -> suite (generate-on-miss)
@@ -22,6 +24,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -29,6 +32,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/family"
 	"repro/internal/harness"
@@ -45,7 +50,25 @@ type Options struct {
 	MaxInstances int
 	// EvalWorkers bounds each evaluation's worker pool (default 1).
 	EvalWorkers int
+	// GenTimeout bounds each generation request (POST /v1/suites). A
+	// request over budget gets 503 + Retry-After; the next caller
+	// re-leads the generation. 0 means no server-side deadline.
+	GenTimeout time.Duration
+	// EvalTimeout bounds each evaluation request end to end. Because
+	// rows stream durably into the eval log as they are produced, a
+	// timed-out evaluation resumes where it stopped on retry. 0 means no
+	// server-side deadline.
+	EvalTimeout time.Duration
+	// SelectTools resolves an eval request's tools parameter; nil uses
+	// harness.SelectTools. The seam exists so fault-injection tests can
+	// evaluate with misbehaving tools.
+	SelectTools func(list string, sabreTrials int) ([]harness.ToolSpec, error)
 }
+
+// retryAfterSeconds is the Retry-After hint sent with 503 responses:
+// long enough for a coalesced generation to finish or workers to drain,
+// short enough that clients re-probe promptly.
+const retryAfterSeconds = 5
 
 // Server is the HTTP front end over a suite store.
 type Server struct {
@@ -54,12 +77,19 @@ type Server struct {
 	mux   *http.ServeMux
 	opts  Options
 
+	// draining is set by StartDraining: liveness stays green (the
+	// process is healthy) while readiness goes red so load balancers
+	// stop routing new work during graceful shutdown.
+	draining atomic.Bool
+
 	// evalMu serializes evaluations per (suite, configuration key):
 	// EvalLog's append dedup is per-process per-handle, so two identical
 	// concurrent requests would otherwise both open the log, both see no
-	// rows done, and double-write every row.
+	// rows done, and double-write every row. Each entry is a 1-slot
+	// semaphore rather than a mutex so a waiter can abandon the queue
+	// when its request dies.
 	evalMuMu sync.Mutex
-	evalMu   map[string]*sync.Mutex
+	evalMu   map[string]chan struct{}
 }
 
 // New builds a Server over the store.
@@ -73,14 +103,19 @@ func New(store *suite.Store, opts Options) *Server {
 	if opts.EvalWorkers <= 0 {
 		opts.EvalWorkers = 1
 	}
+	if opts.SelectTools == nil {
+		opts.SelectTools = harness.SelectTools
+	}
 	s := &Server{
 		store:  store,
 		lru:    newSuiteLRU(opts.LRUSuites),
 		mux:    http.NewServeMux(),
 		opts:   opts,
-		evalMu: map[string]*sync.Mutex{},
+		evalMu: map[string]chan struct{}{},
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /healthz/live", s.handleLive)
+	s.mux.HandleFunc("GET /healthz/ready", s.handleReady)
 	s.mux.HandleFunc("GET /v1/families", s.handleFamilies)
 	s.mux.HandleFunc("GET /v1/suites", s.handleList)
 	s.mux.HandleFunc("POST /v1/suites", s.handleEnsure)
@@ -97,11 +132,38 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeObj(w, http.StatusOK, map[string]any{
 		"status":     "ok",
+		"draining":   s.draining.Load(),
 		"stats":      s.store.Stats(),
 		"lru_suites": s.lru.len(),
 		"families":   family.IDs(),
 	})
 }
+
+// handleLive is the liveness probe: green whenever the process can
+// answer HTTP, draining or not — restarting a draining server would
+// defeat the drain.
+func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
+	writeObj(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+// handleReady is the readiness probe: red during drain so load
+// balancers stop routing new work while in-flight requests finish.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		writeObj(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeObj(w, http.StatusOK, map[string]any{"status": "ready"})
+}
+
+// StartDraining flips readiness red ahead of graceful shutdown. Liveness
+// and in-flight requests are unaffected; call http.Server.Shutdown after
+// the load balancer has observed the probe.
+func (s *Server) StartDraining() { s.draining.Store(true) }
+
+// Draining reports whether StartDraining has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // handleFamilies lists the registered benchmark families: the IDs a
 // manifest's generator field may name, each with its scored metric and
@@ -165,8 +227,26 @@ func (s *Server) handleEnsure(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("manifest requests %d instances, server cap is %d", n, s.opts.MaxInstances))
 		return
 	}
-	st, err := s.store.Ensure(m)
+	ctx := r.Context()
+	if s.opts.GenTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.GenTimeout)
+		defer cancel()
+	}
+	st, err := s.store.EnsureCtx(ctx, m)
 	if err != nil {
+		if r.Context().Err() != nil {
+			// The client vanished; nobody will read a response. The
+			// store's single-flight follower retry shields any coalesced
+			// requests from this cancellation.
+			return
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+			httpError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("suite generation exceeded the server budget %v", s.opts.GenTimeout))
+			return
+		}
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -243,7 +323,12 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	tools, err := harness.SelectTools(q.Get("tools"), trials)
+	toolTimeoutMS, err := intParam(q.Get("tool_timeout_ms"), 0)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	tools, err := s.opts.SelectTools(q.Get("tools"), trials)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -256,12 +341,34 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	keyParts = append(keyParts, fmt.Sprintf("trials=%d", trials), fmt.Sprintf("seed=%d", seed))
 	key := harness.EvalKey(keyParts...)
 
+	// The request context governs everything downstream: an abandoned
+	// connection cancels the eval workers, and the optional server
+	// budget bounds even a patient client.
+	ctx := r.Context()
+	if s.opts.EvalTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.EvalTimeout)
+		defer cancel()
+	}
+
 	// Serialize identical eval configurations: the second request waits,
 	// then resumes off the first one's completed log (streams nothing new,
-	// returns the same summary).
-	mu := s.evalLock(cs.suite.Hash + "/" + key)
-	mu.Lock()
-	defer mu.Unlock()
+	// returns the same summary). The wait honours the request context, so
+	// a queued client that gives up (or runs over budget before starting)
+	// frees its goroutine instead of camping on the lock.
+	sem := s.evalLock(cs.suite.Hash + "/" + key)
+	select {
+	case sem <- struct{}{}:
+		defer func() { <-sem }()
+	case <-ctx.Done():
+		if r.Context().Err() != nil {
+			return // client gone; nothing to say, nobody to hear it
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		httpError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("evaluation queue wait exceeded the server budget %v", s.opts.EvalTimeout))
+		return
+	}
 
 	w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
@@ -276,11 +383,11 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	// stream only.
 	rowCh := make(chan suite.Row, 256)
 	writerDone := make(chan struct{})
-	ctx := r.Context()
+	reqCtx := r.Context()
 	go func() {
 		defer close(writerDone)
 		for row := range rowCh {
-			if ctx.Err() != nil {
+			if reqCtx.Err() != nil {
 				continue // drain without writing; client is gone
 			}
 			enc.Encode(row)
@@ -290,10 +397,11 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		}
 	}()
 
-	fig, err := harness.RunStoredEval(s.store, cs.suite, tools, harness.StoredEvalOptions{
-		Seed:    int64(seed),
-		Workers: s.opts.EvalWorkers,
-		Key:     key,
+	fig, err := harness.RunStoredEvalCtx(ctx, s.store, cs.suite, tools, harness.StoredEvalOptions{
+		Seed:        int64(seed),
+		Workers:     s.opts.EvalWorkers,
+		Key:         key,
+		ToolTimeout: time.Duration(toolTimeoutMS) * time.Millisecond,
 		OnRow: func(row suite.Row) {
 			select {
 			case rowCh <- row:
@@ -304,25 +412,28 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	close(rowCh)
 	<-writerDone
 	if err != nil {
-		// Headers are gone; surface the failure in-band as the final line.
+		// Headers are gone; surface the failure in-band as the final
+		// line. A cancellation here means the run stopped early with its
+		// completed rows durably logged — the retry resumes, so the
+		// figure is never silently partial.
 		enc.Encode(map[string]string{"error": err.Error()})
 		return
 	}
 	enc.Encode(map[string]any{"summary": fig})
 }
 
-// evalLock returns the mutex guarding one (suite, eval-key) pair.
-// Mutexes are never removed; the map is bounded by distinct
+// evalLock returns the 1-slot semaphore guarding one (suite, eval-key)
+// pair. Semaphores are never removed; the map is bounded by distinct
 // configurations seen, each a few dozen bytes.
-func (s *Server) evalLock(key string) *sync.Mutex {
+func (s *Server) evalLock(key string) chan struct{} {
 	s.evalMuMu.Lock()
 	defer s.evalMuMu.Unlock()
-	mu, ok := s.evalMu[key]
+	sem, ok := s.evalMu[key]
 	if !ok {
-		mu = &sync.Mutex{}
-		s.evalMu[key] = mu
+		sem = make(chan struct{}, 1)
+		s.evalMu[key] = sem
 	}
-	return mu
+	return sem
 }
 
 // resident returns the suite's in-memory entry, loading it from the

@@ -102,6 +102,17 @@ func OpenEvalLog(path string) (*EvalLog, error) {
 		f.Close()
 		return nil, err
 	}
+	// A write torn exactly at the row boundary leaves a final line that is
+	// complete JSON but lost its newline: the row above parsed and was
+	// kept, so restore the terminator — otherwise the next Append would
+	// concatenate onto it, corrupting both rows for the reopen after this
+	// one.
+	if info, err := f.Stat(); err == nil && info.Size() > 0 && offset > info.Size() {
+		if _, err := f.WriteString("\n"); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("suite: eval log %s: restoring final newline: %w", path, err)
+		}
+	}
 	return l, nil
 }
 

@@ -1,6 +1,7 @@
 package suite
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -13,6 +14,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/family"
@@ -35,6 +37,36 @@ type StoreOptions struct {
 	// self-validating (it checks its own solution), so this is a belt for
 	// suites that will be published.
 	Verify bool
+	// TmpMaxAge bounds how old a leftover staging directory may be before
+	// Open's janitor removes it. Staging dirs persist only when a
+	// generating process died mid-write; an age gate keeps the janitor
+	// from deleting a live concurrent generation's workspace. 0 means
+	// DefaultTmpMaxAge; negative disables the janitor.
+	TmpMaxAge time.Duration
+	// Faults injects failures for robustness tests; nil in production.
+	Faults *Faults
+}
+
+// DefaultTmpMaxAge is the janitor's age gate: comfortably longer than
+// any real suite generation, so only genuinely orphaned staging dirs
+// (from killed processes) are collected.
+const DefaultTmpMaxAge = time.Hour
+
+// Faults injects controlled failures into a Store so crash-recovery
+// behaviour can be tested; every hook is nil in production use.
+type Faults struct {
+	// BeforeInstance, when non-nil, runs before each instance is
+	// generated; a non-nil error fails that instance — a flaky blob
+	// write.
+	BeforeInstance func(base string) error
+	// BeforeCommit, when non-nil, runs after a suite is fully staged but
+	// before the atomic rename — the worst possible moment for a leader
+	// to die. A non-nil error aborts the generation.
+	BeforeCommit func(stagedDir string) error
+	// KeepTmpOnFailure leaves the staging directory behind when
+	// generation fails, as a killed process would — the litter Open's
+	// janitor exists to collect.
+	KeepTmpOnFailure bool
 }
 
 // Stats is a snapshot of a Store's cache counters.
@@ -89,6 +121,7 @@ type Store struct {
 	root    string
 	workers int
 	verify  bool
+	faults  *Faults
 
 	mu       sync.Mutex
 	inflight map[string]*flight
@@ -105,7 +138,10 @@ type flight struct {
 	err   error
 }
 
-// Open creates (if needed) and opens a store rooted at dir.
+// Open creates (if needed) and opens a store rooted at dir. Staging
+// directories orphaned by generations that died mid-write (a killed
+// process never reaches its cleanup) are collected here, gated on
+// opts.TmpMaxAge so live concurrent generations are never touched.
 func Open(dir string, opts StoreOptions) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("suite: empty store directory")
@@ -115,6 +151,13 @@ func Open(dir string, opts StoreOptions) (*Store, error) {
 			return nil, err
 		}
 	}
+	maxAge := opts.TmpMaxAge
+	if maxAge == 0 {
+		maxAge = DefaultTmpMaxAge
+	}
+	if maxAge > 0 {
+		cleanStaleTmp(filepath.Join(dir, "tmp"), maxAge)
+	}
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -123,8 +166,32 @@ func Open(dir string, opts StoreOptions) (*Store, error) {
 		root:     dir,
 		workers:  workers,
 		verify:   opts.Verify,
+		faults:   opts.Faults,
 		inflight: map[string]*flight{},
 	}, nil
+}
+
+// cleanStaleTmp removes staging directories older than maxAge and
+// returns how many it removed. Errors are deliberately swallowed: the
+// janitor is best-effort hygiene, and a stat race with a concurrent
+// process (or a permissions oddity) must never fail Open.
+func cleanStaleTmp(tmpRoot string, maxAge time.Duration) int {
+	entries, err := os.ReadDir(tmpRoot)
+	if err != nil {
+		return 0
+	}
+	cutoff := time.Now().Add(-maxAge)
+	removed := 0
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil || info.ModTime().After(cutoff) {
+			continue
+		}
+		if os.RemoveAll(filepath.Join(tmpRoot, e.Name())) == nil {
+			removed++
+		}
+	}
+	return removed
 }
 
 // Root returns the store's root directory.
@@ -159,61 +226,112 @@ func (s *Store) InstanceDir(hash string) string {
 // Repeated calls for the same manifest — concurrent or sequential — cause
 // at most one generation; every later call is served from disk.
 func (s *Store) Ensure(m Manifest) (*Suite, error) {
+	return s.EnsureCtx(context.Background(), m)
+}
+
+// isCancellation reports whether an error is (or wraps) a context
+// cancellation or deadline — a caller giving up, never a property of
+// the suite being generated.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// EnsureCtx is Ensure under a cancellation context. The context bounds
+// this caller's wait and, when this caller leads the generation, the
+// generation itself. Cancellation is personal, not contagious: a
+// follower coalesced onto a leader whose own context died retries —
+// re-probing the disk and, if needed, becoming the next leader under
+// its own still-live context — instead of failing with someone else's
+// cancellation. Each retry backs off briefly so a storm of doomed
+// leaders cannot hot-spin the store.
+func (s *Store) EnsureCtx(ctx context.Context, m Manifest) (*Suite, error) {
 	m.normalize()
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
 	hash := m.Hash()
 
-	if st, err := s.open(hash); err == nil {
-		s.hits.Add(1)
-		return st, nil
-	} else if !errors.Is(err, ErrNotFound) {
-		return nil, err
-	}
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if st, err := s.open(hash); err == nil {
+			s.hits.Add(1)
+			return st, nil
+		} else if !errors.Is(err, ErrNotFound) {
+			return nil, err
+		}
 
-	s.mu.Lock()
-	if f, ok := s.inflight[hash]; ok {
+		s.mu.Lock()
+		if f, ok := s.inflight[hash]; ok {
+			s.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if f.err != nil {
+				if isCancellation(f.err) {
+					if err := backoff(ctx, attempt); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				return nil, f.err
+			}
+			s.hits.Add(1)
+			cp := *f.suite
+			cp.Cached = true
+			return &cp, nil
+		}
+		f := &flight{done: make(chan struct{})}
+		s.inflight[hash] = f
 		s.mu.Unlock()
-		<-f.done
+
+		// Re-probe the disk now that this goroutine is the registered
+		// leader: a previous leader may have committed and deregistered
+		// between the fast-path check above and the registration, and
+		// regenerating here would redo the whole suite for nothing.
+		generated := false
+		if st, err := s.open(hash); err == nil {
+			f.suite = st
+		} else if errors.Is(err, ErrNotFound) {
+			f.suite, f.err = s.generate(ctx, m, hash)
+			generated = true
+		} else {
+			f.err = err
+		}
+		s.mu.Lock()
+		delete(s.inflight, hash)
+		s.mu.Unlock()
+		close(f.done)
 		if f.err != nil {
 			return nil, f.err
 		}
-		s.hits.Add(1)
-		cp := *f.suite
-		cp.Cached = true
-		return &cp, nil
-	}
-	f := &flight{done: make(chan struct{})}
-	s.inflight[hash] = f
-	s.mu.Unlock()
-
-	// Re-probe the disk now that this goroutine is the registered
-	// leader: a previous leader may have committed and deregistered
-	// between the fast-path check above and the registration, and
-	// regenerating here would redo the whole suite for nothing.
-	generated := false
-	if st, err := s.open(hash); err == nil {
-		f.suite = st
-	} else if errors.Is(err, ErrNotFound) {
-		f.suite, f.err = s.generate(m, hash)
-		generated = true
-	} else {
-		f.err = err
-	}
-	s.mu.Lock()
-	delete(s.inflight, hash)
-	s.mu.Unlock()
-	close(f.done)
-	if f.err != nil {
-		return nil, f.err
-	}
-	if !generated {
-		s.hits.Add(1)
+		if !generated {
+			s.hits.Add(1)
+			return f.suite, nil
+		}
+		s.misses.Add(1)
 		return f.suite, nil
 	}
-	s.misses.Add(1)
-	return f.suite, nil
+}
+
+// backoff sleeps an attempt-scaled interval (capped at 100ms), honouring
+// cancellation.
+func backoff(ctx context.Context, attempt int) error {
+	d := time.Duration(1<<min(attempt, 6)) * time.Millisecond * 2
+	if d > 100*time.Millisecond {
+		d = 100 * time.Millisecond
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Lookup returns the stored suite at a content address, or ErrNotFound.
@@ -315,8 +433,10 @@ func (s *Store) LoadInstanceWithSolution(hash string, ref InstanceRef) (*family.
 // writes the checksum index and COMPLETE marker, and atomically renames
 // the directory into place. A concurrent process completing first wins
 // the rename; this process then adopts the winner's (bit-identical)
-// suite.
-func (s *Store) generate(m Manifest, hash string) (*Suite, error) {
+// suite. Cancellation is checked between instances and before each
+// commit step; a cancelled generation removes its staging directory
+// (only a killed process leaves litter — that is the janitor's beat).
+func (s *Store) generate(ctx context.Context, m Manifest, hash string) (_ *Suite, retErr error) {
 	dev, err := arch.ByName(m.Device)
 	if err != nil {
 		return nil, err
@@ -329,15 +449,25 @@ func (s *Store) generate(m Manifest, hash string) (*Suite, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer os.RemoveAll(tmp)
+	defer func() {
+		if retErr != nil && s.faults != nil && s.faults.KeepTmpOnFailure {
+			return // die like a killed process: leave the staging dir
+		}
+		os.RemoveAll(tmp)
+	}()
 	instDir := filepath.Join(tmp, "instances")
 	if err := os.MkdirAll(instDir, 0o755); err != nil {
 		return nil, err
 	}
 
 	refs := m.InstanceRefs()
-	err = pool.ParallelFor(len(refs), s.workers, func(ji int) error {
+	err = pool.ParallelForCtx(ctx, len(refs), s.workers, func(ji int) error {
 		ref := refs[ji]
+		if s.faults != nil && s.faults.BeforeInstance != nil {
+			if err := s.faults.BeforeInstance(ref.Base); err != nil {
+				return fmt.Errorf("suite: instance %s: %w", ref.Base, err)
+			}
+		}
 		inst, err := fam.Generate(dev, m.Options(ref.Optimal, ref.Index))
 		if err == nil && s.verify {
 			err = inst.Verify()
@@ -354,6 +484,9 @@ func (s *Store) generate(m Manifest, hash string) (*Suite, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	sums, err := checksumDir(instDir)
 	if err != nil {
@@ -367,6 +500,11 @@ func (s *Store) generate(m Manifest, hash string) (*Suite, error) {
 	}
 	if err := os.WriteFile(filepath.Join(tmp, completeMarker), []byte(hash+"\n"), 0o644); err != nil {
 		return nil, err
+	}
+	if s.faults != nil && s.faults.BeforeCommit != nil {
+		if err := s.faults.BeforeCommit(tmp); err != nil {
+			return nil, err
+		}
 	}
 
 	final := s.suiteDir(hash)

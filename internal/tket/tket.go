@@ -23,6 +23,7 @@
 package tket
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -77,16 +78,30 @@ func (r *Router) Name() string { return "tket" }
 
 // Route implements router.Router.
 func (r *Router) Route(c *circuit.Circuit, dev *arch.Device) (*router.Result, error) {
+	return r.RouteCtx(context.Background(), c, dev)
+}
+
+// RouteCtx implements router.RouterCtx: Route under a cancellation
+// context, polled once per swap decision.
+func (r *Router) RouteCtx(ctx context.Context, c *circuit.Circuit, dev *arch.Device) (*router.Result, error) {
 	p, err := router.Prepare(c, dev)
 	if err != nil {
 		return nil, fmt.Errorf("tket: %w", err)
 	}
-	return r.RoutePrepared(p)
+	return r.RoutePreparedCtx(ctx, p)
 }
 
 // RoutePrepared implements router.PreparedRouter: it routes from a
 // shared pre-built context, producing exactly the result Route would.
 func (r *Router) RoutePrepared(p *router.Prepared) (*router.Result, error) {
+	return r.RoutePreparedCtx(context.Background(), p)
+}
+
+// RoutePreparedCtx implements router.PreparedRouterCtx.
+func (r *Router) RoutePreparedCtx(ctx context.Context, p *router.Prepared) (*router.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("tket: %w", err)
+	}
 	dev := p.Device
 	skeleton := p.Skeleton
 	rng := rand.New(rand.NewSource(r.opts.Seed))
@@ -110,6 +125,7 @@ func (r *Router) RoutePrepared(p *router.Prepared) (*router.Result, error) {
 		r.eng = newEngine(dev, r.opts.LookaheadSlices)
 	}
 	e := r.eng
+	e.check.Reset(ctx)
 
 	g := e.g
 	dist := e.dist
@@ -120,6 +136,9 @@ func (r *Router) RoutePrepared(p *router.Prepared) (*router.Result, error) {
 		e.pending = append(e.pending[:0], slices[si]...)
 		pending := e.pending
 		for len(pending) > 0 {
+			if e.check.Tick() {
+				return nil, fmt.Errorf("tket: %w", e.check.Err())
+			}
 			// Emit everything currently executable in this slice.
 			progressed := false
 			rest := pending[:0]
@@ -221,6 +240,10 @@ type engine struct {
 	g    *graph.Graph
 	dist *graph.DistanceMatrix
 	nQ   int // device qubit count == padded register size
+
+	// check polls for cancellation once per routing iteration; the zero
+	// value (direct engine users, background contexts) is inert.
+	check router.CtxChecker
 
 	// epoch increments once per swap decision.
 	epoch    int32
