@@ -240,13 +240,13 @@ func TestRouteOneCtxOutcomes(t *testing.T) {
 	it.prepare()
 
 	slow := chaosSpec("slow", chaos.Delay, func(r *chaos.Router) { r.Sleep = 5 * time.Millisecond })
-	res, toolErr, err := routeOneCtx(context.Background(), slow, it, cfg.Seed, 5*time.Second)
+	res, toolErr, err := routeOneCtx(context.Background(), slow, it, cfg.Seed, 5*time.Second, nil)
 	if err != nil || toolErr != "" || res == nil {
 		t.Fatalf("slow tool under generous timeout: res=%v toolErr=%q err=%v", res, toolErr, err)
 	}
 
 	failing := chaosSpec("failing", chaos.Fail, nil)
-	res, toolErr, err = routeOneCtx(context.Background(), failing, it, cfg.Seed, 0)
+	res, toolErr, err = routeOneCtx(context.Background(), failing, it, cfg.Seed, 0, nil)
 	if err != nil {
 		t.Fatalf("honest tool error must stay row-level: %v", err)
 	}

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"runtime"
 	"runtime/debug"
 	"time"
 
+	"repro/internal/pool"
 	"repro/internal/router"
 )
 
@@ -20,6 +22,21 @@ type EvalConfig struct {
 	// Zero means no per-tool deadline: only the caller's context limits
 	// the run.
 	ToolTimeout time.Duration
+	// Workers is the sweep's total worker-slot budget, covering both the
+	// evaluation loop itself and any router-internal parallelism
+	// (router.BudgetedRouter tools borrow the idle remainder). 0 means
+	// GOMAXPROCS. The budget changes wall-clock time only, never results.
+	Workers int
+}
+
+// sweepBudget builds the shared worker budget for a sweep that keeps
+// `reserved` slots busy by itself out of a total of `total` (0 =
+// GOMAXPROCS). Budgeted routers borrow from what remains.
+func sweepBudget(total, reserved int) *pool.Budget {
+	if total <= 0 {
+		total = runtime.GOMAXPROCS(0)
+	}
+	return pool.NewBudget(total - reserved)
 }
 
 // routeOutcome carries one guarded tool run across its goroutine
@@ -42,7 +59,7 @@ type routeOutcome struct {
 //     being abandoned and partial figures should not pretend otherwise;
 //   - an invalid or optimum-beating result → a hard error, because it
 //     falsifies the suite's guarantee.
-func routeOneCtx(ctx context.Context, tool ToolSpec, it EvalItem, seed int64, toolTimeout time.Duration) (*router.Result, string, error) {
+func routeOneCtx(ctx context.Context, tool ToolSpec, it EvalItem, seed int64, toolTimeout time.Duration, budget *pool.Budget) (*router.Result, string, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, "", err
 	}
@@ -60,6 +77,9 @@ func routeOneCtx(ctx context.Context, tool ToolSpec, it EvalItem, seed int64, to
 			}
 		}()
 		r := tool.Make(seed + 7919)
+		if br, ok := r.(router.BudgetedRouter); ok && budget != nil {
+			br.SetWorkerBudget(budget)
+		}
 		var out routeOutcome
 		if it.prep != nil {
 			out.res, out.err = router.RoutePreparedWithContext(toolCtx, r, it.prep)

@@ -57,7 +57,9 @@ func DefaultTools(sabreTrials int) []ToolSpec {
 			return mlqls.New(mlqls.Options{Seed: seed})
 		}},
 		{"qmap", func(seed int64) router.Router {
-			return qmap.New(qmap.Options{MaxNodes: 2000, Seed: seed})
+			// Workers caps qmap's deterministic parallel expansion; under a
+			// harness budget the cap only applies to slots actually idle.
+			return qmap.New(qmap.Options{MaxNodes: 2000, Seed: seed, Workers: runtime.GOMAXPROCS(0)})
 		}},
 		{"tket", func(seed int64) router.Router {
 			return tket.New(tket.Options{Seed: seed})
@@ -335,6 +337,10 @@ func EvaluateItemsCtx(ctx context.Context, metric family.Metric, items []EvalIte
 	for i := range items {
 		items[i].prepare()
 	}
+	// One shared worker budget for the whole sweep: this loop routes one
+	// (tool, instance) pair at a time, so it reserves a single slot and
+	// budgeted routers borrow the rest of the machine while idle.
+	budget := sweepBudget(ec.Workers, 1)
 	var cells []Cell
 	for _, tool := range tools {
 		for _, n := range grid {
@@ -343,7 +349,7 @@ func EvaluateItemsCtx(ctx context.Context, metric family.Metric, items []EvalIte
 				if it.Optimal != n {
 					continue
 				}
-				res, _, err := routeOneCtx(ctx, tool, it, ec.Seed, ec.ToolTimeout)
+				res, _, err := routeOneCtx(ctx, tool, it, ec.Seed, ec.ToolTimeout, budget)
 				if err != nil {
 					return nil, err
 				}

@@ -150,10 +150,20 @@ func RunStoredEvalCtx(ctx context.Context, store *suite.Store, st *suite.Suite, 
 		items[ref.Base] = it
 	}
 
+	// The cross-instance pool reserves its worker slots up front; tools
+	// implementing router.BudgetedRouter borrow whatever the machine has
+	// left, so instance-level and router-internal parallelism share one
+	// core budget instead of multiplying.
+	sweepWorkers := opts.Workers
+	if sweepWorkers < 1 {
+		sweepWorkers = 1
+	}
+	budget := sweepBudget(0, sweepWorkers)
+
 	run := func(j job) error {
 		it := items[j.ref.Base]
 		t0 := time.Now()
-		res, toolErr, err := routeOneCtx(ctx, j.tool, it, opts.Seed, opts.ToolTimeout)
+		res, toolErr, err := routeOneCtx(ctx, j.tool, it, opts.Seed, opts.ToolTimeout, budget)
 		if err != nil {
 			return err
 		}

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/circuit"
+	"repro/internal/pool"
 	"repro/internal/router"
 	"repro/internal/sabre"
 )
@@ -59,13 +60,22 @@ func (o Options) withDefaults() Options {
 }
 
 // Router is the ML-QLS-style tool.
-type Router struct{ opts Options }
+type Router struct {
+	opts   Options
+	budget *pool.Budget // optional shared worker budget
+}
 
 // New returns an ML-QLS-style router.
 func New(opts Options) *Router { return &Router{opts: opts.withDefaults()} }
 
 // Name implements router.Router.
 func (r *Router) Name() string { return "ml-qls" }
+
+// SetWorkerBudget implements router.BudgetedRouter: the budget is
+// forwarded to the internal SABRE routing stage, whose trial pool
+// borrows idle slots instead of assuming it owns every CPU. The
+// multilevel placement itself is serial.
+func (r *Router) SetWorkerBudget(b *pool.Budget) { r.budget = b }
 
 // RouteFrom implements router.PlacedRouter: ML-QLS's routing stage (the
 // SABRE-style engine with the tool's reduced trial budget) runs from the
@@ -75,6 +85,7 @@ func (r *Router) RouteFrom(c *circuit.Circuit, dev *arch.Device, initial router.
 		Trials: r.opts.RoutingTrials,
 		Seed:   r.opts.Seed + 1,
 	}, router.PadMapping(initial, dev.NumQubits()))
+	eng.SetWorkerBudget(r.budget)
 	res, err := eng.Route(c, dev)
 	if err != nil {
 		return nil, fmt.Errorf("mlqls: %w", err)
@@ -181,6 +192,7 @@ func (r *Router) RoutePreparedCtx(ctx context.Context, p *router.Prepared) (*rou
 		Trials: r.opts.RoutingTrials,
 		Seed:   r.opts.Seed + 1,
 	}, placement)
+	eng.SetWorkerBudget(r.budget)
 	res, err := eng.RoutePreparedCtx(ctx, p)
 	if err != nil {
 		return nil, fmt.Errorf("mlqls: %w", err)
@@ -386,51 +398,102 @@ func project(lv level, coarse router.Mapping, dev *arch.Device, rng *rand.Rand) 
 // refine performs local-search sweeps: for every program qubit, try
 // relocating to each neighbor's location (swapping occupants) and keep
 // strictly improving moves under the weighted-distance objective.
+//
+// The objective is evaluated delta-gain style: curCost caches every
+// qubit's incident-wedge cost sum at its current location (recomputed
+// once per pass), candidates are costed positionally against the cache
+// without touching the placement, and an accepted move patches the
+// cache by exact integer deltas along the two moved qubits' wedges.
+// Every compared integer matches the re-walking implementation, so the
+// accepted-move sequence — and with it the rng stream — is bit-identical.
 func refine(g *weightedGraph, place router.Mapping, dev *arch.Device, passes int, rng *rand.Rand) {
 	dist := dev.Distances()
 	gc := dev.Graph()
 	inv := place.Inverse(gc.N())
+	curCost := make([]int, g.n)
 
-	cost := func(v, p int) int {
-		c := 0
-		for i, u := range g.adj[v] {
-			if int(u) != v && place[u] != -1 {
-				c += int(g.edges[g.eix[v][i]].w) * dist.At(p, place[u])
-			}
-		}
-		return c
-	}
 	for pass := 0; pass < passes; pass++ {
+		for v := 0; v < g.n; v++ {
+			c := 0
+			pv := place[v]
+			for i, u := range g.adj[v] {
+				if int(u) != v && place[u] != -1 {
+					c += int(g.edges[g.eix[v][i]].w) * dist.At(pv, place[u])
+				}
+			}
+			curCost[v] = c
+		}
 		improved := false
 		order := rng.Perm(g.n)
 		for _, v := range order {
 			pv := place[v]
 			for _, pn := range gc.Neighbors(pv) {
 				u := inv[pn]
-				// Cost delta of swapping v and the occupant of pn.
-				before := cost(v, pv)
-				var beforeU, afterU int
-				if u != -1 {
-					beforeU = cost(u, pn)
+				// Positional cost of v at pn and of the displaced
+				// occupant u at pv; everyone else stays put.
+				after := 0
+				for i, w := range g.adj[v] {
+					if int(w) == v {
+						continue
+					}
+					pw := place[w]
+					if int(w) == u {
+						pw = pv
+					}
+					if pw != -1 {
+						after += int(g.edges[g.eix[v][i]].w) * dist.At(pn, pw)
+					}
 				}
-				// Tentatively move.
-				place[v] = pn
+				afterU := 0
+				beforeU := 0
 				if u != -1 {
-					place[u] = pv
+					beforeU = curCost[u]
+					for i, w := range g.adj[u] {
+						if int(w) == u {
+							continue
+						}
+						pw := place[w]
+						if int(w) == v {
+							pw = pn
+						}
+						if pw != -1 {
+							afterU += int(g.edges[g.eix[u][i]].w) * dist.At(pv, pw)
+						}
+					}
 				}
-				after := cost(v, pn)
-				if u != -1 {
-					afterU = cost(u, pv)
-				}
-				if after+afterU < before+beforeU {
+				if after+afterU < curCost[v]+beforeU {
+					// Commit: move the pair, then patch the cached sums of
+					// every wedge neighbor by the exact distance delta.
+					place[v] = pn
+					if u != -1 {
+						place[u] = pv
+					}
 					inv[pn] = v
 					inv[pv] = u
+					for i, w := range g.adj[v] {
+						if int(w) == v || int(w) == u {
+							continue
+						}
+						if pw := place[w]; pw != -1 {
+							curCost[w] += int(g.edges[g.eix[v][i]].w) * (dist.At(pw, pn) - dist.At(pw, pv))
+						}
+					}
+					if u != -1 {
+						for i, w := range g.adj[u] {
+							if int(w) == u || int(w) == v {
+								continue
+							}
+							if pw := place[w]; pw != -1 {
+								curCost[w] += int(g.edges[g.eix[u][i]].w) * (dist.At(pw, pv) - dist.At(pw, pn))
+							}
+						}
+					}
+					curCost[v] = after
+					if u != -1 {
+						curCost[u] = afterU
+					}
 					improved = true
 					break
-				}
-				place[v] = pv
-				if u != -1 {
-					place[u] = pn
 				}
 			}
 		}

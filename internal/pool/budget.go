@@ -1,0 +1,53 @@
+package pool
+
+import "sync/atomic"
+
+// Budget is a shared pool of worker slots that keeps nested parallelism
+// from oversubscribing cores: a sweep-level pool and the routers it
+// runs both draw on one Budget, so the total number of busy workers
+// never exceeds the budget's capacity. Acquisition is opportunistic —
+// TryAcquire never blocks, it hands out however many idle slots exist —
+// so a holder can always proceed serially with what it already has,
+// and lending idle capacity can never deadlock the lender.
+type Budget struct {
+	idle atomic.Int64
+}
+
+// NewBudget returns a budget of n worker slots (n < 0 is treated as 0).
+func NewBudget(n int) *Budget {
+	if n < 0 {
+		n = 0
+	}
+	b := &Budget{}
+	b.idle.Store(int64(n))
+	return b
+}
+
+// TryAcquire grabs up to max idle slots without blocking and returns
+// how many it got (possibly 0). The caller must Release the same count.
+func (b *Budget) TryAcquire(max int) int {
+	for {
+		cur := b.idle.Load()
+		if cur <= 0 || max <= 0 {
+			return 0
+		}
+		take := int64(max)
+		if take > cur {
+			take = cur
+		}
+		if b.idle.CompareAndSwap(cur, cur-take) {
+			return int(take)
+		}
+	}
+}
+
+// Release returns n previously acquired slots.
+func (b *Budget) Release(n int) {
+	if n > 0 {
+		b.idle.Add(int64(n))
+	}
+}
+
+// Idle reports the currently available slot count (advisory: it can
+// change the moment it returns).
+func (b *Budget) Idle() int { return int(b.idle.Load()) }

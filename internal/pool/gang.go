@@ -1,0 +1,105 @@
+package pool
+
+// Gang is a persistent fork-join helper set for fine-grained repeated
+// parallel loops: code that forks the same bounded worker set thousands
+// of times per second (one fork per A* expansion wave, say) cannot
+// afford a goroutine spawn per fork. NewGang parks workers-1 helper
+// goroutines once; each Run hands one part to every participant, runs
+// part 0 on the calling goroutine, and joins before returning, so the
+// caller observes every write the parts made (the channel handoffs
+// publish them).
+//
+// A Gang adds no scheduling freedom that could perturb results: parts
+// receive disjoint indices chosen by the caller, and Run returns only
+// after all parts finish, so a caller that partitions pure work across
+// parts and merges in a fixed order is deterministic by construction.
+//
+// A panic inside a part is re-raised from Run (helpers convert theirs
+// to *PanicError) after every part has joined, so a crash never leaves
+// a helper running a stale function. Run must not be called after
+// Close, and a Gang is not safe for concurrent Runs.
+type Gang struct {
+	helpers int
+	work    chan gangCall
+	done    chan any
+	stop    chan struct{}
+}
+
+type gangCall struct {
+	fn   func(part int)
+	part int
+}
+
+// NewGang returns a gang of the given total worker count (the caller
+// counts as one; workers-1 helper goroutines are spawned). workers <= 1
+// spawns nothing and Run degenerates to a plain call.
+func NewGang(workers int) *Gang {
+	h := workers - 1
+	if h < 0 {
+		h = 0
+	}
+	g := &Gang{
+		helpers: h,
+		work:    make(chan gangCall, h),
+		done:    make(chan any, h),
+		stop:    make(chan struct{}),
+	}
+	for i := 0; i < h; i++ {
+		go func() {
+			for {
+				select {
+				case c := <-g.work:
+					g.done <- runPart(c)
+				case <-g.stop:
+					return
+				}
+			}
+		}()
+	}
+	return g
+}
+
+func runPart(c gangCall) (failure any) {
+	defer func() {
+		if r := recover(); r != nil {
+			failure = &PanicError{Value: r}
+		}
+	}()
+	c.fn(c.part)
+	return nil
+}
+
+// Workers returns the total participant count (caller included).
+func (g *Gang) Workers() int { return g.helpers + 1 }
+
+// Run executes fn(0) … fn(parts-1) across the gang, fn(0) on the
+// calling goroutine, and returns after every part has finished. parts
+// is clamped to Workers(); callers size their partitions accordingly.
+func (g *Gang) Run(parts int, fn func(part int)) {
+	if parts > g.helpers+1 {
+		parts = g.helpers + 1
+	}
+	if parts <= 1 {
+		fn(0)
+		return
+	}
+	for i := 1; i < parts; i++ {
+		g.work <- gangCall{fn: fn, part: i}
+	}
+	own := runPart(gangCall{fn: fn, part: 0})
+	var failure any
+	for i := 1; i < parts; i++ {
+		if v := <-g.done; v != nil && failure == nil {
+			failure = v
+		}
+	}
+	if own != nil {
+		failure = own
+	}
+	if failure != nil {
+		panic(failure)
+	}
+}
+
+// Close releases the helper goroutines. The gang must be idle.
+func (g *Gang) Close() { close(g.stop) }

@@ -1,0 +1,157 @@
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGangRunsEveryPart(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		g := NewGang(workers)
+		hit := make([]int32, g.Workers())
+		g.Run(g.Workers(), func(part int) {
+			atomic.AddInt32(&hit[part], 1)
+		})
+		for part, n := range hit {
+			if n != 1 {
+				t.Errorf("workers=%d: part %d ran %d times, want 1", workers, part, n)
+			}
+		}
+		g.Close()
+	}
+}
+
+func TestGangClampsParts(t *testing.T) {
+	g := NewGang(2)
+	defer g.Close()
+	var ran int32
+	// Asking for more parts than workers runs exactly Workers() parts.
+	g.Run(16, func(part int) {
+		if part >= g.Workers() {
+			t.Errorf("part %d outside clamp %d", part, g.Workers())
+		}
+		atomic.AddInt32(&ran, 1)
+	})
+	if int(ran) != g.Workers() {
+		t.Errorf("%d parts ran, want %d", ran, g.Workers())
+	}
+}
+
+func TestGangJoinPublishesWrites(t *testing.T) {
+	// Run must be a full barrier: every write made by a part is visible
+	// to the caller afterwards without extra synchronization.
+	g := NewGang(4)
+	defer g.Close()
+	buf := make([]int, 1024)
+	for rep := 0; rep < 100; rep++ {
+		g.Run(4, func(part int) {
+			for i := part; i < len(buf); i += 4 {
+				buf[i] = rep + i
+			}
+		})
+		for i, v := range buf {
+			if v != rep+i {
+				t.Fatalf("rep %d: buf[%d]=%d not visible after join", rep, i, v)
+			}
+		}
+	}
+}
+
+func TestGangRepanicsHelperPanic(t *testing.T) {
+	g := NewGang(4)
+	defer g.Close()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("helper panic was swallowed")
+		}
+		pe, ok := r.(*PanicError)
+		if !ok || pe.Value != "boom" {
+			t.Fatalf("recovered %#v, want *PanicError{boom}", r)
+		}
+	}()
+	g.Run(4, func(part int) {
+		if part == 3 {
+			panic("boom")
+		}
+	})
+}
+
+func TestGangSurvivesPanicAndRunsAgain(t *testing.T) {
+	g := NewGang(4)
+	defer g.Close()
+	func() {
+		defer func() { recover() }()
+		g.Run(4, func(part int) { panic(part) })
+	}()
+	var ran int32
+	g.Run(4, func(part int) { atomic.AddInt32(&ran, 1) })
+	if ran != 4 {
+		t.Fatalf("gang wedged after panic: %d parts ran", ran)
+	}
+}
+
+func TestBudgetAcquireRelease(t *testing.T) {
+	b := NewBudget(4)
+	if got := b.TryAcquire(3); got != 3 {
+		t.Fatalf("TryAcquire(3)=%d on a fresh budget of 4", got)
+	}
+	if got := b.TryAcquire(3); got != 1 {
+		t.Fatalf("TryAcquire(3)=%d with 1 idle, want 1", got)
+	}
+	if got := b.TryAcquire(1); got != 0 {
+		t.Fatalf("TryAcquire(1)=%d on an empty budget, want 0", got)
+	}
+	b.Release(4)
+	if got := b.Idle(); got != 4 {
+		t.Fatalf("Idle()=%d after full release, want 4", got)
+	}
+	if got := NewBudget(-3).TryAcquire(1); got != 0 {
+		t.Fatalf("negative-capacity budget lent %d slots", got)
+	}
+	if got := NewBudget(2).TryAcquire(0); got != 0 {
+		t.Fatalf("TryAcquire(0)=%d, want 0", got)
+	}
+}
+
+func TestBudgetNeverOverLends(t *testing.T) {
+	// Hammer one budget from many goroutines; the outstanding total must
+	// never exceed capacity. Run under -race this also checks the
+	// counter's publication story.
+	const capacity = 8
+	b := NewBudget(capacity)
+	var outstanding, peak int64
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				got := b.TryAcquire(1 + (seed+i)%4)
+				if got == 0 {
+					continue
+				}
+				cur := atomic.AddInt64(&outstanding, int64(got))
+				if cur > capacity {
+					t.Errorf("%d slots outstanding, capacity %d", cur, capacity)
+				}
+				for {
+					p := atomic.LoadInt64(&peak)
+					if cur <= p || atomic.CompareAndSwapInt64(&peak, p, cur) {
+						break
+					}
+				}
+				atomic.AddInt64(&outstanding, -int64(got))
+				b.Release(got)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if b.Idle() != capacity {
+		t.Fatalf("Idle()=%d after all releases, want %d", b.Idle(), capacity)
+	}
+	if peak == 0 {
+		t.Fatal("no goroutine ever acquired a slot; test proves nothing")
+	}
+}

@@ -65,11 +65,11 @@ func TestApplyReconstructsSwapPath(t *testing.T) {
 	// node's mapping by replaying its root path, and appliedSeq must
 	// return that path in root-to-node order.
 	dev := arch.Line(4)
-	e := newEngine(dev, 4, 1)
+	e := newEngine(dev, 4)
 	e.states = append(e.states,
 		astate{parent: -1},
-		astate{parent: 0, swap: [2]int32{0, 1}, depth: 1},
-		astate{parent: 1, swap: [2]int32{2, 3}, depth: 2},
+		astate{parent: 0, swap: [2]int16{0, 1}, depth: 1},
+		astate{parent: 1, swap: [2]int16{2, 3}, depth: 2},
 	)
 	m := router.IdentityMapping(4)
 	inv := m.Inverse(4)
@@ -173,7 +173,7 @@ func TestSearchLayerSteadyStateAllocs(t *testing.T) {
 	layer := dag.Layers()[0]
 	start := router.IdentityMapping(nQ)
 	r := New(Options{MaxNodes: 500, Seed: 1})
-	e := r.ensureEngine(dev, nQ, dag.N())
+	e := r.ensureEngine(dev, nQ)
 	search := func() { e.searchLayer(r.opts, start, layer, nil, dag) }
 	search() // warm-up: arena, heap, and closed set grow once
 	if a := testing.AllocsPerRun(20, search); a > 4 {

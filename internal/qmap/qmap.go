@@ -9,25 +9,35 @@
 // The A* search is built for throughput in the SABRE-engine style (see
 // docs/performance.md): search nodes live in a flat arena addressed by
 // index (no *state pointers), the open list is an index heap replicating
-// container/heap's ordering exactly, the closed set is a reusable
-// open-addressed hash table instead of a per-layer map[uint64]bool, the
-// per-qubit gate lists and per-expansion candidate dedup are
-// epoch-stamped scratch, and the Zobrist table is built once per Route
-// instead of once per layer. Steady-state node expansion performs zero
-// heap allocations, and every decision — heap order, closed-set
-// membership, heuristic arithmetic — is bit-identical to the
-// straightforward implementation (pinned by TestGoldenCorpus).
+// container/heap's ordering exactly with the f-cost stored inline in the
+// heap entry, the closed set is a reusable open-addressed hash table with
+// fused key/stamp slots, and per-layer gate tables are flattened to one
+// gate per qubit (ASAP layers are qubit-disjoint). Expansion is
+// wave-structured: each popped node's candidate successors are first
+// enumerated in canonical order, then evaluated by pure side-effect-free
+// work (closed-set probe against the pre-wave snapshot plus the heuristic
+// delta), and finally merged — closed-set inserts, arena appends, heap
+// pushes — by a single reducer in the same canonical order. The merge
+// replays exactly the serial engine's decisions, so the evaluation phase
+// can be chunked across a bounded pool.Gang at any worker count while
+// heap contents, closed-set state, and tie-breaking stay bit-identical
+// to Workers == 1 (pinned by TestGoldenCorpus and the worker-count
+// sweep). The node budget is a single counter owned by the reducer loop,
+// and cancellation is polled once per wave, so steady-state expansion
+// performs zero heap allocations with or without a deadline armed.
 package qmap
 
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
 	"repro/internal/arch"
 	"repro/internal/circuit"
 	"repro/internal/graph"
+	"repro/internal/pool"
 	"repro/internal/router"
 )
 
@@ -37,9 +47,29 @@ type Options struct {
 	// frontier state is taken and routing continues greedily.
 	MaxNodes int
 	// LookaheadWeight scales the next layer's distance contribution.
+	// The engine computes costs in exact quarter-unit integers, so the
+	// weight is quantized to the nearest multiple of 0.25 (the default
+	// 0.75 is exact).
 	LookaheadWeight float64
 	// Seed drives the initial placement shuffle.
 	Seed int64
+	// Workers bounds the engine's internal expansion parallelism: each
+	// expansion wave's candidate evaluation is chunked across this many
+	// gang workers and merged in canonical order, so results are
+	// bit-identical to Workers == 1 at any GOMAXPROCS. 0 or 1 evaluates
+	// on the calling goroutine. When a worker budget is attached (see
+	// SetWorkerBudget), Workers is a cap and idle budget slots decide
+	// the actual count.
+	Workers int
+	// StrongHeuristic replaces the summed-excess heuristic with the
+	// admissible layer bound max(max-gate excess, ceil(sum-excess/2)) —
+	// one SWAP moves two qubits, so it can cut a single gate's distance
+	// by at most one and the disjoint layer's summed excess by at most
+	// two — plus the usual discounted lookahead term. The tighter bound
+	// prunes expansions before they reach the heap but changes search
+	// order, so it is opt-in and off by default (the golden corpus pins
+	// the default engine).
+	StrongHeuristic bool
 }
 
 func (o Options) withDefaults() Options {
@@ -59,14 +89,22 @@ type Router struct {
 	opts    Options
 	initial router.Mapping // non-nil: skip placement
 	eng     *engine        // A* scratch reused across calls
+	budget  *pool.Budget   // optional shared worker budget
 }
 
 // New returns a QMAP-style router.
 func New(opts Options) *Router { return &Router{opts: opts.withDefaults()} }
 
+// SetWorkerBudget implements router.BudgetedRouter: the router borrows
+// idle slots from b (up to Options.Workers-1 of them) for the duration
+// of each Route call, so its internal expansion parallelism and the
+// caller's own worker pool draw on one budget and never oversubscribe
+// cores. Borrowed slots only change wall-clock time, never results.
+func (r *Router) SetWorkerBudget(b *pool.Budget) { r.budget = b }
+
 // RouteFrom implements router.PlacedRouter.
 func (r *Router) RouteFrom(c *circuit.Circuit, dev *arch.Device, initial router.Mapping) (*router.Result, error) {
-	pinned := &Router{opts: r.opts, initial: router.PadMapping(initial, dev.NumQubits())}
+	pinned := &Router{opts: r.opts, initial: router.PadMapping(initial, dev.NumQubits()), budget: r.budget}
 	return pinned.Route(c, dev)
 }
 
@@ -79,7 +117,7 @@ func (r *Router) Route(c *circuit.Circuit, dev *arch.Device) (*router.Result, er
 }
 
 // RouteCtx implements router.RouterCtx: Route under a cancellation
-// context, polled once per A* node expansion.
+// context, polled once per A* expansion wave.
 func (r *Router) RouteCtx(ctx context.Context, c *circuit.Circuit, dev *arch.Device) (*router.Result, error) {
 	p, err := router.Prepare(c, dev)
 	if err != nil {
@@ -114,8 +152,26 @@ func (r *Router) RoutePreparedCtx(ctx context.Context, p *router.Prepared) (*rou
 	}
 	initial := mapping.Clone()
 
-	e := r.ensureEngine(dev, len(mapping), dag.N())
+	e := r.ensureEngine(dev, len(mapping))
 	e.check.Reset(ctx)
+
+	// Resolve the expansion worker count: Options.Workers is the cap,
+	// and an attached budget lends only slots that are actually idle.
+	// The count affects wall-clock time only — never results.
+	workers := r.opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > 1 && r.budget != nil {
+		borrowed := r.budget.TryAcquire(workers - 1)
+		defer r.budget.Release(borrowed)
+		workers = 1 + borrowed
+	}
+	if workers > 1 {
+		e.gang = pool.NewGang(workers)
+		defer func() { e.gang.Close(); e.gang = nil }()
+	}
+
 	g := e.g
 	dist := e.dist
 	out := circuit.New(skeleton.NumQubits)
@@ -175,16 +231,16 @@ func (r *Router) RoutePreparedCtx(ctx context.Context, p *router.Prepared) (*rou
 // searchLayer keeps the historical entry point used by internal tests:
 // it runs the arena A* on a throwaway engine-backed search.
 func (r *Router) searchLayer(start router.Mapping, layer, next []int, dag *circuit.DAG, dev *arch.Device) ([][2]int, router.Mapping) {
-	e := r.ensureEngine(dev, len(start), dag.N())
+	e := r.ensureEngine(dev, len(start))
 	return e.searchLayer(r.opts, start, layer, next, dag)
 }
 
-func (r *Router) ensureEngine(dev *arch.Device, nQ, dagN int) *engine {
+func (r *Router) ensureEngine(dev *arch.Device, nQ int) *engine {
 	// Keyed on the device's coupling graph (immutable, so pointer
 	// identity suffices), not just sizes: a same-size different device
 	// must not inherit this one's adjacency, distances, or Zobrist keys.
-	if r.eng == nil || r.eng.g != dev.Graph() || r.eng.nQ != nQ || len(r.eng.seenL) < dagN {
-		r.eng = newEngine(dev, nQ, dagN)
+	if r.eng == nil || r.eng.g != dev.Graph() || r.eng.nQ != nQ {
+		r.eng = newEngine(dev, nQ)
 	}
 	return r.eng
 }
@@ -192,15 +248,28 @@ func (r *Router) ensureEngine(dev *arch.Device, nQ, dagN int) *engine {
 // astate is an A* node in the flat arena. To keep expansion cheap on
 // 127-qubit devices the mapping is not stored per node: each node
 // records only the swap that produced it and its parent index, plus an
-// incrementally maintained heuristic and Zobrist hash. The full mapping
-// is re-materialized by replaying the swap path when the node is popped.
+// incrementally maintained heuristic, integer excess-distance sums, and
+// a Zobrist hash. The full mapping is re-materialized by replaying the
+// swap path when the node is popped. The f-cost lives in the node's
+// heap entry, not here, so heap sifting never loads the arena.
 type astate struct {
 	parent int32 // arena index; -1 for the root
-	swap   [2]int32
+	swap   [2]int16
 	depth  int32
-	hCost  float64 // heuristic at this node
-	fCost  float64 // depth + hCost (+ lookahead already inside hCost)
+	h4     int32 // heuristic at this node, in quarter units
+	excess int16 // summed layer excess distance; 0 ⇔ goal
+	look   int16 // summed lookahead excess distance
 	hash   uint64
+}
+
+// heapEntry is one open-list slot: the f-cost is duplicated here so
+// sifting compares adjacent heap memory instead of random arena loads.
+// Every cost is an exact multiple of 0.25, so f is held as an int32 in
+// quarter units — the map f -> 4f is strictly monotone and exact, so
+// ordering and ties match the reference float engine bit for bit.
+type heapEntry struct {
+	f4  int32 // 4*(depth + h), exact
+	idx int32 // arena index
 }
 
 // engine owns every piece of search scratch, sized once and reused
@@ -212,54 +281,78 @@ type engine struct {
 	nQ   int // program register size (== padded device size)
 	nP   int // physical qubit count
 
-	// check polls for cancellation once per A* node expansion; the zero
+	// check polls for cancellation once per expansion wave; the zero
 	// value (direct engine users, background contexts) is inert.
 	check router.CtxChecker
 
 	zob []uint64 // Zobrist keys, (program qubit, physical qubit) pairs
 
 	states []astate
-	heap   []int32 // open list of arena indices, container/heap order
+	heap   []heapEntry
 	closed u64set
 
-	// Per-layer per-qubit gate lists (layer and lookahead separately),
-	// epoch-stamped so nothing is cleared between layers.
-	touchL     [][]int32
-	touchN     [][]int32
-	touchStamp []int32
+	// Per-layer flattened gate tables. ASAP layers are qubit-disjoint —
+	// two gates sharing a qubit are DAG-ordered into different layers —
+	// so each qubit has at most one layer gate and one lookahead gate,
+	// recorded per qubit and per gate index, epoch-stamped so nothing is
+	// cleared between layers.
+	lq0, lq1   []int32 // layer gate endpoints, by gate index
+	nq0, nq1   []int32 // lookahead gate endpoints, by gate index
+	qStamp     []int32 // per qubit: == layerEpoch when active this layer
+	qLGate     []int32 // per qubit: its layer gate index, -1 when none
+	qNGate     []int32 // per qubit: its lookahead gate index, -1 when none
 	layerEpoch int32
+
+	// Per-pop current distance of each layer / lookahead gate, shared by
+	// every candidate of the wave as the "before" side of the delta.
+	curLD []int32
+	curND []int32
 
 	// Per-expansion candidate dedup on the program-qubit pair.
 	candSeen    []int32
 	expandEpoch int32
 
-	// Per-hDelta gate dedup (layer and lookahead gates separately).
-	seenL     []int32
-	seenN     []int32
-	evalEpoch int32
+	// Wave buffers: phase 1 enumerates candidates in canonical order,
+	// phase 2 fills the evaluation columns (pure, chunkable across the
+	// gang), phase 3 merges serially in the same canonical order.
+	wA, wB []int32  // normalized swap pair, a < b
+	wHash  []uint64 // child Zobrist hash
+	wSlot  []int32  // closed-set probe: first-empty slot, or -1 if present
+	wH4    []int32  // child heuristic, quarter units
+	wDX    []int32  // child layer-excess delta
+	wDL    []int32  // child lookahead-excess delta
 
-	// Swap-path replay scratch.
-	m       router.Mapping
-	inv     []int
-	applied [][2]int32
+	// Strong-heuristic per-pop scratch: the three largest layer-gate
+	// excesses with their gate indices (a candidate touches at most two
+	// layer gates, so the max over the untouched rest is always here).
+	topV [3]int32
+	topI [3]int32
+
+	// Swap-path replay scratch: the currently materialized path (swaps
+	// and node indices, root-first) and the target-path staging buffer.
+	m        router.Mapping
+	inv      []int
+	applied  [][2]int16
+	appliedN []int32
+	path     []int32
+
+	gang *pool.Gang // non-nil while a Route call runs with Workers > 1
 }
 
-func newEngine(dev *arch.Device, nQ, dagN int) *engine {
+func newEngine(dev *arch.Device, nQ int) *engine {
 	nP := dev.NumQubits()
 	return &engine{
-		g:          dev.Graph(),
-		dist:       dev.Distances(),
-		nQ:         nQ,
-		nP:         nP,
-		zob:        zobristFor(nQ, nP),
-		touchL:     make([][]int32, nQ),
-		touchN:     make([][]int32, nQ),
-		touchStamp: make([]int32, nQ),
-		candSeen:   make([]int32, nQ*nQ),
-		seenL:      make([]int32, dagN),
-		seenN:      make([]int32, dagN),
-		m:          make(router.Mapping, nQ),
-		inv:        make([]int, nP),
+		g:        dev.Graph(),
+		dist:     dev.Distances(),
+		nQ:       nQ,
+		nP:       nP,
+		zob:      zobristFor(nQ, nP),
+		qStamp:   make([]int32, nQ),
+		qLGate:   make([]int32, nQ),
+		qNGate:   make([]int32, nQ),
+		candSeen: make([]int32, nQ*nQ),
+		m:        make(router.Mapping, nQ),
+		inv:      make([]int, nP),
 	}
 }
 
@@ -267,40 +360,84 @@ func newEngine(dev *arch.Device, nQ, dagN int) *engine {
 // layer gate is executable. Candidate moves are SWAPs on coupler edges
 // touching the layer's qubits. Returns the swap sequence and final
 // mapping; on node exhaustion, the most promising frontier state.
+//
+// The loop is wave-structured: each pop expands through enumerate →
+// evaluate → merge phases. Only the evaluate phase runs off the calling
+// goroutine (when a gang is attached), so the node counter and the
+// cancellation poll are owned by this single reducer loop in serial and
+// parallel mode alike.
 func (e *engine) searchLayer(opts Options, start router.Mapping, layer, next []int, dag *circuit.DAG) ([][2]int, router.Mapping) {
 	g := e.g
+	dist := e.dist
 	nP := e.nP
 
-	// Gates touching each program qubit (layer and lookahead separately).
+	// Flattened per-layer gate tables (one gate per qubit per table).
 	e.layerEpoch++
-	for _, v := range layer {
-		gt := dag.Gate(v)
-		e.touch(&e.touchL, gt.Q0, v)
-		e.touch(&e.touchL, gt.Q1, v)
+	e.lq0, e.lq1 = e.lq0[:0], e.lq1[:0]
+	e.nq0, e.nq1 = e.nq0[:0], e.nq1[:0]
+	mark := func(q int) {
+		if e.qStamp[q] != e.layerEpoch {
+			e.qStamp[q] = e.layerEpoch
+			e.qLGate[q] = -1
+			e.qNGate[q] = -1
+		}
 	}
-	for _, v := range next {
+	for gi, v := range layer {
 		gt := dag.Gate(v)
-		e.touch(&e.touchN, gt.Q0, v)
-		e.touch(&e.touchN, gt.Q1, v)
+		mark(gt.Q0)
+		mark(gt.Q1)
+		e.qLGate[gt.Q0] = int32(gi)
+		e.qLGate[gt.Q1] = int32(gi)
+		e.lq0 = append(e.lq0, int32(gt.Q0))
+		e.lq1 = append(e.lq1, int32(gt.Q1))
 	}
+	for gi, v := range next {
+		gt := dag.Gate(v)
+		mark(gt.Q0)
+		mark(gt.Q1)
+		e.qNGate[gt.Q0] = int32(gi)
+		e.qNGate[gt.Q1] = int32(gi)
+		e.nq0 = append(e.nq0, int32(gt.Q0))
+		e.nq1 = append(e.nq1, int32(gt.Q1))
+	}
+	nL, nN := len(e.lq0), len(e.nq0)
+	e.curLD = ensureI32(e.curLD, nL)
+	e.curND = ensureI32(e.curND, nN)
 
 	if e.goal(layer, start, dag) {
 		return nil, start.Clone()
 	}
 
-	// Zobrist hash of the start mapping.
+	// Zobrist hash and integer excess sums of the start mapping.
 	hash0 := uint64(0)
 	for q, p := range start {
 		hash0 ^= e.zob[q*nP+p]
+	}
+	rootX, rootLK, rootMax := int32(0), int32(0), int32(0)
+	for gi := 0; gi < nL; gi++ {
+		x := int32(dist.At(start[e.lq0[gi]], start[e.lq1[gi]]) - 1)
+		rootX += x
+		if x > rootMax {
+			rootMax = x
+		}
+	}
+	for gi := 0; gi < nN; gi++ {
+		rootLK += int32(dist.At(start[e.nq0[gi]], start[e.nq1[gi]]) - 1)
 	}
 
 	e.states = e.states[:0]
 	e.heap = e.heap[:0]
 	e.closed.reset()
-	root := astate{parent: -1, hCost: e.h(opts, layer, next, start, dag), hash: hash0}
-	root.fCost = root.hCost
+	// Costs are exact quarter-unit integers: a layer excess step is worth
+	// 4 and a lookahead step w4 = round(4*LookaheadWeight) (3 at the 0.75
+	// default, where the quantization is exact).
+	w4 := int32(math.Round(4 * opts.LookaheadWeight))
+	root := astate{parent: -1, h4: 4*rootX + w4*rootLK, hash: hash0, excess: int16(rootX), look: int16(rootLK)}
+	if opts.StrongHeuristic {
+		root.h4 = strongH4(w4, rootX, rootLK, rootMax)
+	}
 	e.states = append(e.states, root)
-	e.heapPush(0)
+	e.heapPush(heapEntry{f4: root.h4, idx: 0})
 	e.closed.addIfAbsent(hash0)
 
 	// Scratch mapping replayed per pop.
@@ -314,33 +451,64 @@ func (e *engine) searchLayer(opts Options, start router.Mapping, layer, next []i
 		inv[p] = q
 	}
 	e.applied = e.applied[:0]
+	e.appliedN = e.appliedN[:0]
 
 	// Cancellation cuts the search short through the same exit as node
 	// exhaustion: the most promising frontier state is handed back, and
-	// the Route-level layer loop aborts before using it.
+	// the Route-level layer loop aborts before using it. nodes is the
+	// single MaxNodes counter, owned by this reducer loop and counted
+	// identically at any worker count; Tick polls once per wave.
 	bestFrontier := int32(0)
 	nodes := 0
 	for len(e.heap) > 0 && nodes < opts.MaxNodes && !e.check.Tick() {
 		cur := e.heapPop()
 		nodes++
-		e.apply(cur, m, inv)
-		if e.goal(layer, m, dag) {
+		if e.states[cur].excess == 0 {
+			// Integer excess is exact: 0 ⇔ every layer gate at distance 1.
+			e.apply(cur, m, inv)
 			return e.appliedSeq(), m.Clone()
 		}
-		if e.states[cur].hCost < e.states[bestFrontier].hCost {
+		e.apply(cur, m, inv)
+		if e.states[cur].h4 < e.states[bestFrontier].h4 {
 			bestFrontier = cur
 		}
-		// Expand: SWAPs on coupler edges touching active qubits.
+
+		// The wave's shared "before" side: current gate distances.
+		for gi := 0; gi < nL; gi++ {
+			e.curLD[gi] = int32(dist.At(m[e.lq0[gi]], m[e.lq1[gi]]))
+		}
+		for gi := 0; gi < nN; gi++ {
+			e.curND[gi] = int32(dist.At(m[e.nq0[gi]], m[e.nq1[gi]]))
+		}
+		if opts.StrongHeuristic {
+			e.topV = [3]int32{-1, -1, -1}
+			e.topI = [3]int32{-1, -1, -1}
+			for gi := 0; gi < nL; gi++ {
+				x := e.curLD[gi] - 1
+				switch {
+				case x > e.topV[0]:
+					e.topV[2], e.topI[2] = e.topV[1], e.topI[1]
+					e.topV[1], e.topI[1] = e.topV[0], e.topI[0]
+					e.topV[0], e.topI[0] = x, int32(gi)
+				case x > e.topV[1]:
+					e.topV[2], e.topI[2] = e.topV[1], e.topI[1]
+					e.topV[1], e.topI[1] = x, int32(gi)
+				case x > e.topV[2]:
+					e.topV[2], e.topI[2] = x, int32(gi)
+				}
+			}
+		}
+
+		// Phase 1 — enumerate: SWAPs on coupler edges touching active
+		// qubits, deduplicated on the program pair, in canonical order.
 		e.expandEpoch++
 		curHash := e.states[cur].hash
-		curDepth := e.states[cur].depth
-		curH := e.states[cur].hCost
-		for _, v := range layer {
-			gt := dag.Gate(v)
+		e.wA, e.wB, e.wHash = e.wA[:0], e.wB[:0], e.wHash[:0]
+		for gi := 0; gi < nL; gi++ {
 			for k := 0; k < 2; k++ {
-				q := gt.Q0
+				q := int(e.lq0[gi])
 				if k == 1 {
-					q = gt.Q1
+					q = int(e.lq1[gi])
 				}
 				p := m[q]
 				for _, pn := range g.Neighbors(p) {
@@ -355,26 +523,80 @@ func (e *engine) searchLayer(opts Options, start router.Mapping, layer, next []i
 					e.candSeen[a*e.nQ+b] = e.expandEpoch
 					pa, pb := m[a], m[b]
 					nh := curHash ^ e.zob[a*nP+pa] ^ e.zob[a*nP+pb] ^ e.zob[b*nP+pb] ^ e.zob[b*nP+pa]
-					if !e.closed.addIfAbsent(nh) {
-						continue
-					}
-					// Evaluate the heuristic delta with the swap applied.
-					m[a], m[b] = pb, pa
-					dh := e.hDelta(opts, m, a, b, pa, pb, dag)
-					m[a], m[b] = pa, pb
-					ns := astate{
-						parent: cur,
-						swap:   [2]int32{int32(a), int32(b)},
-						depth:  curDepth + 1,
-						hCost:  curH + dh,
-						hash:   nh,
-					}
-					ns.fCost = float64(ns.depth) + ns.hCost
-					idx := int32(len(e.states))
-					e.states = append(e.states, ns)
-					e.heapPush(idx)
+					e.wA = append(e.wA, int32(a))
+					e.wB = append(e.wB, int32(b))
+					e.wHash = append(e.wHash, nh)
 				}
 			}
+		}
+		nw := len(e.wA)
+		if cap(e.wSlot) < nw {
+			e.wSlot = make([]int32, nw)
+			e.wH4 = make([]int32, nw)
+			e.wDX = make([]int32, nw)
+			e.wDL = make([]int32, nw)
+		}
+		e.wSlot = e.wSlot[:nw]
+		e.wH4 = e.wH4[:nw]
+		e.wDX = e.wDX[:nw]
+		e.wDL = e.wDL[:nw]
+
+		// Phase 2 — evaluate: pure per-candidate work against the
+		// pre-wave closed-set snapshot and the unmutated mapping. The
+		// chunking (or lack of it) cannot change any output value.
+		curH4 := e.states[cur].h4
+		curX := int32(e.states[cur].excess)
+		curLK := int32(e.states[cur].look)
+		if e.gang != nil && nw >= 48 {
+			parts := e.gang.Workers()
+			chunk := (nw + parts - 1) / parts
+			e.gang.Run(parts, func(part int) {
+				lo := part * chunk
+				hi := lo + chunk
+				if hi > nw {
+					hi = nw
+				}
+				if lo < hi {
+					e.evalWave(opts, w4, lo, hi, curH4, curX, curLK)
+				}
+			})
+		} else {
+			e.evalWave(opts, w4, 0, nw, curH4, curX, curLK)
+		}
+
+		// Phase 3 — merge: replay the serial engine's closed-set inserts,
+		// arena appends, and heap pushes in canonical order. A candidate
+		// whose snapshot probe missed can still lose to an earlier
+		// same-wave insert of the same key; addAt resumes the probe at
+		// the cached slot, which linear probing keeps exact.
+		curDepth := e.states[cur].depth
+		grown := false
+		for i := 0; i < nw; i++ {
+			slot := e.wSlot[i]
+			if slot < 0 {
+				continue
+			}
+			var added bool
+			if grown {
+				added = e.closed.addIfAbsent(e.wHash[i])
+			} else {
+				added, grown = e.closed.addAt(e.wHash[i], slot)
+			}
+			if !added {
+				continue
+			}
+			ns := astate{
+				parent: cur,
+				swap:   [2]int16{int16(e.wA[i]), int16(e.wB[i])},
+				depth:  curDepth + 1,
+				excess: int16(curX + e.wDX[i]),
+				look:   int16(curLK + e.wDL[i]),
+				h4:     e.wH4[i],
+				hash:   e.wHash[i],
+			}
+			idx := int32(len(e.states))
+			e.states = append(e.states, ns)
+			e.heapPush(heapEntry{f4: 4*ns.depth + ns.h4, idx: idx})
 		}
 	}
 	// Exhausted: hand the most promising state back; the caller finishes
@@ -383,90 +605,154 @@ func (e *engine) searchLayer(opts Options, start router.Mapping, layer, next []i
 	return e.appliedSeq(), m.Clone()
 }
 
-// touch appends gate v to qubit q's list in lists, lazily resetting the
-// list when it still holds the previous layer's entries.
-func (e *engine) touch(lists *[][]int32, q, v int) {
-	if e.touchStamp[q] != e.layerEpoch {
-		e.touchStamp[q] = e.layerEpoch
-		e.touchL[q] = e.touchL[q][:0]
-		e.touchN[q] = e.touchN[q][:0]
-	}
-	(*lists)[q] = append((*lists)[q], int32(v))
-}
-
-// touchOf returns qubit q's list for the current layer (nil when q was
-// not touched this layer).
-func (e *engine) touchOf(lists [][]int32, q int) []int32 {
-	if e.touchStamp[q] != e.layerEpoch {
-		return nil
-	}
-	return lists[q]
-}
-
-// h is the layer heuristic: summed excess distance of the layer's gates
-// plus the discounted lookahead term.
-func (e *engine) h(opts Options, layer, next []int, m router.Mapping, dag *circuit.DAG) float64 {
+// evalWave fills the evaluation columns for wave candidates [lo, hi):
+// the closed-set snapshot probe and, for absent candidates, the child's
+// heuristic and integer excess deltas. It reads only pre-wave state —
+// the mapping is never mutated mid-wave — so disjoint ranges can run on
+// gang workers concurrently and produce bit-identical columns.
+func (e *engine) evalWave(opts Options, w4 int32, lo, hi int, curH4, curX, curLK int32) {
 	dist := e.dist
-	s := 0.0
-	for _, v := range layer {
-		gt := dag.Gate(v)
-		s += float64(dist.At(m[gt.Q0], m[gt.Q1]) - 1)
-	}
-	look := 0.0
-	for _, v := range next {
-		gt := dag.Gate(v)
-		look += float64(dist.At(m[gt.Q0], m[gt.Q1]) - 1)
-	}
-	return s + opts.LookaheadWeight*look
-}
+	m := e.m
 
-// hDelta returns h(after) - h(before) for swapping program qubits a,b,
-// evaluated with the mapping already swapped. Only gates touching a or
-// b can have moved; a gate in both qubits' lists is recomputed once
-// (epoch-stamped dedup), preserving the reference implementation's
-// accumulation order exactly.
-func (e *engine) hDelta(opts Options, m router.Mapping, a, b, paOld, pbOld int, dag *circuit.DAG) float64 {
-	e.evalEpoch++
-	dist := e.dist
-	d := 0.0
-	recompute := func(v int, weight float64) {
-		gt := dag.Gate(v)
-		q0, q1 := gt.Q0, gt.Q1
-		// New positions.
-		p0, p1 := m[q0], m[q1]
-		// Old positions: undo the swap for the two moved qubits.
-		o0, o1 := p0, p1
-		if q0 == a {
-			o0 = paOld
-		} else if q0 == b {
-			o0 = pbOld
+	// First probe step for every candidate up front: the home-slot loads
+	// are independent, so the out-of-order core overlaps their cache
+	// misses instead of serializing one probe per candidate. Probes that
+	// don't resolve at the home slot record where to resume (encoded as
+	// ^(next slot), always <= -2) and finish below on warm lines.
+	slots := e.closed.slots
+	mask := len(slots) - 1
+	epoch := e.closed.epoch
+	for i := lo; i < hi; i++ {
+		h := int(splitmix64(e.wHash[i])) & mask
+		sl := slots[h]
+		if sl.stamp != epoch {
+			e.wSlot[i] = int32(h) // absent; home is the first empty slot
+		} else if sl.key == e.wHash[i] {
+			e.wSlot[i] = -1 // present
+		} else {
+			e.wSlot[i] = ^int32(h + 1) // resume at h+1
 		}
-		if q1 == a {
-			o1 = paOld
-		} else if q1 == b {
-			o1 = pbOld
-		}
-		d += weight * float64(dist.At(p0, p1)-dist.At(o0, o1))
 	}
-	for k := 0; k < 2; k++ {
-		q := a
-		if k == 1 {
-			q = b
-		}
-		for _, v := range e.touchOf(e.touchL, q) {
-			if e.seenL[v] != e.evalEpoch {
-				e.seenL[v] = e.evalEpoch
-				recompute(int(v), 1)
+
+	for i := lo; i < hi; i++ {
+		if s0 := e.wSlot[i]; s0 < -1 {
+			// Finish the collision chain; the lines are warm now.
+			j := int(^s0) & mask
+			for {
+				sl := slots[j]
+				if sl.stamp != epoch {
+					e.wSlot[i] = int32(j)
+					break
+				}
+				if sl.key == e.wHash[i] {
+					e.wSlot[i] = -1
+					break
+				}
+				j = (j + 1) & mask
 			}
 		}
-		for _, v := range e.touchOf(e.touchN, q) {
-			if e.seenN[v] != e.evalEpoch {
-				e.seenN[v] = e.evalEpoch
-				recompute(int(v), opts.LookaheadWeight)
+		if e.wSlot[i] < 0 {
+			continue
+		}
+		a, b := int(e.wA[i]), int(e.wB[i])
+		pa, pb := m[a], m[b]
+
+		// The gates that can move: at most one layer and one lookahead
+		// gate per endpoint, deduplicated when a and b share one. The
+		// accumulation order (a's layer gate, a's lookahead gate, b's
+		// layer gate, b's lookahead gate) and every float operation
+		// replicate the reference hDelta exactly.
+		gLa, gNa, gLb, gNb := int32(-1), int32(-1), int32(-1), int32(-1)
+		if e.qStamp[a] == e.layerEpoch {
+			gLa, gNa = e.qLGate[a], e.qNGate[a]
+		}
+		if e.qStamp[b] == e.layerEpoch {
+			gLb, gNb = e.qLGate[b], e.qNGate[b]
+		}
+		if gLb >= 0 && gLb == gLa {
+			gLb = -1
+		}
+		if gNb >= 0 && gNb == gNa {
+			gNb = -1
+		}
+
+		// newPos applies the candidate swap positionally: a moves to
+		// b's position and vice versa; everyone else stays put.
+		newPos := func(q int) int {
+			switch q {
+			case a:
+				return pb
+			case b:
+				return pa
 			}
+			return m[q]
+		}
+		dh4 := int32(0)
+		dx, dl := int32(0), int32(0)
+		newXa, newXb := int32(-1), int32(-1)
+		if gLa >= 0 {
+			nd := dist.At(newPos(int(e.lq0[gLa])), newPos(int(e.lq1[gLa])))
+			di := int32(nd) - e.curLD[gLa]
+			dh4 += 4 * di
+			dx += di
+			newXa = int32(nd - 1)
+		}
+		if gNa >= 0 {
+			nd := dist.At(newPos(int(e.nq0[gNa])), newPos(int(e.nq1[gNa])))
+			di := int32(nd) - e.curND[gNa]
+			dh4 += w4 * di
+			dl += di
+		}
+		if gLb >= 0 {
+			nd := dist.At(newPos(int(e.lq0[gLb])), newPos(int(e.lq1[gLb])))
+			di := int32(nd) - e.curLD[gLb]
+			dh4 += 4 * di
+			dx += di
+			newXb = int32(nd - 1)
+		}
+		if gNb >= 0 {
+			nd := dist.At(newPos(int(e.nq0[gNb])), newPos(int(e.nq1[gNb])))
+			di := int32(nd) - e.curND[gNb]
+			dh4 += w4 * di
+			dl += di
+		}
+		e.wDX[i] = dx
+		e.wDL[i] = dl
+		if opts.StrongHeuristic {
+			// Max gate excess after the swap: the best untouched gate is
+			// among the pop's top three (at most two gates are touched),
+			// then the touched gates' new excesses compete.
+			maxG := int32(0)
+			for t := 0; t < 3; t++ {
+				if e.topV[t] < 0 {
+					break
+				}
+				if e.topI[t] != gLa && e.topI[t] != gLb {
+					maxG = e.topV[t]
+					break
+				}
+			}
+			if newXa > maxG {
+				maxG = newXa
+			}
+			if newXb > maxG {
+				maxG = newXb
+			}
+			e.wH4[i] = strongH4(w4, curX+dx, curLK+dl, maxG)
+		} else {
+			e.wH4[i] = curH4 + dh4
 		}
 	}
-	return d
+}
+
+// strongH4 is the opt-in admissible layer bound plus discounted
+// lookahead, in quarter units.
+func strongH4(w4, sumX, lookX, maxX int32) int32 {
+	h := maxX
+	if c := (sumX + 1) / 2; c > h {
+		h = c
+	}
+	return 4*h + w4*lookX
 }
 
 func (e *engine) goal(layer []int, m router.Mapping, dag *circuit.DAG) bool {
@@ -480,28 +766,49 @@ func (e *engine) goal(layer []int, m router.Mapping, dag *circuit.DAG) bool {
 }
 
 // apply re-materializes target's mapping into m/inv by rewinding the
-// currently applied swap path and replaying target's path from the
-// root. Paths are short, so rewind-and-replay beats storing mappings.
+// currently applied swap path to the deepest common ancestor and
+// replaying only target's divergent suffix. Successive A* pops are
+// usually near-siblings, so the divergence is far shorter than the
+// full path.
 func (e *engine) apply(target int32, m router.Mapping, inv []int) {
-	for i := len(e.applied) - 1; i >= 0; i-- {
+	d := int(e.states[target].depth)
+	if cap(e.path) < d {
+		e.path = make([]int32, d)
+	}
+	e.path = e.path[:d]
+	// Walk up from target until hitting a node that is already
+	// materialized (node k of the applied path sits at appliedN[k-1]).
+	lca := 0
+	for n := target; ; {
+		dn := int(e.states[n].depth)
+		if dn == 0 {
+			break
+		}
+		if dn <= len(e.appliedN) && e.appliedN[dn-1] == n {
+			lca = dn
+			break
+		}
+		e.path[dn-1] = n
+		n = e.states[n].parent
+	}
+	// Rewind beyond the common prefix.
+	for i := len(e.applied) - 1; i >= lca; i-- {
 		sw := e.applied[i]
 		pa, pb := m[sw[0]], m[sw[1]]
 		m[sw[0]], m[sw[1]] = pb, pa
 		inv[pa], inv[pb] = int(sw[1]), int(sw[0])
 	}
-	d := int(e.states[target].depth)
-	if cap(e.applied) < d {
-		e.applied = make([][2]int32, d)
-	} else {
-		e.applied = e.applied[:d]
-	}
-	for n := target; e.states[n].parent != -1; n = e.states[n].parent {
-		e.applied[e.states[n].depth-1] = e.states[n].swap
-	}
-	for _, sw := range e.applied {
+	e.applied = e.applied[:lca]
+	e.appliedN = e.appliedN[:lca]
+	// Replay the divergent suffix.
+	for i := lca; i < d; i++ {
+		n := e.path[i]
+		sw := e.states[n].swap
 		pa, pb := m[sw[0]], m[sw[1]]
 		m[sw[0]], m[sw[1]] = pb, pa
 		inv[pa], inv[pb] = int(sw[1]), int(sw[0])
+		e.applied = append(e.applied, sw)
+		e.appliedN = append(e.appliedN, n)
 	}
 }
 
@@ -518,13 +825,32 @@ func (e *engine) appliedSeq() [][2]int {
 	return out
 }
 
+// ensureI32 returns s resized to length n, reallocating only on growth.
+func ensureI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
 // --- open list: an index heap replicating container/heap exactly -----
+//
+// Entries carry (4*fCost, arena index); comparisons are strictly-less
+// on the quarter-unit f, exactly as the reference engine compared arena
+// fCosts (4f is a strictly monotone, exact map of f), so push and pop
+// order — including ties — is unchanged.
 
-func (e *engine) heapLess(i, j int32) bool { return e.states[i].fCost < e.states[j].fCost }
-
-func (e *engine) heapPush(x int32) {
+func (e *engine) heapPush(x heapEntry) {
 	e.heap = append(e.heap, x)
-	e.heapUp(len(e.heap) - 1)
+	j := len(e.heap) - 1
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !(e.heap[j].f4 < e.heap[i].f4) {
+			break
+		}
+		e.heap[i], e.heap[j] = e.heap[j], e.heap[i]
+		j = i
+	}
 }
 
 func (e *engine) heapPop() int32 {
@@ -533,18 +859,7 @@ func (e *engine) heapPop() int32 {
 	e.heapDown(0, n)
 	x := e.heap[n]
 	e.heap = e.heap[:n]
-	return x
-}
-
-func (e *engine) heapUp(j int) {
-	for {
-		i := (j - 1) / 2 // parent
-		if i == j || !e.heapLess(e.heap[j], e.heap[i]) {
-			break
-		}
-		e.heap[i], e.heap[j] = e.heap[j], e.heap[i]
-		j = i
-	}
+	return x.idx
 }
 
 func (e *engine) heapDown(i0, n int) {
@@ -555,10 +870,10 @@ func (e *engine) heapDown(i0, n int) {
 			break
 		}
 		j := j1 // left child
-		if j2 := j1 + 1; j2 < n && e.heapLess(e.heap[j2], e.heap[j1]) {
+		if j2 := j1 + 1; j2 < n && e.heap[j2].f4 < e.heap[j1].f4 {
 			j = j2 // = 2*i + 2  // right child
 		}
-		if !e.heapLess(e.heap[j], e.heap[i]) {
+		if !(e.heap[j].f4 < e.heap[i].f4) {
 			break
 		}
 		e.heap[i], e.heap[j] = e.heap[j], e.heap[i]
@@ -571,62 +886,94 @@ func (e *engine) heapDown(i0, n int) {
 // u64set is an open-addressed hash set of uint64 keys with epoch-based
 // clearing: reset invalidates every slot in O(1), and the table only
 // grows (amortized) until it fits the largest layer's search, after
-// which membership tests allocate nothing. Presence is tracked by an
-// epoch stamp, so a stored key of 0 is representable.
+// which membership tests allocate nothing. Key and epoch stamp share a
+// slot, so a probe touches one cache line. The load factor is kept at
+// 7/8 — probe runs get longer, but the table stays half the size and
+// largely cache-resident, which wins on big searches; membership
+// decisions are load-factor-independent, so pinned outputs don't move.
+// Presence is tracked by the stamp, so a stored key of 0 is
+// representable.
 type u64set struct {
-	keys  []uint64
-	stamp []int32
+	slots []kslot
 	epoch int32
 	count int
+}
+
+type kslot struct {
+	key   uint64
+	stamp int32
 }
 
 func (s *u64set) reset() {
 	s.epoch++
 	s.count = 0
-	if len(s.keys) == 0 {
+	if len(s.slots) == 0 {
 		s.grow(1024)
 	}
 }
 
 func (s *u64set) grow(n int) {
-	old := s.keys
-	oldStamp := s.stamp
-	s.keys = make([]uint64, n)
-	s.stamp = make([]int32, n)
-	for i, st := range oldStamp {
-		if st == s.epoch {
-			s.insert(old[i])
+	old := s.slots
+	s.slots = make([]kslot, n)
+	for _, sl := range old {
+		if sl.stamp == s.epoch {
+			s.insert(sl.key)
 		}
 	}
 }
 
 func (s *u64set) insert(k uint64) {
-	mask := len(s.keys) - 1
+	mask := len(s.slots) - 1
 	i := int(splitmix64(k)) & mask
-	for s.stamp[i] == s.epoch {
+	for s.slots[i].stamp == s.epoch {
 		i = (i + 1) & mask
 	}
-	s.keys[i] = k
-	s.stamp[i] = s.epoch
+	s.slots[i] = kslot{key: k, stamp: s.epoch}
+}
+
+// probe reports whether k is present; when absent, it returns the first
+// empty slot on k's probe path (a later addAt resumes there).
+func (s *u64set) probe(k uint64) (int32, bool) {
+	mask := len(s.slots) - 1
+	i := int(splitmix64(k)) & mask
+	for s.slots[i].stamp == s.epoch {
+		if s.slots[i].key == k {
+			return int32(i), true
+		}
+		i = (i + 1) & mask
+	}
+	return int32(i), false
+}
+
+// addAt inserts k resuming the probe at slot (a first-empty position
+// previously returned by probe). Inserts that landed between the probe
+// and this call sit at or after slot on k's probe path — linear probing
+// never moves a key — so resuming is exact: a duplicate inserted since
+// the probe is still found, and the first empty slot is still the slot
+// the serial engine would have chosen. Reports whether k was inserted
+// and whether the table grew (growth invalidates other cached slots).
+func (s *u64set) addAt(k uint64, slot int32) (added, grew bool) {
+	mask := len(s.slots) - 1
+	i := int(slot)
+	for s.slots[i].stamp == s.epoch {
+		if s.slots[i].key == k {
+			return false, false
+		}
+		i = (i + 1) & mask
+	}
+	s.slots[i] = kslot{key: k, stamp: s.epoch}
+	s.count++
+	if s.count*8 > len(s.slots)*7 {
+		s.grow(len(s.slots) * 2)
+		return true, true
+	}
+	return true, false
 }
 
 // addIfAbsent inserts k and reports true when it was not present.
 func (s *u64set) addIfAbsent(k uint64) bool {
-	mask := len(s.keys) - 1
-	i := int(splitmix64(k)) & mask
-	for s.stamp[i] == s.epoch {
-		if s.keys[i] == k {
-			return false
-		}
-		i = (i + 1) & mask
-	}
-	s.keys[i] = k
-	s.stamp[i] = s.epoch
-	s.count++
-	if s.count*4 > len(s.keys)*3 {
-		s.grow(len(s.keys) * 2)
-	}
-	return true
+	added, _ := s.addAt(k, int32(int(splitmix64(k))&(len(s.slots)-1)))
+	return added
 }
 
 func splitmix64(x uint64) uint64 {

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/circuit"
+	"repro/internal/pool"
 )
 
 // Mapping assigns program qubits to physical qubits: Mapping[q] = p.
@@ -93,6 +94,22 @@ type Router interface {
 	// Route maps and routes the circuit for the device, returning a valid
 	// Result or an error.
 	Route(c *circuit.Circuit, dev *arch.Device) (*Result, error)
+}
+
+// BudgetedRouter is a tool whose internal parallelism (expansion waves,
+// trial pools) can borrow idle worker slots from a shared pool.Budget.
+// The harness attaches one budget per sweep so router-internal workers
+// and the cross-instance pool never oversubscribe the machine: the
+// sweep pool reserves its slots up front and routers opportunistically
+// borrow whatever is idle at Route time (pool.Budget.TryAcquire never
+// blocks, so a router that gets nothing simply runs serially). The
+// worker count a router ends up with must affect wall-clock time only,
+// never results.
+type BudgetedRouter interface {
+	Router
+	// SetWorkerBudget attaches the shared budget. A nil budget detaches
+	// it and restores the router's standalone worker policy.
+	SetWorkerBudget(b *pool.Budget)
 }
 
 // PlacedRouter is a tool that can route from a caller-supplied initial

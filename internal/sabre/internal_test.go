@@ -43,6 +43,7 @@ func TestCollectExtendedSetBounded(t *testing.T) {
 	}
 	dag := circuit.NewDAG(c)
 	e := newPassEngine(arch.Line(2), Options{ExtendedSetSize: 20}.withDefaults(), dag.N())
+	e.epoch++ // the run loop owns the decision epoch
 	ext := e.collectExtendedSet(dag, []int{0})
 	if len(ext) != 20 {
 		t.Fatalf("extended set size %d want 20", len(ext))
@@ -59,6 +60,7 @@ func TestCollectExtendedSetShortCircuit(t *testing.T) {
 	c.MustAppend(circuit.NewCX(0, 1), circuit.NewCX(1, 2), circuit.NewCX(2, 3))
 	dag := circuit.NewDAG(c)
 	e := newPassEngine(arch.Line(4), Options{}.withDefaults(), dag.N())
+	e.epoch++ // the run loop owns the decision epoch
 	ext := e.collectExtendedSet(dag, []int{0})
 	if len(ext) != 2 {
 		t.Fatalf("extended set %v want the two successors", ext)
@@ -72,8 +74,10 @@ func TestCollectExtendedSetScratchReuse(t *testing.T) {
 	c.MustAppend(circuit.NewCX(0, 1), circuit.NewCX(1, 2), circuit.NewCX(2, 3))
 	dag := circuit.NewDAG(c)
 	e := newPassEngine(arch.Line(4), Options{}.withDefaults(), dag.N())
+	e.epoch++ // the run loop owns the decision epoch
 	first := append([]int(nil), e.collectExtendedSet(dag, []int{0})...)
 	for rep := 0; rep < 5; rep++ {
+		e.epoch++
 		got := e.collectExtendedSet(dag, []int{0})
 		if len(got) != len(first) {
 			t.Fatalf("rep %d: extended set %v, first collection gave %v", rep, got, first)

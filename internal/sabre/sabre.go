@@ -28,6 +28,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/circuit"
 	"repro/internal/graph"
+	"repro/internal/pool"
 	"repro/internal/router"
 )
 
@@ -129,10 +130,18 @@ func (o Options) withDefaults() Options {
 
 // Router is a SABRE/LightSABRE layout synthesis tool.
 type Router struct {
-	opts  Options
-	name  string
-	fixed router.Mapping // non-nil: placement pinned, no restart search
+	opts   Options
+	name   string
+	fixed  router.Mapping // non-nil: placement pinned, no restart search
+	budget *pool.Budget   // optional shared worker budget
 }
+
+// SetWorkerBudget implements router.BudgetedRouter: with a budget
+// attached, the trial pool runs one worker on the calling goroutine and
+// borrows idle slots for the rest instead of assuming it owns every
+// CPU. Trial results are deterministic per trial index and merged by a
+// fixed rule, so the worker count never changes the routed result.
+func (r *Router) SetWorkerBudget(b *pool.Budget) { r.budget = b }
 
 // New returns a LightSABRE-style router.
 func New(opts Options) *Router {
@@ -206,6 +215,13 @@ func (r *Router) RoutePreparedCtx(ctx context.Context, p *router.Prepared) (*rou
 	if r.opts.Trace != nil {
 		workers = 1 // keep trace callbacks single-threaded and ordered
 	}
+	if r.budget != nil && workers > 1 {
+		// Shared-budget mode: the caller's goroutine is already paid for;
+		// extra trial workers exist only if slots are idle right now.
+		borrowed := r.budget.TryAcquire(workers - 1)
+		defer r.budget.Release(borrowed)
+		workers = 1 + borrowed
+	}
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -255,7 +271,7 @@ func (r *Router) RoutePreparedCtx(ctx context.Context, p *router.Prepared) (*rou
 // RouteFrom implements router.PlacedRouter: the placement search is
 // skipped and every trial routes from the supplied mapping.
 func (r *Router) RouteFrom(c *circuit.Circuit, dev *arch.Device, initial router.Mapping) (*router.Result, error) {
-	pinned := &Router{opts: r.opts, name: r.name, fixed: router.PadMapping(initial, dev.NumQubits())}
+	pinned := &Router{opts: r.opts, name: r.name, fixed: router.PadMapping(initial, dev.NumQubits()), budget: r.budget}
 	pinned.opts.MappingPasses = -1
 	res, err := pinned.Route(c, dev)
 	if err != nil {
@@ -316,24 +332,44 @@ type passEngine struct {
 
 	// Per-decision scratch. epoch increments once per swap decision;
 	// every stamp array compares against it instead of being cleared.
-	epoch     int32
-	visited   []int32    // DAG node -> epoch it entered the extended-set BFS
-	extended  []int      // collected extended set (backing reused)
-	extQueue  []int      // BFS queue for the extended set (backing reused)
-	extOld    []int32    // extended index -> gate distance at decision start
-	extHead   []int32    // program qubit -> head of its extended-gate list
-	extStamp  []int32    // program qubit -> epoch extHead is valid for
-	extNodeID []int32    // list node -> index into extended
-	extNext   []int32    // list node -> next list node (-1 ends)
-	candSeen  []int32    // program-qubit pair (a*nQ+b) -> epoch it was emitted
-	cands     [][2]int32 // candidate swaps (program qubits, a < b)
-	frontNode []int32    // program qubit -> front DAG node touching it
-	frontDist []int32    // program qubit -> that gate's distance at decision start
-	frontStmp []int32    // program qubit -> epoch frontNode/frontDist are valid for
+	epoch    int32
+	visited  []int32    // DAG node -> epoch it entered the extended-set BFS
+	candSeen []int32    // coupler edge -> epoch it was emitted (see nbrEdge)
+	nbrEdge  [][]int32  // physical qubit -> coupler ids parallel to Neighbors
+	cands    [][2]int32 // candidate swaps (program qubits, a < b)
 
-	// Recorded output of the last run with record=true.
-	out   *circuit.Circuit
-	swaps int
+	// Front-keyed scratch, rebuilt only when the front layer changes.
+	// Consecutive no-progress decisions differ only in qubit positions,
+	// so the extended-set BFS, the flattened gate endpoints, and the
+	// per-qubit gate lists are all reusable; only the per-decision
+	// distance snapshots (fgD, extOld) move. frontEp stamps validity.
+	frontDirty bool
+	frontEp    int32
+	extended   []int   // collected extended set (backing reused)
+	extQueue   []int   // BFS queue for the extended set (backing reused)
+	extN       int     // extended-set size
+	extQ0      []int32 // extended index -> gate endpoints (flattened)
+	extQ1      []int32
+	extOld     []int32 // extended index -> gate distance at decision start
+	extHead    []int32 // program qubit -> head of its extended-gate list
+	extStamp   []int32 // program qubit -> front epoch extHead is valid for
+	extIdx     []int32 // list node -> index into extended
+	extOther   []int32 // list node -> the gate's other endpoint
+	extNext    []int32 // list node -> next list node (-1 ends)
+	fgN        int     // front-gate count
+	fgQ0       []int32 // front-gate index -> endpoints (flattened)
+	fgQ1       []int32
+	fgD        []int32 // front-gate index -> distance at decision start
+	frontGi    []int32 // program qubit -> its front-gate index
+	frontOther []int32 // program qubit -> other endpoint of its front gate
+	frontStmp  []int32 // program qubit -> front epoch frontGi is valid for
+
+	// Recorded output of the last run with record=true. outCap
+	// remembers the previous recorded size so the next recording
+	// preallocates instead of growing through append.
+	out    *circuit.Circuit
+	outCap int
+	swaps  int
 }
 
 func newPassEngine(dev *arch.Device, opts Options, dagN int) *passEngine {
@@ -351,19 +387,27 @@ func newPassEngine(dev *arch.Device, opts Options, dagN int) *passEngine {
 		decay: make([]float64, nQ),
 		inv:   make([]int, nQ),
 
-		visited:   make([]int32, dagN),
-		extended:  make([]int, 0, es),
-		extQueue:  make([]int, 0, dagN+es),
-		extOld:    make([]int32, es),
-		extHead:   make([]int32, nQ),
-		extStamp:  make([]int32, nQ),
-		extNodeID: make([]int32, 2*es),
-		extNext:   make([]int32, 2*es),
-		candSeen:  make([]int32, nQ*nQ),
-		cands:     make([][2]int32, 0, dev.NumCouplers()),
-		frontNode: make([]int32, nQ),
-		frontDist: make([]int32, nQ),
-		frontStmp: make([]int32, nQ),
+		visited:  make([]int32, dagN),
+		candSeen: make([]int32, dev.NumCouplers()),
+		nbrEdge:  neighborEdgeIDs(dev.Graph()),
+		cands:    make([][2]int32, 0, dev.NumCouplers()),
+
+		extended:   make([]int, 0, es),
+		extQueue:   make([]int, 0, dagN+es),
+		extQ0:      make([]int32, es),
+		extQ1:      make([]int32, es),
+		extOld:     make([]int32, es),
+		extHead:    make([]int32, nQ),
+		extStamp:   make([]int32, nQ),
+		extIdx:     make([]int32, 2*es),
+		extOther:   make([]int32, 2*es),
+		extNext:    make([]int32, 2*es),
+		fgQ0:       make([]int32, nQ),
+		fgQ1:       make([]int32, nQ),
+		fgD:        make([]int32, nQ),
+		frontGi:    make([]int32, nQ),
+		frontOther: make([]int32, nQ),
+		frontStmp:  make([]int32, nQ),
 	}
 }
 
@@ -401,6 +445,9 @@ func (e *passEngine) run(dag *circuit.DAG, mapping router.Mapping, rng *rand.Ran
 
 	if record {
 		e.out = circuit.New(e.nQ)
+		if e.outCap > 0 {
+			e.out.Gates = make([]circuit.Gate, 0, e.outCap)
+		}
 		e.swaps = 0
 	}
 
@@ -426,6 +473,17 @@ func (e *passEngine) run(dag *circuit.DAG, mapping router.Mapping, rng *rand.Ran
 	swapPicks := 0
 	sinceProgress := 0
 	releaseThreshold := 10 * e.opts.ExtendedSetSize
+	e.frontDirty = true
+
+	// Persistent per-front distance snapshot: full recompute when the
+	// front changes, incremental update after each accepted swap.
+	baseFront := 0
+	extBase := 0
+	// scanSkip is set after an accepted swap that provably made no front
+	// gate executable (both moved qubits' front gates stay at distance
+	// > 1, and no other gate's endpoints moved), so the executable scan
+	// would find nothing — exactly as if it had run.
+	scanSkip := false
 
 	for executed < n {
 		// Cancellation point: abandon the pass mid-route. The caller
@@ -434,36 +492,42 @@ func (e *passEngine) run(dag *circuit.DAG, mapping router.Mapping, rng *rand.Ran
 		if e.check.Tick() {
 			break
 		}
-		// Execute every front gate whose qubits are adjacent.
-		progressed := false
-		for i := 0; i < len(front); {
-			v := front[i]
-			gt := dag.Gate(v)
-			if g.HasEdge(mapping[gt.Q0], mapping[gt.Q1]) {
-				if record {
-					e.out.MustAppend(gt)
-				}
-				executed++
-				progressed = true
-				front[i] = front[len(front)-1]
-				front = front[:len(front)-1]
-				for _, s := range dag.Succs[v] {
-					indeg[s]--
-					if indeg[s] == 0 {
-						front = append(front, s)
+		if scanSkip {
+			scanSkip = false
+		} else {
+			// Execute every front gate whose qubits are adjacent.
+			progressed := false
+			for i := 0; i < len(front); {
+				v := front[i]
+				gt := dag.Gate(v)
+				if g.HasEdge(mapping[gt.Q0], mapping[gt.Q1]) {
+					if record {
+						// Pre-validated DAG gate: append directly.
+						e.out.Gates = append(e.out.Gates, gt)
 					}
+					executed++
+					progressed = true
+					front[i] = front[len(front)-1]
+					front = front[:len(front)-1]
+					for _, s := range dag.Succs[v] {
+						indeg[s]--
+						if indeg[s] == 0 {
+							front = append(front, s)
+						}
+					}
+				} else {
+					i++
 				}
-			} else {
-				i++
 			}
-		}
-		if progressed {
-			resetDecay()
-			sinceProgress = 0
-			continue
-		}
-		if executed >= n {
-			break
+			if progressed {
+				resetDecay()
+				sinceProgress = 0
+				e.frontDirty = true
+				continue
+			}
+			if executed >= n {
+				break
+			}
 		}
 
 		// Release valve: too long without executing anything — route the
@@ -474,83 +538,105 @@ func (e *passEngine) run(dag *circuit.DAG, mapping router.Mapping, rng *rand.Ran
 			continue
 		}
 
-		// One swap decision. collectExtendedSet opens the decision epoch;
-		// every stamp array below keys off it.
-		extended := e.collectExtendedSet(dag, front)
+		// One swap decision. The decision epoch drives the candidate
+		// dedup; the front-keyed structure is rebuilt only when the front
+		// layer changed since the last decision. Front gates are pairwise
+		// qubit-disjoint (two gates sharing a qubit are ordered by that
+		// qubit's dependency chain), so each qubit belongs to at most one
+		// front gate and a candidate swap (qa,qb) changes at most the two
+		// gates indexed at qa and qb — cost terms are integer deltas, not
+		// re-sums.
+		e.epoch++
 		ep := e.epoch
-
-		// Index the front layer by program qubit and take its distance
-		// sum once. Front gates are pairwise qubit-disjoint (two gates
-		// sharing a qubit are ordered by that qubit's dependency chain),
-		// so each qubit belongs to at most one front gate and a candidate
-		// swap (qa,qb) changes at most the two gates indexed at qa and qb
-		// — basic cost is then an integer delta, not a re-sum.
-		baseFront := 0
-		for _, v := range front {
-			gt := dag.Gate(v)
-			d := int32(dist.At(mapping[gt.Q0], mapping[gt.Q1]))
-			e.frontNode[gt.Q0], e.frontNode[gt.Q1] = int32(v), int32(v)
-			e.frontDist[gt.Q0], e.frontDist[gt.Q1] = d, d
-			e.frontStmp[gt.Q0], e.frontStmp[gt.Q1] = ep, ep
-			baseFront += int(d)
-		}
-
-		// With uniform lookahead the extended-set term is an integer sum
-		// too: record its base value and per-qubit gate lists so each
-		// candidate evaluates a delta over the few gates touching the
-		// swapped qubits. (The decay-weighted variant keeps the ordered
-		// full walk: its weights depend on collection index, and the walk
-		// is capped at ExtendedSetSize gates anyway.)
-		extBase := 0
 		uniformLook := e.opts.LookaheadDecay <= 0
-		if uniformLook {
-			nodeCnt := int32(0)
-			for i, v := range extended {
+		if e.frontDirty {
+			e.frontDirty = false
+			e.frontEp++
+			fep := e.frontEp
+			e.collectExtendedSet(dag, front)
+			e.fgN = 0
+			for _, v := range front {
 				gt := dag.Gate(v)
-				d := int32(dist.At(mapping[gt.Q0], mapping[gt.Q1]))
-				e.extOld[i] = d
-				extBase += int(d)
+				fi := int32(e.fgN)
+				e.fgQ0[fi], e.fgQ1[fi] = int32(gt.Q0), int32(gt.Q1)
+				e.frontGi[gt.Q0], e.frontGi[gt.Q1] = fi, fi
+				e.frontOther[gt.Q0], e.frontOther[gt.Q1] = int32(gt.Q1), int32(gt.Q0)
+				e.frontStmp[gt.Q0], e.frontStmp[gt.Q1] = fep, fep
+				e.fgN++
+			}
+			e.extN = 0
+			nodeCnt := int32(0)
+			for i, v := range e.extended {
+				gt := dag.Gate(v)
+				e.extQ0[i], e.extQ1[i] = int32(gt.Q0), int32(gt.Q1)
 				for k := 0; k < 2; k++ {
-					q := gt.Q0
+					q, o := gt.Q0, gt.Q1
 					if k == 1 {
-						q = gt.Q1
+						q, o = gt.Q1, gt.Q0
 					}
-					if e.extStamp[q] != ep {
+					if e.extStamp[q] != fep {
 						e.extHead[q] = -1
-						e.extStamp[q] = ep
+						e.extStamp[q] = fep
 					}
-					e.extNodeID[nodeCnt] = int32(i)
+					e.extIdx[nodeCnt] = int32(i)
+					e.extOther[nodeCnt] = int32(o)
 					e.extNext[nodeCnt] = e.extHead[q]
 					e.extHead[q] = nodeCnt
 					nodeCnt++
 				}
+				e.extN++
+			}
+
+			// Fresh distance snapshot for the new front; accepted swaps
+			// below keep it current incrementally.
+			baseFront = 0
+			for fi := 0; fi < e.fgN; fi++ {
+				d := int32(dist.At(mapping[e.fgQ0[fi]], mapping[e.fgQ1[fi]]))
+				e.fgD[fi] = d
+				baseFront += int(d)
+			}
+			extBase = 0
+			if uniformLook {
+				for i := 0; i < e.extN; i++ {
+					d := int32(dist.At(mapping[e.extQ0[i]], mapping[e.extQ1[i]]))
+					e.extOld[i] = d
+					extBase += int(d)
+				}
 			}
 		}
+		fep := e.frontEp
+		extN := e.extN
 
 		// Candidate swaps: edges touching any front-gate qubit. The
 		// register is padded to the device size, so every neighbor is
 		// occupied (possibly by an ancilla). Dedup is an epoch stamp on
 		// the program-qubit pair, preserving first-seen order.
 		cands := e.cands[:0]
-		for _, v := range front {
-			gt := dag.Gate(v)
+		for fi := 0; fi < e.fgN; fi++ {
 			for k := 0; k < 2; k++ {
-				q := gt.Q0
+				q := int(e.fgQ0[fi])
 				if k == 1 {
-					q = gt.Q1
+					q = int(e.fgQ1[fi])
 				}
 				p := mapping[q]
-				for _, pn := range g.Neighbors(p) {
+				nbrs := g.Neighbors(p)
+				eids := e.nbrEdge[p]
+				for j, pn := range nbrs {
 					qn := lay.inv[pn]
 					if qn == -1 {
 						continue
 					}
-					a, b := q, qn
-					if a > b {
-						a, b = b, a
-					}
-					if e.candSeen[a*e.nQ+b] != ep {
-						e.candSeen[a*e.nQ+b] = ep
+					// Dedup on the coupler id: under the padded layout the
+					// program pair (a,b) and the physical edge {p,pn} are in
+					// bijection, so stamping the edge makes exactly the
+					// decisions the (a,b) pair table made, in the same
+					// first-seen order — with a stamp table that fits in L1.
+					if e.candSeen[eids[j]] != ep {
+						e.candSeen[eids[j]] = ep
+						a, b := q, qn
+						if a > b {
+							a, b = b, a
+						}
 						cands = append(cands, [2]int32{int32(a), int32(b)})
 					}
 				}
@@ -563,56 +649,87 @@ func (e *passEngine) run(dag *circuit.DAG, mapping router.Mapping, rng *rand.Ran
 		var costs []SwapCost
 		for ci := range cands {
 			qa, qb := int(cands[ci][0]), int(cands[ci][1])
-			lay.swap(qa, qb)
+			pa, pb := mapping[qa], mapping[qb]
+			rowA, rowB := dist.Row(pa), dist.Row(pb)
+			// The candidate is evaluated positionally — qa sits at pb, qb
+			// at pa, everyone else stays put — so the layout is never
+			// mutated mid-scan. The distances are exactly those the
+			// swapped layout would produce.
+			//
 			// Front-layer term as a delta over the (at most two) front
 			// gates whose qubits moved. A front gate on exactly (qa,qb)
 			// keeps its distance, so both branches contribute zero and
 			// double-counting is harmless.
 			deltaF := 0
-			if e.frontStmp[qa] == ep {
-				gt := dag.Gate(int(e.frontNode[qa]))
-				deltaF += dist.At(mapping[gt.Q0], mapping[gt.Q1]) - int(e.frontDist[qa])
+			if e.frontStmp[qa] == fep {
+				o := int(e.frontOther[qa])
+				po := mapping[o]
+				if o == qb {
+					po = pa
+				}
+				deltaF += int(rowB[po]) - int(e.fgD[e.frontGi[qa]])
 			}
-			if e.frontStmp[qb] == ep {
-				gt := dag.Gate(int(e.frontNode[qb]))
-				deltaF += dist.At(mapping[gt.Q0], mapping[gt.Q1]) - int(e.frontDist[qb])
+			if e.frontStmp[qb] == fep {
+				o := int(e.frontOther[qb])
+				po := mapping[o]
+				if o == qa {
+					po = pb
+				}
+				deltaF += int(rowA[po]) - int(e.fgD[e.frontGi[qb]])
 			}
 			basic := float64(baseFront+deltaF) / float64(len(front))
 			look := 0.0
-			if len(extended) > 0 {
+			if extN > 0 {
 				if uniformLook {
 					// Delta over the extended gates touching qa or qb: a
 					// gate on exactly (qa,qb) appears in both lists with a
 					// zero delta, so no dedup is needed.
 					deltaE := 0
-					for k := 0; k < 2; k++ {
-						q := qa
-						if k == 1 {
-							q = qb
-						}
-						if e.extStamp[q] != ep {
-							continue
-						}
-						for node := e.extHead[q]; node != -1; node = e.extNext[node] {
-							i := e.extNodeID[node]
-							gt := dag.Gate(extended[i])
-							deltaE += dist.At(mapping[gt.Q0], mapping[gt.Q1]) - int(e.extOld[i])
+					if e.extStamp[qa] == fep {
+						for node := e.extHead[qa]; node != -1; node = e.extNext[node] {
+							o := int(e.extOther[node])
+							po := mapping[o]
+							if o == qb {
+								po = pa
+							}
+							deltaE += int(rowB[po]) - int(e.extOld[e.extIdx[node]])
 						}
 					}
-					look = e.opts.ExtendedSetWeight * float64(extBase+deltaE) / float64(len(extended))
+					if e.extStamp[qb] == fep {
+						for node := e.extHead[qb]; node != -1; node = e.extNext[node] {
+							o := int(e.extOther[node])
+							po := mapping[o]
+							if o == qa {
+								po = pb
+							}
+							deltaE += int(rowA[po]) - int(e.extOld[e.extIdx[node]])
+						}
+					}
+					look = e.opts.ExtendedSetWeight * float64(extBase+deltaE) / float64(extN)
 				} else {
 					wSum := 0.0
 					w := 1.0
-					for _, v := range extended {
-						gt := dag.Gate(v)
-						look += w * float64(dist.At(mapping[gt.Q0], mapping[gt.Q1]))
+					for i := 0; i < extN; i++ {
+						p0, p1 := mapping[e.extQ0[i]], mapping[e.extQ1[i]]
+						switch int(e.extQ0[i]) {
+						case qa:
+							p0 = pb
+						case qb:
+							p0 = pa
+						}
+						switch int(e.extQ1[i]) {
+						case qa:
+							p1 = pb
+						case qb:
+							p1 = pa
+						}
+						look += w * float64(dist.At(p0, p1))
 						wSum += w
 						w *= e.opts.LookaheadDecay
 					}
 					look = e.opts.ExtendedSetWeight * look / wSum
 				}
 			}
-			lay.swap(qa, qb)
 
 			dk := decay[qa]
 			if decay[qb] > dk {
@@ -640,10 +757,40 @@ func (e *passEngine) run(dag *circuit.DAG, mapping router.Mapping, rng *rand.Ran
 		}
 		qa, qb := int(cands[bestIdx][0]), int(cands[bestIdx][1])
 		if record {
-			e.out.MustAppend(circuit.NewSwap(qa, qb))
+			e.out.Gates = append(e.out.Gates, circuit.NewSwap(qa, qb))
 			e.swaps++
 		}
 		lay.swap(qa, qb)
+		// Incremental snapshot update: only gates touching qa or qb
+		// moved. A gate on both endpoints is updated twice to the same
+		// value and the running sums adjust by exact integer differences,
+		// so the state matches a full recompute bit for bit. Only a front
+		// gate now at distance 1 can make the next executable scan find
+		// anything; if neither moved gate is, the scan is skipped.
+		scanSkip = true
+		for k := 0; k < 2; k++ {
+			q := qa
+			if k == 1 {
+				q = qb
+			}
+			if e.frontStmp[q] == fep {
+				fi := e.frontGi[q]
+				d := int32(dist.At(mapping[e.fgQ0[fi]], mapping[e.fgQ1[fi]]))
+				baseFront += int(d - e.fgD[fi])
+				e.fgD[fi] = d
+				if d == 1 {
+					scanSkip = false
+				}
+			}
+			if uniformLook && e.extStamp[q] == fep {
+				for node := e.extHead[q]; node != -1; node = e.extNext[node] {
+					i := e.extIdx[node]
+					d := int32(dist.At(mapping[e.extQ0[i]], mapping[e.extQ1[i]]))
+					extBase += int(d - e.extOld[i])
+					e.extOld[i] = d
+				}
+			}
+		}
 		decay[qa] += e.opts.DecayIncrement
 		decay[qb] += e.opts.DecayIncrement
 		swapPicks++
@@ -653,6 +800,9 @@ func (e *passEngine) run(dag *circuit.DAG, mapping router.Mapping, rng *rand.Ran
 		}
 	}
 	e.front = front[:0]
+	if record {
+		e.outCap = len(e.out.Gates)
+	}
 	return mapping
 }
 
@@ -691,11 +841,11 @@ func (e *passEngine) forceRoute(dag *circuit.DAG, v int, lay *layout, record boo
 
 // collectExtendedSet gathers up to ExtendedSetSize gates following the
 // front layer in the DAG (successors in BFS order, regardless of other
-// unmet dependencies — mirroring Qiskit's extended set). It opens a new
-// decision epoch: the visited stamps, the reused queue, and the reused
-// output backing make the collection allocation-free.
+// unmet dependencies — mirroring Qiskit's extended set). The caller owns
+// the decision epoch; the visited stamps, the reused queue, and the
+// reused output backing make the collection allocation-free. It runs
+// only when the front layer changed — the BFS depends on nothing else.
 func (e *passEngine) collectExtendedSet(dag *circuit.DAG, front []int) []int {
-	e.epoch++
 	ep := e.epoch
 	limit := e.opts.ExtendedSetSize
 	out := e.extended[:0]
@@ -719,6 +869,31 @@ func (e *passEngine) collectExtendedSet(dag *circuit.DAG, front []int) []int {
 	}
 	e.extended = out
 	e.extQueue = queue[:0]
+	return out
+}
+
+// neighborEdgeIDs returns, for every physical qubit, the coupler ids
+// parallel to the graph's Neighbors order, so the candidate walk can
+// stamp a per-coupler table instead of a qubit-pair matrix.
+func neighborEdgeIDs(g *graph.Graph) [][]int32 {
+	type pair = [2]int
+	ids := make(map[pair]int32, g.M())
+	for i, ed := range g.Edges() {
+		ids[pair{ed.U, ed.V}] = int32(i)
+	}
+	out := make([][]int32, g.N())
+	for v := 0; v < g.N(); v++ {
+		nbrs := g.Neighbors(v)
+		row := make([]int32, len(nbrs))
+		for j, u := range nbrs {
+			a, b := v, u
+			if a > b {
+				a, b = b, a
+			}
+			row[j] = ids[pair{a, b}]
+		}
+		out[v] = row
+	}
 	return out
 }
 
