@@ -34,6 +34,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -54,6 +55,8 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests to finish")
 	drainGrace := flag.Duration("drain-grace", time.Second, "how long readiness reports 503 before the listener closes, so load balancers can deroute")
 	pprofAddr := flag.String("pprof-addr", "", "listen address for the net/http/pprof debug mux (empty = disabled)")
+	peers := flag.String("peer", "", "comma-separated base URLs of peer replicas (http://host:port); missing suites are fetched from the first peer holding them, checksum-verified, before generating locally")
+	metrics := flag.Bool("metrics", true, "expose Prometheus text metrics on /metrics")
 	flag.Parse()
 
 	// Profiling mux for perf work on live eval traffic: off by default,
@@ -79,16 +82,23 @@ func main() {
 		}()
 	}
 
-	store, err := suite.Open(*cacheDir, suite.StoreOptions{Workers: *genWorkers, Verify: *verify})
+	var remotes []suite.Blob
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			remotes = append(remotes, suite.NewPeerBlob(p, nil))
+		}
+	}
+	store, err := suite.Open(*cacheDir, suite.StoreOptions{Workers: *genWorkers, Verify: *verify, Remotes: remotes})
 	if err != nil {
 		fatal(err)
 	}
 	api := server.New(store, server.Options{
-		LRUSuites:    *lruSuites,
-		MaxInstances: *maxInstances,
-		EvalWorkers:  *evalWorkers,
-		GenTimeout:   *genTimeout,
-		EvalTimeout:  *evalTimeout,
+		LRUSuites:      *lruSuites,
+		MaxInstances:   *maxInstances,
+		EvalWorkers:    *evalWorkers,
+		GenTimeout:     *genTimeout,
+		EvalTimeout:    *evalTimeout,
+		DisableMetrics: !*metrics,
 	})
 	srv := &http.Server{
 		Handler:           api,

@@ -14,12 +14,12 @@ import (
 	"time"
 )
 
-// buildCmds compiles the five commands into a temp dir, once per test
+// buildCmds compiles the six commands into a temp dir, once per test
 // binary invocation.
 func buildCmds(t *testing.T) string {
 	t.Helper()
 	dir := t.TempDir()
-	for _, name := range []string{"qubikos-gen", "qubikos-eval", "qubikos-verify", "qubikos-route", "qubikos-serve"} {
+	for _, name := range []string{"qubikos-gen", "qubikos-eval", "qubikos-verify", "qubikos-route", "qubikos-serve", "qubikos-loadtest"} {
 		out := filepath.Join(dir, name)
 		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
 		cmd.Env = os.Environ()

@@ -1,0 +1,206 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// ensureTiny posts the tiny manifest and returns the suite hash and the
+// first instance base.
+func ensureTiny(t *testing.T, url string) (hash, base string) {
+	t.Helper()
+	r := post(t, url+"/v1/suites", tinyManifestJSON)
+	if r.StatusCode != 200 {
+		t.Fatalf("ensure status = %d", r.StatusCode)
+	}
+	var st struct {
+		Hash      string `json:"hash"`
+		Instances []struct {
+			Base string `json:"base"`
+		} `json:"instances"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Hash == "" || len(st.Instances) == 0 {
+		t.Fatal("ensure returned no suite index")
+	}
+	return st.Hash, st.Instances[0].Base
+}
+
+func do(t *testing.T, method, url, ifNoneMatch string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ifNoneMatch != "" {
+		req.Header.Set("If-None-Match", ifNoneMatch)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestConditionalGetMatrix pins the conditional-request contract across
+// the endpoint surface: content-addressed (immutable) endpoints carry a
+// path-derived strong ETag with Cache-Control immutable and revalidate to
+// 304; mutable endpoints carry no validator and never answer 304, even to
+// a hopeful If-None-Match.
+func TestConditionalGetMatrix(t *testing.T) {
+	ts, _ := newTestServer(t)
+	hash, base := ensureTiny(t, ts.URL)
+
+	const ccImmutable = "public, max-age=31536000, immutable"
+	immutableEndpoints := []struct {
+		name, path, etag string
+	}{
+		{"suite_index", "/v1/suites/" + hash, `"` + hash + `"`},
+		{"archive", "/v1/suites/" + hash + "/archive", `"` + hash + `/archive"`},
+		{"sidecar", "/v1/suites/" + hash + "/instances/" + base, `"` + hash + "/" + base + `.json"`},
+		{"qasm", "/v1/suites/" + hash + "/instances/" + base + "/qasm", `"` + hash + "/" + base + `.qasm"`},
+		{"solution", "/v1/suites/" + hash + "/instances/" + base + "/solution", `"` + hash + "/" + base + `.solution.qasm"`},
+	}
+
+	for _, ep := range immutableEndpoints {
+		for _, method := range []string{http.MethodGet, http.MethodHead} {
+			cases := []struct {
+				name        string
+				ifNoneMatch string
+				wantStatus  int
+			}{
+				{"no_validator", "", 200},
+				{"matching", ep.etag, 304},
+				{"weak_matching", "W/" + ep.etag, 304},
+				{"star", "*", 304},
+				{"stale", `"deadbeef"`, 200},
+				{"list_with_match", `"nope", ` + ep.etag, 304},
+			}
+			for _, c := range cases {
+				t.Run(ep.name+"/"+method+"/"+c.name, func(t *testing.T) {
+					resp := do(t, method, ts.URL+ep.path, c.ifNoneMatch)
+					if resp.StatusCode != c.wantStatus {
+						t.Fatalf("status = %d, want %d", resp.StatusCode, c.wantStatus)
+					}
+					if got := resp.Header.Get("ETag"); got != ep.etag {
+						t.Fatalf("ETag = %q, want %q", got, ep.etag)
+					}
+					if got := resp.Header.Get("Cache-Control"); got != ccImmutable {
+						t.Fatalf("Cache-Control = %q, want %q", got, ccImmutable)
+					}
+					if got := resp.Header.Get("X-Suite-Hash"); got != hash {
+						t.Fatalf("X-Suite-Hash = %q, want %q", got, hash)
+					}
+					body, _ := io.ReadAll(resp.Body)
+					if (c.wantStatus == 304 || method == http.MethodHead) && len(body) != 0 {
+						t.Fatalf("status %d %s carried a %d-byte body", c.wantStatus, method, len(body))
+					}
+					if c.wantStatus == 200 && method == http.MethodGet && len(body) == 0 {
+						t.Fatal("200 GET carried no body")
+					}
+				})
+			}
+		}
+	}
+
+	mutableEndpoints := []string{"/v1/suites", "/v1/families", "/healthz"}
+	for _, path := range mutableEndpoints {
+		t.Run("mutable"+strings.ReplaceAll(path, "/", "_"), func(t *testing.T) {
+			// Even replaying an ETag (or *) never yields 304: these
+			// listings change as suites are generated.
+			resp := do(t, http.MethodGet, ts.URL+path, "*")
+			if resp.StatusCode != 200 {
+				t.Fatalf("status = %d, want 200", resp.StatusCode)
+			}
+			if got := resp.Header.Get("ETag"); got != "" {
+				t.Fatalf("mutable endpoint carries ETag %q", got)
+			}
+			if got := resp.Header.Get("Cache-Control"); got != "" {
+				t.Fatalf("mutable endpoint carries Cache-Control %q", got)
+			}
+		})
+	}
+
+	// Errors never carry the immutable caching headers, even though the
+	// handler stamps them before discovering the failure.
+	t.Run("missing_file_404_uncached", func(t *testing.T) {
+		resp := do(t, http.MethodGet, ts.URL+"/v1/suites/"+hash+"/instances/no-such-base", "")
+		if resp.StatusCode != 404 {
+			t.Fatalf("status = %d, want 404", resp.StatusCode)
+		}
+		if resp.Header.Get("ETag") != "" || resp.Header.Get("Cache-Control") != "" {
+			t.Fatal("404 carried caching headers")
+		}
+	})
+}
+
+// TestConditionalGetZeroStoreReads is the acceptance criterion verbatim:
+// once a client holds the ETag, revalidating costs the store nothing —
+// the 304 is answered from the URL path before the store (or even the
+// in-memory LRU) is consulted.
+func TestConditionalGetZeroStoreReads(t *testing.T) {
+	ts, store := newTestServer(t)
+	hash, base := ensureTiny(t, ts.URL)
+	url := ts.URL + "/v1/suites/" + hash + "/instances/" + base + "/qasm"
+
+	full := do(t, http.MethodGet, url, "")
+	if full.StatusCode != 200 {
+		t.Fatalf("priming GET status = %d", full.StatusCode)
+	}
+	etag := full.Header.Get("ETag")
+	if store.Stats().FileReads == 0 {
+		t.Fatal("priming GET did not count a store file read")
+	}
+
+	before := store.Stats().FileReads
+	for i := 0; i < 5; i++ {
+		resp := do(t, http.MethodGet, url, etag)
+		if resp.StatusCode != 304 {
+			t.Fatalf("conditional GET %d status = %d, want 304", i, resp.StatusCode)
+		}
+	}
+	if after := store.Stats().FileReads; after != before {
+		t.Fatalf("5 conditional GETs cost %d store reads, want 0", after-before)
+	}
+}
+
+// TestEvalResponseCarriesConfigETag pins satellite (a): the eval stream's
+// validator is derived from the (suite, eval configuration) pair — weak,
+// because row order may differ between runs — and every suite-derived
+// response names its suite in X-Suite-Hash.
+func TestEvalResponseCarriesConfigETag(t *testing.T) {
+	ts, _ := newTestServer(t)
+	hash, _ := ensureTiny(t, ts.URL)
+
+	r := post(t, ts.URL+"/v1/suites/"+hash+"/eval?tools=lightsabre&trials=2", "")
+	if r.StatusCode != 200 {
+		t.Fatalf("eval status = %d", r.StatusCode)
+	}
+	etag := r.Header.Get("ETag")
+	if !strings.HasPrefix(etag, `W/"`+hash+`/eval/`) {
+		t.Fatalf("eval ETag = %q, want weak validator derived from suite and eval key", etag)
+	}
+	if got := r.Header.Get("X-Suite-Hash"); got != hash {
+		t.Fatalf("X-Suite-Hash = %q, want %q", got, hash)
+	}
+	io.Copy(io.Discard, r.Body)
+
+	// The same configuration yields the same validator; a different
+	// configuration yields a different one.
+	r2 := post(t, ts.URL+"/v1/suites/"+hash+"/eval?tools=lightsabre&trials=2", "")
+	if got := r2.Header.Get("ETag"); got != etag {
+		t.Fatalf("same eval config produced different ETags: %q vs %q", got, etag)
+	}
+	io.Copy(io.Discard, r2.Body)
+	r3 := post(t, ts.URL+"/v1/suites/"+hash+"/eval?tools=lightsabre&trials=3", "")
+	if got := r3.Header.Get("ETag"); got == etag {
+		t.Fatalf("different eval configs share ETag %q", got)
+	}
+	io.Copy(io.Discard, r3.Body)
+}

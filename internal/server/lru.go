@@ -2,8 +2,6 @@ package server
 
 import (
 	"container/list"
-	"os"
-	"path/filepath"
 	"sync"
 
 	"repro/internal/suite"
@@ -18,18 +16,22 @@ const maxCachedBytesPerSuite = 64 << 20
 
 // cachedSuite is one resident suite: its index plus lazily loaded
 // instance file bytes, capped at maxCachedBytesPerSuite. Safe for
-// concurrent use.
+// concurrent use, including while being evicted — an in-flight request
+// holding the entry keeps serving from it after eviction; only the LRU's
+// reference is dropped.
 type cachedSuite struct {
 	suite *suite.Suite
+	// read loads one instance file's bytes from the store (which counts
+	// the read); memory hits never touch it.
+	read func(name string) ([]byte, error)
 
 	mu    sync.Mutex
-	dir   string
 	files map[string][]byte
 	bytes int64
 }
 
-// file returns the named instance file's bytes, reading them from disk
-// and caching them while the suite's byte budget lasts.
+// file returns the named instance file's bytes, reading them through the
+// store and caching them while the suite's byte budget lasts.
 func (c *cachedSuite) file(name string) ([]byte, error) {
 	c.mu.Lock()
 	if b, ok := c.files[name]; ok {
@@ -37,7 +39,7 @@ func (c *cachedSuite) file(name string) ([]byte, error) {
 		return b, nil
 	}
 	c.mu.Unlock()
-	b, err := os.ReadFile(filepath.Join(c.dir, name))
+	b, err := c.read(name)
 	if err != nil {
 		return nil, err
 	}
@@ -48,6 +50,13 @@ func (c *cachedSuite) file(name string) ([]byte, error) {
 	}
 	c.mu.Unlock()
 	return b, nil
+}
+
+// cachedBytes reports the instance-file bytes this entry currently pins.
+func (c *cachedSuite) cachedBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
 }
 
 // suiteLRU keeps the most recently used suites in memory, bounded by
@@ -109,4 +118,21 @@ func (l *suiteLRU) len() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.order.Len()
+}
+
+// totalBytes sums the instance-file bytes pinned across resident suites.
+// Entries are snapshotted under the LRU lock, then summed under each
+// entry's own lock, so the locks never nest.
+func (l *suiteLRU) totalBytes() int64 {
+	l.mu.Lock()
+	entries := make([]*cachedSuite, 0, len(l.data))
+	for _, cs := range l.data {
+		entries = append(entries, cs)
+	}
+	l.mu.Unlock()
+	var n int64
+	for _, cs := range entries {
+		n += cs.cachedBytes()
+	}
+	return n
 }

@@ -1,0 +1,157 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// metrics is the server's hand-rolled Prometheus-style registry. The
+// service deliberately carries no metrics dependency; the text exposition
+// format is a few sorted lines, and everything counted here is a plain
+// counter or a gauge computed at scrape time.
+type metrics struct {
+	mu          sync.Mutex
+	requests    map[routeCode]int64
+	cache       map[string]int64
+	conditional map[string]int64
+}
+
+// routeCode keys the request counter: the route is the server's stable
+// handler name (not the raw URL, which would make per-hash cardinality
+// unbounded), the code the final HTTP status.
+type routeCode struct {
+	route string
+	code  int
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests:    map[routeCode]int64{},
+		cache:       map[string]int64{},
+		conditional: map[string]int64{},
+	}
+}
+
+// observeRequest counts one finished request.
+func (m *metrics) observeRequest(route string, code int) {
+	m.mu.Lock()
+	m.requests[routeCode{route, code}]++
+	m.mu.Unlock()
+}
+
+// observeCache counts one X-Cache outcome (hit, miss, remote).
+func (m *metrics) observeCache(label string) {
+	m.mu.Lock()
+	m.cache[label]++
+	m.mu.Unlock()
+}
+
+// observeConditional counts one conditional (If-None-Match) request:
+// not_modified when the validator matched and the response was 304,
+// revalidated when the client presented a stale validator and got the
+// full body.
+func (m *metrics) observeConditional(notModified bool) {
+	label := "revalidated"
+	if notModified {
+		label = "not_modified"
+	}
+	m.mu.Lock()
+	m.conditional[label]++
+	m.mu.Unlock()
+}
+
+// statusRecorder captures the final status code of a response while
+// delegating everything — including streaming flushes — to the wrapped
+// writer.
+type statusRecorder struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if !r.wrote {
+		r.code = code
+		r.wrote = true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(b)
+}
+
+// Flush preserves http.Flusher through the wrapper: the eval endpoint
+// streams JSONL rows and detects flushability by interface assertion.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// handleMetrics serves the Prometheus text exposition: request counters
+// by route and code, cache outcome counters, conditional-request
+// counters, LRU residency gauges, and the suite store's own counters.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+
+	m := s.metrics
+	m.mu.Lock()
+	reqLines := make([]string, 0, len(m.requests))
+	for k, v := range m.requests {
+		reqLines = append(reqLines, fmt.Sprintf("qubikos_http_requests_total{route=%q,code=\"%d\"} %d", k.route, k.code, v))
+	}
+	cacheLines := make([]string, 0, len(m.cache))
+	for k, v := range m.cache {
+		cacheLines = append(cacheLines, fmt.Sprintf("qubikos_suite_cache_total{result=%q} %d", k, v))
+	}
+	condLines := make([]string, 0, len(m.conditional))
+	for k, v := range m.conditional {
+		condLines = append(condLines, fmt.Sprintf("qubikos_http_conditional_total{result=%q} %d", k, v))
+	}
+	m.mu.Unlock()
+	sort.Strings(reqLines)
+	sort.Strings(cacheLines)
+	sort.Strings(condLines)
+
+	b.WriteString("# HELP qubikos_http_requests_total HTTP requests served, by route and status code.\n")
+	b.WriteString("# TYPE qubikos_http_requests_total counter\n")
+	for _, l := range reqLines {
+		b.WriteString(l + "\n")
+	}
+	b.WriteString("# HELP qubikos_suite_cache_total Suite-serving cache outcomes (the X-Cache header).\n")
+	b.WriteString("# TYPE qubikos_suite_cache_total counter\n")
+	for _, l := range cacheLines {
+		b.WriteString(l + "\n")
+	}
+	b.WriteString("# HELP qubikos_http_conditional_total Conditional (If-None-Match) request outcomes.\n")
+	b.WriteString("# TYPE qubikos_http_conditional_total counter\n")
+	for _, l := range condLines {
+		b.WriteString(l + "\n")
+	}
+
+	fmt.Fprintf(&b, "# HELP qubikos_lru_resident_suites Suites resident in the in-memory LRU.\n# TYPE qubikos_lru_resident_suites gauge\nqubikos_lru_resident_suites %d\n", s.lru.len())
+	fmt.Fprintf(&b, "# HELP qubikos_lru_cached_bytes Instance-file bytes pinned by resident suites.\n# TYPE qubikos_lru_cached_bytes gauge\nqubikos_lru_cached_bytes %d\n", s.lru.totalBytes())
+
+	st := s.store.Stats()
+	for _, g := range []struct {
+		name, help string
+		v          int64
+	}{
+		{"qubikos_store_suite_hits_total", "Ensure calls satisfied from disk.", st.Hits},
+		{"qubikos_store_suite_misses_total", "Ensure calls that generated locally.", st.Misses},
+		{"qubikos_store_suites_generated_total", "Completed suite generations.", st.SuitesGenerated},
+		{"qubikos_store_instances_generated_total", "Individual benchmark generations.", st.InstancesGenerated},
+		{"qubikos_store_remote_fetches_total", "Suites fetched from a remote tier.", st.RemoteFetches},
+		{"qubikos_store_file_reads_total", "Instance-file reads served by the store.", st.FileReads},
+	} {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", g.name, g.help, g.name, g.name, g.v)
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(b.String()))
+}

@@ -1,0 +1,119 @@
+package server
+
+import (
+	"io"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/suite"
+)
+
+// newPeeredServer opens a fresh store (own root) configured to fetch
+// missing suites from peerURL, and serves it.
+func newPeeredServer(t *testing.T, peerURL string) (*httptest.Server, *suite.Store) {
+	t.Helper()
+	store, err := suite.Open(t.TempDir(), suite.StoreOptions{
+		Workers: 2,
+		Remotes: []suite.Blob{suite.NewPeerBlob(peerURL, nil)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(store, Options{LRUSuites: 2}))
+	t.Cleanup(ts.Close)
+	return ts, store
+}
+
+// TestPeerReplicaServesSuiteItNeverGenerated is the peer-tier acceptance
+// test: replica B (separate store root, -peer pointing at A) serves a
+// suite only A generated — fetched exactly once over HTTP as a tar
+// archive, checksum-verified, committed locally, and marked X-Cache:
+// remote on the response that fetched it.
+func TestPeerReplicaServesSuiteItNeverGenerated(t *testing.T) {
+	tsA, storeA := newTestServer(t)
+	hash, base := ensureTiny(t, tsA.URL)
+	tsB, storeB := newPeeredServer(t, tsA.URL)
+
+	r := get(t, tsB.URL+"/v1/suites/"+hash)
+	if r.StatusCode != 200 {
+		body, _ := io.ReadAll(r.Body)
+		t.Fatalf("B suite GET status = %d: %s", r.StatusCode, body)
+	}
+	if got := r.Header.Get("X-Cache"); got != "remote" {
+		t.Fatalf("X-Cache = %q, want %q", got, "remote")
+	}
+	if got := r.Header.Get("X-Suite-Hash"); got != hash {
+		t.Fatalf("X-Suite-Hash = %q, want %q", got, hash)
+	}
+
+	st := storeB.Stats()
+	if st.RemoteFetches != 1 {
+		t.Fatalf("B RemoteFetches = %d, want 1", st.RemoteFetches)
+	}
+	if st.SuitesGenerated != 0 {
+		t.Fatalf("B generated %d suites; the whole point was not to", st.SuitesGenerated)
+	}
+	if err := storeB.VerifyChecksums(hash); err != nil {
+		t.Fatalf("fetched suite fails checksum verification: %v", err)
+	}
+
+	// The fetch happened once: later requests — including instance files
+	// and a full manifest ensure — are served from B's local copy.
+	if r := get(t, tsB.URL+"/v1/suites/"+hash+"/instances/"+base+"/qasm"); r.StatusCode != 200 {
+		t.Fatalf("B qasm GET status = %d", r.StatusCode)
+	}
+	if r := post(t, tsB.URL+"/v1/suites", tinyManifestJSON); r.StatusCode != 200 {
+		t.Fatalf("B ensure status = %d", r.StatusCode)
+	} else if got := r.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("B ensure X-Cache = %q, want %q", got, "hit")
+	}
+	st = storeB.Stats()
+	if st.RemoteFetches != 1 || st.SuitesGenerated != 0 {
+		t.Fatalf("after reuse: RemoteFetches=%d SuitesGenerated=%d, want 1 and 0", st.RemoteFetches, st.SuitesGenerated)
+	}
+	if genA := storeA.Stats().SuitesGenerated; genA != 1 {
+		t.Fatalf("A generated %d suites, want 1", genA)
+	}
+}
+
+// TestMutualPeersDoNotRecurse pins the guard that makes symmetric -peer
+// configuration safe: the archive endpoint serves local bytes only, so
+// when neither replica holds a suite, a lookup bottoms out at 404 instead
+// of the two replicas fetching from each other forever.
+func TestMutualPeersDoNotRecurse(t *testing.T) {
+	// Build A and B peered at each other. httptest gives us the URLs only
+	// after construction, so A first peers a placeholder store, then B
+	// peers A, then A is rebuilt peering B — the stores share roots so
+	// nothing is lost.
+	rootA, rootB := t.TempDir(), t.TempDir()
+	storeA0, err := suite.Open(rootA, suite.StoreOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsA := httptest.NewServer(New(storeA0, Options{}))
+	t.Cleanup(tsA.Close)
+	storeB, err := suite.Open(rootB, suite.StoreOptions{
+		Workers: 2,
+		Remotes: []suite.Blob{suite.NewPeerBlob(tsA.URL, nil)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsB := httptest.NewServer(New(storeB, Options{}))
+	t.Cleanup(tsB.Close)
+	storeA, err := suite.Open(rootA, suite.StoreOptions{
+		Workers: 2,
+		Remotes: []suite.Blob{suite.NewPeerBlob(tsB.URL, nil)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsA2 := httptest.NewServer(New(storeA, Options{}))
+	t.Cleanup(tsA2.Close)
+
+	missing := "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef"
+	r := get(t, tsA2.URL+"/v1/suites/"+missing)
+	if r.StatusCode != 404 {
+		t.Fatalf("mutual-peer miss status = %d, want 404", r.StatusCode)
+	}
+}

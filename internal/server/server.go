@@ -10,17 +10,24 @@
 //	GET  /healthz                                  health + stats (includes draining flag)
 //	GET  /healthz/live                             liveness probe (green while the process runs)
 //	GET  /healthz/ready                            readiness probe (503 during drain)
+//	GET  /metrics                                  Prometheus text exposition
 //	GET  /v1/families                              registered benchmark families
 //	GET  /v1/suites                                stored suite hashes
 //	POST /v1/suites                                manifest -> suite (generate-on-miss)
 //	GET  /v1/suites/{hash}                         suite index
+//	GET  /v1/suites/{hash}/archive                 whole suite as a tar stream (local bytes only)
 //	GET  /v1/suites/{hash}/instances/{base}        sidecar JSON
 //	GET  /v1/suites/{hash}/instances/{base}/qasm   benchmark circuit
 //	GET  /v1/suites/{hash}/instances/{base}/solution  known-optimal transpilation
 //	POST /v1/suites/{hash}/eval                    run tools, stream JSONL rows
 //
 // Responses that consulted the store carry an X-Cache header: "hit" when
-// the suite was already on disk, "miss" when it was generated.
+// the suite was already resident, "miss" when it was loaded or generated,
+// "remote" when it was fetched from a peer replica. Suite-derived
+// responses additionally carry X-Suite-Hash and — being content-addressed
+// and therefore immutable — a strong ETag with Cache-Control immutable;
+// a conditional GET whose If-None-Match matches is answered 304 before
+// the store is touched at all (see conditional.go).
 package server
 
 import (
@@ -63,6 +70,10 @@ type Options struct {
 	// harness.SelectTools. The seam exists so fault-injection tests can
 	// evaluate with misbehaving tools.
 	SelectTools func(list string, sabreTrials int) ([]harness.ToolSpec, error)
+	// DisableMetrics leaves the /metrics endpoint unregistered. Counters
+	// are still collected (they cost a map increment per request); only
+	// the exposition endpoint is withheld.
+	DisableMetrics bool
 }
 
 // retryAfterSeconds is the Retry-After hint sent with 503 responses:
@@ -72,10 +83,11 @@ const retryAfterSeconds = 5
 
 // Server is the HTTP front end over a suite store.
 type Server struct {
-	store *suite.Store
-	lru   *suiteLRU
-	mux   *http.ServeMux
-	opts  Options
+	store   *suite.Store
+	lru     *suiteLRU
+	mux     *http.ServeMux
+	opts    Options
+	metrics *metrics
 
 	// draining is set by StartDraining: liveness stays green (the
 	// process is healthy) while readiness goes red so load balancers
@@ -107,23 +119,41 @@ func New(store *suite.Store, opts Options) *Server {
 		opts.SelectTools = harness.SelectTools
 	}
 	s := &Server{
-		store:  store,
-		lru:    newSuiteLRU(opts.LRUSuites),
-		mux:    http.NewServeMux(),
-		opts:   opts,
-		evalMu: map[string]chan struct{}{},
+		store:   store,
+		lru:     newSuiteLRU(opts.LRUSuites),
+		mux:     http.NewServeMux(),
+		opts:    opts,
+		metrics: newMetrics(),
+		evalMu:  map[string]chan struct{}{},
 	}
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /healthz/live", s.handleLive)
-	s.mux.HandleFunc("GET /healthz/ready", s.handleReady)
-	s.mux.HandleFunc("GET /v1/families", s.handleFamilies)
-	s.mux.HandleFunc("GET /v1/suites", s.handleList)
-	s.mux.HandleFunc("POST /v1/suites", s.handleEnsure)
-	s.mux.HandleFunc("GET /v1/suites/{hash}", s.handleSuite)
-	s.mux.HandleFunc("GET /v1/suites/{hash}/instances/{base}", s.handleInstance)
-	s.mux.HandleFunc("GET /v1/suites/{hash}/instances/{base}/{file}", s.handleInstanceFile)
-	s.mux.HandleFunc("POST /v1/suites/{hash}/eval", s.handleEval)
+	s.handle("GET /healthz", "healthz", s.handleHealth)
+	s.handle("GET /healthz/live", "healthz_live", s.handleLive)
+	s.handle("GET /healthz/ready", "healthz_ready", s.handleReady)
+	if !opts.DisableMetrics {
+		s.handle("GET /metrics", "metrics", s.handleMetrics)
+	}
+	s.handle("GET /v1/families", "families", s.handleFamilies)
+	s.handle("GET /v1/suites", "suites_list", s.handleList)
+	s.handle("POST /v1/suites", "suites_ensure", s.handleEnsure)
+	s.handle("GET /v1/suites/{hash}", "suite_index", s.handleSuite)
+	s.handle("GET /v1/suites/{hash}/archive", "suite_archive", s.handleArchive)
+	s.handle("GET /v1/suites/{hash}/instances/{base}", "instance_sidecar", s.handleInstance)
+	s.handle("GET /v1/suites/{hash}/instances/{base}/{file}", "instance_file", s.handleInstanceFile)
+	s.handle("POST /v1/suites/{hash}/eval", "eval", s.handleEval)
 	return s
+}
+
+// handle registers an instrumented route: every request is wrapped in a
+// status recorder and counted — by the stable route name, never the raw
+// URL — when the handler returns. Go 1.22 "GET /x" patterns also match
+// HEAD, so HEAD requests ride the same handlers (net/http discards the
+// body) and are counted with their GET route.
+func (s *Server) handle(pattern, route string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		s.metrics.observeRequest(route, rec.code)
+	})
 }
 
 // ServeHTTP implements http.Handler.
@@ -251,18 +281,44 @@ func (s *Server) handleEnsure(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.admit(st)
-	w.Header().Set("X-Cache", cacheLabel(st.Cached))
+	s.setCache(w, ensureLabel(st))
+	w.Header().Set("ETag", suiteETag(st.Hash))
+	w.Header().Set(headerSuiteHash, st.Hash)
 	writeObj(w, http.StatusOK, st)
 }
 
 func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
-	cs, cached, err := s.resident(r.PathValue("hash"))
+	hash := r.PathValue("hash")
+	if s.immutable(w, r, hash) {
+		return
+	}
+	cs, label, err := s.resident(r.Context(), hash)
 	if err != nil {
 		notFoundOr500(w, err)
 		return
 	}
-	w.Header().Set("X-Cache", cacheLabel(cached))
+	s.setCache(w, label)
 	writeObj(w, http.StatusOK, cs.suite)
+}
+
+// handleArchive streams a completed suite as a deterministic tar — the
+// wire format of the peer-replica blob tier. It serves LOCAL bytes only
+// (never triggering a remote fetch or a generation), which is what keeps
+// two mutually peered replicas from recursing into each other when
+// neither holds the suite.
+func (s *Server) handleArchive(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	if s.immutable(w, r, hash, "archive") {
+		return
+	}
+	if _, err := s.store.LookupLocal(hash); err != nil {
+		notFoundOr500(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-tar")
+	// Headers are committed on first write; a mid-stream error can only
+	// truncate the tar, which the fetcher's checksum verification rejects.
+	s.store.WriteArchive(hash, w)
 }
 
 func (s *Server) handleInstance(w http.ResponseWriter, r *http.Request) {
@@ -286,7 +342,11 @@ func (s *Server) serveInstanceFile(w http.ResponseWriter, r *http.Request, name,
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad instance name"))
 		return
 	}
-	cs, cached, err := s.resident(r.PathValue("hash"))
+	hash := r.PathValue("hash")
+	if s.immutable(w, r, hash, name) {
+		return
+	}
+	cs, label, err := s.resident(r.Context(), hash)
 	if err != nil {
 		notFoundOr500(w, err)
 		return
@@ -297,7 +357,7 @@ func (s *Server) serveInstanceFile(w http.ResponseWriter, r *http.Request, name,
 		return
 	}
 	w.Header().Set("Content-Type", contentType)
-	w.Header().Set("X-Cache", cacheLabel(cached))
+	s.setCache(w, label)
 	w.Write(b)
 }
 
@@ -307,7 +367,7 @@ func (s *Server) serveInstanceFile(w http.ResponseWriter, r *http.Request, name,
 // same configuration are not re-run and not re-streamed; they are folded
 // into the summary.
 func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
-	cs, _, err := s.resident(r.PathValue("hash"))
+	cs, _, err := s.resident(r.Context(), r.PathValue("hash"))
 	if err != nil {
 		notFoundOr500(w, err)
 		return
@@ -340,6 +400,13 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	}
 	keyParts = append(keyParts, fmt.Sprintf("trials=%d", trials), fmt.Sprintf("seed=%d", seed))
 	key := harness.EvalKey(keyParts...)
+
+	// An eval result is determined by (suite, eval configuration), so the
+	// pair makes a validator; weak, because two runs are semantically
+	// equivalent (same rows, same figure) but the streamed bytes may
+	// differ in row arrival order.
+	w.Header().Set("ETag", "W/"+suiteETag(cs.suite.Hash, "eval", key))
+	w.Header().Set(headerSuiteHash, cs.suite.Hash)
 
 	// The request context governs everything downstream: an abandoned
 	// connection cancels the eval workers, and the optional server
@@ -436,25 +503,34 @@ func (s *Server) evalLock(key string) chan struct{} {
 	return sem
 }
 
-// resident returns the suite's in-memory entry, loading it from the
-// store on first touch. The bool reports whether it was already
-// resident (an LRU hit).
-func (s *Server) resident(hash string) (*cachedSuite, bool, error) {
+// resident returns the suite's in-memory entry, loading it through the
+// store on first touch, with the X-Cache label for the response: "hit"
+// when already resident, "miss" when loaded from the local store,
+// "remote" when the lookup fetched it from a peer tier. The context
+// bounds any such fetch.
+func (s *Server) resident(ctx context.Context, hash string) (*cachedSuite, string, error) {
 	if cs, ok := s.lru.get(hash); ok {
-		return cs, true, nil
+		return cs, "hit", nil
 	}
-	st, err := s.store.Lookup(hash)
+	st, err := s.store.LookupCtx(ctx, hash)
 	if err != nil {
-		return nil, false, err
+		return nil, "", err
 	}
-	return s.admit(st), false, nil
+	label := "miss"
+	if st.Source == suite.SourceRemote {
+		label = "remote"
+	}
+	return s.admit(st), label, nil
 }
 
-// admit inserts a suite into the LRU.
+// admit inserts a suite into the LRU. File reads funnel through the
+// store's counted reader so "this 304 touched the store zero times" is
+// assertable from store stats.
 func (s *Server) admit(st *suite.Suite) *cachedSuite {
-	return s.lru.put(st.Hash, &cachedSuite{
+	hash := st.Hash
+	return s.lru.put(hash, &cachedSuite{
 		suite: st,
-		dir:   s.store.InstanceDir(st.Hash),
+		read:  func(name string) ([]byte, error) { return s.store.ReadInstanceFile(hash, name) },
 		files: map[string][]byte{},
 	})
 }
@@ -470,11 +546,23 @@ func intParam(s string, def int) (int, error) {
 	return n, nil
 }
 
-func cacheLabel(hit bool) string {
-	if hit {
+// ensureLabel is the X-Cache label for an Ensure outcome: where the
+// store says the suite came from.
+func ensureLabel(st *suite.Suite) string {
+	switch st.Source {
+	case suite.SourceRemote:
+		return "remote"
+	case suite.SourceGenerated:
+		return "miss"
+	default:
 		return "hit"
 	}
-	return "miss"
+}
+
+// setCache stamps the X-Cache header and counts the outcome.
+func (s *Server) setCache(w http.ResponseWriter, label string) {
+	w.Header().Set("X-Cache", label)
+	s.metrics.observeCache(label)
 }
 
 func writeObj(w http.ResponseWriter, code int, v any) {
@@ -494,5 +582,11 @@ func notFoundOr500(w http.ResponseWriter, err error) {
 }
 
 func httpError(w http.ResponseWriter, code int, err error) {
+	// A handler may have stamped immutable caching headers before it
+	// discovered the failure; an error response must never be cached as
+	// the resource.
+	w.Header().Del("ETag")
+	w.Header().Del("Cache-Control")
+	w.Header().Del(headerSuiteHash)
 	writeObj(w, code, map[string]string{"error": err.Error()})
 }

@@ -1,0 +1,113 @@
+package server
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/loadtest"
+	"repro/internal/suite"
+)
+
+// TestSoakTwoReplicasSharedRoot is the load-test harness run in-process:
+// two server replicas over two independent suite.Store handles sharing
+// ONE store root (the shared-disk deployment), hammered with >1000
+// concurrent mixed requests — hits, misses, conditional GETs, archive
+// pulls, evals, abandoned streams. It asserts the PR's core invariants:
+// zero 5xx, exactly one generation per unique manifest across the fleet
+// (the cross-process lease at work), the LRU byte budget respected,
+// checksums clean afterwards, and the drain sequence intact. Run under
+// -race in CI, this is also the concurrency smoke for the whole serving
+// path.
+func TestSoakTwoReplicasSharedRoot(t *testing.T) {
+	root := t.TempDir()
+	manifests := []string{
+		`{"device":"grid3x3","swap_counts":[1,2],"circuits_per_count":2,"target_two_qubit_gates":15,"seed":11}`,
+		`{"device":"grid3x3","swap_counts":[1],"circuits_per_count":2,"target_two_qubit_gates":15,"seed":12}`,
+	}
+
+	var servers []*Server
+	var stores []*suite.Store
+	var targets []string
+	for i := 0; i < 2; i++ {
+		store, err := suite.Open(root, suite.StoreOptions{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := New(store, Options{LRUSuites: 2, EvalWorkers: 2})
+		ts := httptest.NewServer(srv)
+		t.Cleanup(ts.Close)
+		servers = append(servers, srv)
+		stores = append(stores, store)
+		targets = append(targets, ts.URL)
+	}
+
+	rep, err := loadtest.Run(context.Background(), loadtest.Config{
+		Targets:     targets,
+		Manifests:   manifests,
+		Total:       1200,
+		Concurrency: 24,
+		Seed:        7,
+		Tools:       "lightsabre",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.FailureCount > 0 {
+		t.Fatalf("%d failed requests under load; first: %v", rep.FailureCount, rep.Failures)
+	}
+	if rep.NotModified == 0 {
+		t.Fatal("no conditional GET was answered 304")
+	}
+	if rep.Abandoned == 0 {
+		t.Fatal("the abandoned-stream class never ran")
+	}
+	if len(rep.Suites) != len(manifests) {
+		t.Fatalf("exercised %d suites, want %d", len(rep.Suites), len(manifests))
+	}
+
+	// Exactly one generation per unique manifest across the fleet: the
+	// cross-process lease elected one leader per hash even though both
+	// replicas (and many concurrent requests) raced to ensure.
+	var totalGen int64
+	for i, store := range stores {
+		st := store.Stats()
+		totalGen += st.SuitesGenerated
+		t.Logf("replica %d stats: %+v", i, st)
+	}
+	if totalGen != int64(len(manifests)) {
+		t.Fatalf("fleet generated %d suites, want exactly %d (one per manifest)", totalGen, len(manifests))
+	}
+
+	// The in-memory budget held: no replica pins more than its suite
+	// count times the per-suite byte cap.
+	for i, srv := range servers {
+		if got, cap := srv.lru.totalBytes(), int64(srv.opts.LRUSuites)*maxCachedBytesPerSuite; got > cap {
+			t.Fatalf("replica %d LRU pins %d bytes, budget is %d", i, got, cap)
+		}
+	}
+
+	// Every stored suite survived the stampede bit-clean.
+	for hash := range rep.Suites {
+		if err := stores[0].VerifyChecksums(hash); err != nil {
+			t.Fatalf("checksums after soak: %v", err)
+		}
+	}
+
+	// Drain sequence: readiness flips red, liveness stays green, and
+	// already-resident suites keep serving until shutdown completes.
+	servers[0].StartDraining()
+	if r := get(t, targets[0]+"/healthz/ready"); r.StatusCode != 503 {
+		t.Fatalf("ready during drain = %d, want 503", r.StatusCode)
+	}
+	if r := get(t, targets[0]+"/healthz/live"); r.StatusCode != 200 {
+		t.Fatalf("live during drain = %d, want 200", r.StatusCode)
+	}
+	for hash := range rep.Suites {
+		if r := get(t, targets[0]+"/v1/suites/"+hash); r.StatusCode != 200 {
+			t.Fatalf("suite GET during drain = %d, want 200", r.StatusCode)
+		}
+		break
+	}
+}

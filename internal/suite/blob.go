@@ -1,0 +1,38 @@
+package suite
+
+import "context"
+
+// Source labels where a Suite came from, for cache accounting (the
+// server's X-Cache header and the store's counters). It is deliberately
+// excluded from the JSON wire form: two replicas must serve bit-identical
+// suite indexes for the same hash regardless of how each obtained it.
+type Source string
+
+const (
+	// SourceDisk: the suite was already complete in the local store.
+	SourceDisk Source = "disk"
+	// SourceGenerated: this process generated the suite.
+	SourceGenerated Source = "generated"
+	// SourceRemote: the suite was fetched from a remote Blob backend and
+	// committed locally after checksum verification.
+	SourceRemote Source = "remote"
+)
+
+// Blob is a remote suite tier behind a Store: a place a completed suite's
+// bytes can be fetched from when the local disk misses, before falling
+// back to generating locally. Implementations materialize manifest.json,
+// checksums.json, and instances/* into a staging directory the Store
+// provides; the Store then verifies the manifest hash and every checksum
+// before committing, so a corrupt or lying backend can never poison the
+// local store.
+//
+// Fetch must return an error wrapping ErrNotFound when the backend simply
+// does not hold the suite — the Store treats that as "try the next tier",
+// while any other error is surfaced as a fetch failure (the Store still
+// falls through to generation when it can).
+type Blob interface {
+	// Name labels the backend in errors and stats ("peer:<url>").
+	Name() string
+	// Fetch materializes the completed suite hash into dir.
+	Fetch(ctx context.Context, hash, dir string) error
+}

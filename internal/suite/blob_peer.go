@@ -1,0 +1,63 @@
+package suite
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// PeerHeader marks store-internal fetches between replicas. The server's
+// archive endpoint serves local bytes only regardless, so the header is
+// advisory (useful in access logs), but it documents intent on the wire.
+const PeerHeader = "X-Qubikos-Peer"
+
+// PeerBlob is the HTTP peer-replica Blob backend: it fetches a missing
+// suite from another qubikos-serve's archive endpoint instead of
+// regenerating it locally. The Store verifies the manifest hash and every
+// checksum of whatever the peer returned before committing, so a peer can
+// waste a fetch but never corrupt the local store.
+type PeerBlob struct {
+	base   string
+	client *http.Client
+}
+
+// NewPeerBlob builds a peer backend over the replica's base URL
+// ("http://host:8080"). A nil client gets a dedicated one with a
+// conservative overall timeout; archive fetches are bulk transfers, not
+// interactive requests.
+func NewPeerBlob(baseURL string, client *http.Client) *PeerBlob {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Minute}
+	}
+	return &PeerBlob{base: strings.TrimRight(baseURL, "/"), client: client}
+}
+
+// Name implements Blob.
+func (p *PeerBlob) Name() string { return "peer:" + p.base }
+
+// Fetch implements Blob: it downloads the peer's archive stream and
+// extracts it into dir. A peer that does not hold the suite (404) maps to
+// ErrNotFound so the Store falls through to the next tier.
+func (p *PeerBlob) Fetch(ctx context.Context, hash, dir string) error {
+	url := p.base + "/v1/suites/" + hash + "/archive"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set(PeerHeader, "1")
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("suite: %s: %w", p.Name(), err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return fmt.Errorf("suite: %s: %w: %s", p.Name(), ErrNotFound, hash)
+	default:
+		return fmt.Errorf("suite: %s: archive fetch for %s returned status %d", p.Name(), hash, resp.StatusCode)
+	}
+	return extractArchive(resp.Body, dir)
+}

@@ -1,0 +1,201 @@
+package suite
+
+import (
+	"archive/tar"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fakeBlob is a scripted remote tier for store-level tests.
+type fakeBlob struct {
+	name    string
+	fetches int
+	fetch   func(ctx context.Context, hash, dir string) error
+}
+
+func (f *fakeBlob) Name() string { return f.name }
+func (f *fakeBlob) Fetch(ctx context.Context, hash, dir string) error {
+	f.fetches++
+	return f.fetch(ctx, hash, dir)
+}
+
+// TestRemoteFetchRoundTripsThroughArchive exercises the full blob path
+// in-process: a source store archives a suite, a second store's blob tier
+// replays those bytes, and the fetch is verified and committed so the
+// suite is served locally ever after.
+func TestRemoteFetchRoundTripsThroughArchive(t *testing.T) {
+	src := openStore(t)
+	m := tinyManifest()
+	if _, err := src.Ensure(m); err != nil {
+		t.Fatal(err)
+	}
+	hash := m.Hash()
+	var archive bytes.Buffer
+	if err := src.WriteArchive(hash, &archive); err != nil {
+		t.Fatal(err)
+	}
+
+	blob := &fakeBlob{name: "test", fetch: func(_ context.Context, h, dir string) error {
+		if h != hash {
+			return fmt.Errorf("%w: %s", ErrNotFound, h)
+		}
+		return extractArchive(bytes.NewReader(archive.Bytes()), dir)
+	}}
+	dst, err := Open(t.TempDir(), StoreOptions{Workers: 2, Remotes: []Blob{blob}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := dst.Lookup(hash)
+	if err != nil {
+		t.Fatalf("Lookup through blob tier: %v", err)
+	}
+	if st.Source != SourceRemote || !st.Cached {
+		t.Fatalf("fetched suite source=%q cached=%v, want remote/true", st.Source, st.Cached)
+	}
+	if got := dst.Stats(); got.RemoteFetches != 1 || got.SuitesGenerated != 0 {
+		t.Fatalf("stats after fetch: %+v", got)
+	}
+	if err := dst.VerifyChecksums(hash); err != nil {
+		t.Fatalf("checksums after fetch: %v", err)
+	}
+
+	// Committed locally: the next lookup never touches the tier.
+	if _, err := dst.Lookup(hash); err != nil {
+		t.Fatal(err)
+	}
+	if blob.fetches != 1 {
+		t.Fatalf("blob fetched %d times, want 1", blob.fetches)
+	}
+
+	// Ensure for the same manifest is a local hit too — no generation.
+	st2, err := dst.Ensure(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Cached || dst.Stats().SuitesGenerated != 0 {
+		t.Fatalf("Ensure after fetch: cached=%v stats=%+v", st2.Cached, dst.Stats())
+	}
+}
+
+// TestCorruptRemoteIsRejected pins the trust boundary: a tier serving
+// bytes whose manifest does not hash to the requested address (or whose
+// checksums are wrong) must not poison the store. Lookup surfaces the
+// corruption; Ensure falls through and generates the suite itself.
+func TestCorruptRemoteIsRejected(t *testing.T) {
+	m := tinyManifest()
+	hash := m.Hash()
+	evil := &fakeBlob{name: "evil", fetch: func(_ context.Context, _, dir string) error {
+		return os.WriteFile(filepath.Join(dir, "manifest.json"), []byte(`{"device":"wrong"}`), 0o644)
+	}}
+	s, err := Open(t.TempDir(), StoreOptions{Workers: 2, Remotes: []Blob{evil}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := s.Lookup(hash); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("Lookup of corrupt remote suite: err = %v, want corruption report", err)
+	}
+	if _, err := s.LookupLocal(hash); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("corrupt fetch was committed locally: %v", err)
+	}
+	entries, err := os.ReadDir(filepath.Join(s.Root(), "tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("tmp/ holds %d entries after rejected fetch, want 0", len(entries))
+	}
+
+	// Ensure shrugs the corrupt tier off and generates.
+	st, err := s.Ensure(m)
+	if err != nil {
+		t.Fatalf("Ensure with corrupt tier: %v", err)
+	}
+	if st.Cached || st.Source != SourceGenerated {
+		t.Fatalf("Ensure outcome: cached=%v source=%q, want freshly generated", st.Cached, st.Source)
+	}
+	if got := s.Stats(); got.RemoteFetches != 0 || got.SuitesGenerated != 1 {
+		t.Fatalf("stats after fallback generation: %+v", got)
+	}
+}
+
+// TestRemoteNotFoundFallsThrough: a tier that simply lacks the suite is
+// skipped — Lookup reports ErrNotFound, Ensure generates.
+func TestRemoteNotFoundFallsThrough(t *testing.T) {
+	m := tinyManifest()
+	empty := &fakeBlob{name: "empty", fetch: func(_ context.Context, h, _ string) error {
+		return fmt.Errorf("%w: %s", ErrNotFound, h)
+	}}
+	s, err := Open(t.TempDir(), StoreOptions{Workers: 2, Remotes: []Blob{empty}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Lookup(m.Hash()); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Lookup err = %v, want ErrNotFound", err)
+	}
+	st, err := s.Ensure(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Source != SourceGenerated {
+		t.Fatalf("Ensure source = %q, want generated", st.Source)
+	}
+}
+
+// TestArchiveIsDeterministic: the same stored suite archives to the same
+// bytes every time — the property that makes the wire format cacheable
+// and diffable.
+func TestArchiveIsDeterministic(t *testing.T) {
+	s := openStore(t)
+	m := tinyManifest()
+	if _, err := s.Ensure(m); err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := s.WriteArchive(m.Hash(), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteArchive(m.Hash(), &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two archives of the same suite differ")
+	}
+	if a.Len() == 0 {
+		t.Fatal("empty archive")
+	}
+}
+
+// TestExtractArchiveRejectsHostileEntries: traversal names, unexpected
+// files, and nested paths never land on disk.
+func TestExtractArchiveRejectsHostileEntries(t *testing.T) {
+	hostile := func(name string) *bytes.Buffer {
+		var buf bytes.Buffer
+		tw := tar.NewWriter(&buf)
+		if err := tw.WriteHeader(&tar.Header{Name: name, Mode: 0o644, Size: 1}); err != nil {
+			t.Fatal(err)
+		}
+		tw.Write([]byte("x"))
+		tw.Close()
+		return &buf
+	}
+	for _, name := range []string{
+		"../escape.json",
+		"instances/../../escape.qasm",
+		"instances/sub/dir.qasm",
+		"COMPLETE",
+		"unrelated.txt",
+	} {
+		dir := t.TempDir()
+		if err := extractArchive(hostile(name), dir); err == nil {
+			t.Errorf("archive entry %q was accepted", name)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package suite
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"time"
+)
+
+// The cross-process claim/lease file promotes the in-process single-flight
+// group to node scope: N replicas sharing one store root (shared disk)
+// elect exactly one generation leader per suite hash by atomically
+// creating tmp/<hash>.lease (O_CREATE|O_EXCL). Followers — in other
+// processes — back off and re-probe the disk until the leader's COMPLETE
+// marker appears or the lease goes breakable.
+//
+// A lease is breakable when its holder is provably gone: its file is
+// older than the store's janitor gate (the same TmpMaxAge that collects
+// orphaned staging directories — a crashed leader's lease is litter of
+// exactly the same kind), or its recorded pid is dead on this host. A
+// live leader heartbeats the lease (mtime touch) as it generates, so a
+// long generation never looks stale. Leases released on error (not
+// simulated kills) disappear immediately, so an erroring leader never
+// delays the next one.
+const leaseSuffix = ".lease"
+
+// leaseClaim is the lease file's payload: enough to recognize our own
+// host's dead leaders without waiting out the age gate.
+type leaseClaim struct {
+	PID   int       `json:"pid"`
+	Host  string    `json:"host"`
+	Start time.Time `json:"start"`
+}
+
+// lease is a held claim; release removes it, touch heartbeats it.
+type lease struct {
+	path string
+}
+
+func (l *lease) touch() {
+	now := time.Now()
+	os.Chtimes(l.path, now, now)
+}
+
+func (l *lease) release() {
+	os.Remove(l.path)
+}
+
+// acquireLease tries to claim the generation lease for hash. It returns
+// a held lease, or (nil, nil) when another process holds a live claim —
+// the caller should back off and re-probe the disk — or an error for
+// filesystem failures. A stale or dead-holder lease is broken and
+// re-claimed here.
+func (s *Store) acquireLease(hash string) (*lease, error) {
+	path := filepath.Join(s.disk.tmpRoot(), hash+leaseSuffix)
+	for tries := 0; tries < 3; tries++ {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			host, _ := os.Hostname()
+			claim, _ := json.Marshal(leaseClaim{PID: os.Getpid(), Host: host, Start: time.Now()})
+			f.Write(append(claim, '\n'))
+			f.Close()
+			return &lease{path: path}, nil
+		}
+		if !os.IsExist(err) {
+			return nil, err
+		}
+		if !leaseBreakable(path, s.leaseGate) {
+			return nil, nil
+		}
+		// Break the orphaned lease and retry the exclusive create; a
+		// concurrent breaker may claim first, which the next iteration
+		// sees as a live lease.
+		os.Remove(path)
+	}
+	return nil, nil
+}
+
+// leaseBreakable reports whether the lease at path belongs to a holder
+// that is provably gone: aged past the janitor gate, vanished, or a
+// same-host process that no longer exists.
+func leaseBreakable(path string, gate time.Duration) bool {
+	info, err := os.Stat(path)
+	if err != nil {
+		return true // gone already; the create race decides the new holder
+	}
+	if time.Since(info.ModTime()) > gate {
+		return true
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return false // unreadable but fresh: assume live
+	}
+	var claim leaseClaim
+	if err := json.Unmarshal(raw, &claim); err != nil {
+		return false // torn write of a just-created lease: assume live
+	}
+	host, _ := os.Hostname()
+	if claim.Host != "" && claim.Host == host && !pidAlive(claim.PID) {
+		return true
+	}
+	return false
+}
+
+// pidAlive reports whether a process with the given pid exists on this
+// host (signal 0 probe; EPERM means it exists under another user).
+func pidAlive(pid int) bool {
+	if pid <= 0 {
+		return false
+	}
+	p, err := os.FindProcess(pid)
+	if err != nil {
+		return false
+	}
+	err = p.Signal(syscall.Signal(0))
+	return err == nil || errors.Is(err, syscall.EPERM)
+}

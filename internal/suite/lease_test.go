@@ -1,0 +1,241 @@
+package suite
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// openStoreAt opens a second (or Nth) Store over an existing root — the
+// shared-disk replica topology the cross-process lease exists for.
+func openStoreAt(t *testing.T, root string, opts StoreOptions) *Store {
+	t.Helper()
+	if opts.Workers == 0 {
+		opts.Workers = 2
+	}
+	s, err := Open(root, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func leasePath(s *Store, hash string) string {
+	return filepath.Join(s.disk.tmpRoot(), hash+leaseSuffix)
+}
+
+// Two independent Store handles over one root race EnsureCtx for the
+// same manifest from many goroutines: the cross-process lease (plus each
+// store's in-process single-flight) must elect exactly one generation
+// leader fleet-wide, every call must succeed with the same hash, and the
+// committed suite must be checksum-clean with no litter left in tmp/.
+func TestLeaseCrossStoreContentionGeneratesOnce(t *testing.T) {
+	root := t.TempDir()
+	a := openStoreAt(t, root, StoreOptions{})
+	b := openStoreAt(t, root, StoreOptions{})
+	m := tinyManifest()
+
+	const callsPerStore = 6
+	var wg sync.WaitGroup
+	results := make([]*Suite, 2*callsPerStore)
+	errs := make([]error, 2*callsPerStore)
+	for i := 0; i < callsPerStore; i++ {
+		for j, s := range []*Store{a, b} {
+			wg.Add(1)
+			go func(idx int, s *Store) {
+				defer wg.Done()
+				results[idx], errs[idx] = s.EnsureCtx(context.Background(), m)
+			}(i*2+j, s)
+		}
+	}
+	wg.Wait()
+
+	hash := m.Hash()
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatalf("call %d: %v", i, errs[i])
+		}
+		if results[i].Hash != hash {
+			t.Fatalf("call %d returned hash %s, want %s", i, results[i].Hash, hash)
+		}
+	}
+	if total := a.Stats().SuitesGenerated + b.Stats().SuitesGenerated; total != 1 {
+		t.Fatalf("fleet generated %d suites, want exactly 1 (a=%+v b=%+v)", total, a.Stats(), b.Stats())
+	}
+	if err := a.VerifyChecksums(hash); err != nil {
+		t.Fatalf("checksums after contention: %v", err)
+	}
+	entries, err := os.ReadDir(filepath.Join(root, "tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("tmp/ holds %d entries after convergence, want 0 (leases must be released)", len(entries))
+	}
+}
+
+// A leader killed before commit (simulated by chaos faults that leave
+// both its staging directory and its lease behind, exactly as a SIGKILL
+// would) must not wedge the hash: a contending store waits out the lease
+// gate, breaks the dead claim, and generates cleanly.
+func TestLeaseCrashedLeaderIsBrokenAfterGate(t *testing.T) {
+	root := t.TempDir()
+	m := tinyManifest()
+	hash := m.Hash()
+
+	boom := errors.New("killed before commit")
+	crasher := openStoreAt(t, root, StoreOptions{Faults: &Faults{
+		BeforeCommit:       func(string) error { return boom },
+		KeepTmpOnFailure:   true,
+		KeepLeaseOnFailure: true,
+	}})
+	if _, err := crasher.EnsureCtx(context.Background(), m); !errors.Is(err, boom) {
+		t.Fatalf("crashing Ensure error = %v, want %v", err, boom)
+	}
+	if _, err := os.Stat(leasePath(crasher, hash)); err != nil {
+		t.Fatalf("crashed leader left no lease: %v", err)
+	}
+
+	// The recovering store's gate is short; the crashed leader's lease
+	// (held by this very-much-alive process) ages past it and is broken.
+	rescuer := openStoreAt(t, root, StoreOptions{TmpMaxAge: 50 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	st, err := rescuer.EnsureCtx(ctx, m)
+	if err != nil {
+		t.Fatalf("recovery Ensure: %v", err)
+	}
+	if st.Hash != hash || st.Cached {
+		t.Fatalf("recovery returned hash=%s cached=%v, want freshly generated %s", st.Hash, st.Cached, hash)
+	}
+	if err := rescuer.VerifyChecksums(hash); err != nil {
+		t.Fatalf("checksums after recovery: %v", err)
+	}
+	if _, err := os.Stat(leasePath(rescuer, hash)); !os.IsNotExist(err) {
+		t.Fatalf("recovered generation left the broken lease behind (stat err = %v)", err)
+	}
+}
+
+// A lease whose recorded pid belongs to a dead process on this host is
+// broken immediately — no waiting out the age gate. The dead pid comes
+// from a real short-lived child process, so the probe runs against the
+// actual process table.
+func TestLeaseDeadPidIsBrokenImmediately(t *testing.T) {
+	root := t.TempDir()
+	m := tinyManifest()
+	hash := m.Hash()
+	s := openStoreAt(t, root, StoreOptions{})
+
+	cmd := exec.Command("true")
+	if err := cmd.Run(); err != nil {
+		t.Skipf("cannot run child process: %v", err)
+	}
+	deadPid := cmd.ProcessState.Pid()
+
+	host, _ := os.Hostname()
+	claim, _ := json.Marshal(leaseClaim{PID: deadPid, Host: host, Start: time.Now()})
+	if err := os.WriteFile(leasePath(s, hash), claim, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The gate is the default hour; only the dead-pid probe can break
+	// this fresh lease. Bound the call so a regression fails fast instead
+	// of hanging the test run.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	st, err := s.EnsureCtx(ctx, m)
+	if err != nil {
+		t.Fatalf("Ensure against dead-pid lease: %v", err)
+	}
+	if st.Cached {
+		t.Fatal("suite reported cached; nothing had generated it yet")
+	}
+	if s.Stats().SuitesGenerated != 1 {
+		t.Fatalf("SuitesGenerated = %d, want 1", s.Stats().SuitesGenerated)
+	}
+}
+
+// A live same-process lease is NOT broken before the gate: a second
+// store's Ensure must wait for the leader rather than stomp its claim.
+func TestLeaseLiveClaimIsHonored(t *testing.T) {
+	root := t.TempDir()
+	m := tinyManifest()
+	hash := m.Hash()
+
+	// Leader: holds the lease while paused inside generation.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	leader := openStoreAt(t, root, StoreOptions{Faults: &Faults{
+		BeforeInstance: func(string) error {
+			once.Do(func() { close(started); <-release })
+			return nil
+		},
+	}})
+	follower := openStoreAt(t, root, StoreOptions{})
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := leader.EnsureCtx(context.Background(), m)
+		leaderDone <- err
+	}()
+	<-started
+
+	// While the leader is mid-generation its lease exists and is honored.
+	if _, err := os.Stat(leasePath(leader, hash)); err != nil {
+		t.Fatalf("no lease while leader generates: %v", err)
+	}
+	followerDone := make(chan *Suite, 1)
+	go func() {
+		st, err := follower.EnsureCtx(context.Background(), m)
+		if err != nil {
+			t.Errorf("follower: %v", err)
+		}
+		followerDone <- st
+	}()
+	select {
+	case <-followerDone:
+		t.Fatal("follower finished while the leader still held the lease")
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	close(release)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader: %v", err)
+	}
+	st := <-followerDone
+	if st == nil || st.Hash != hash || !st.Cached {
+		t.Fatalf("follower got %+v, want cached suite %s", st, hash)
+	}
+	if total := leader.Stats().SuitesGenerated + follower.Stats().SuitesGenerated; total != 1 {
+		t.Fatalf("fleet generated %d suites, want exactly 1", total)
+	}
+}
+
+// The Open-time janitor collects stale lease files along with stale
+// staging directories: a crashed fleet's litter disappears on the next
+// process start, gated by the same TmpMaxAge.
+func TestOpenJanitorCollectsStaleLease(t *testing.T) {
+	root := t.TempDir()
+	s := openStoreAt(t, root, StoreOptions{})
+	hash := tinyManifest().Hash()
+	stale := leasePath(s, hash)
+	if err := os.WriteFile(stale, []byte(fmt.Sprintf(`{"pid":%d}`, os.Getpid())), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * DefaultTmpMaxAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	openStoreAt(t, root, StoreOptions{})
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale lease survived the janitor (stat err = %v)", err)
+	}
+}

@@ -3,15 +3,13 @@ package suite
 import (
 	"context"
 	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
 	"runtime"
-	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,12 +35,20 @@ type StoreOptions struct {
 	// self-validating (it checks its own solution), so this is a belt for
 	// suites that will be published.
 	Verify bool
-	// TmpMaxAge bounds how old a leftover staging directory may be before
-	// Open's janitor removes it. Staging dirs persist only when a
-	// generating process died mid-write; an age gate keeps the janitor
-	// from deleting a live concurrent generation's workspace. 0 means
-	// DefaultTmpMaxAge; negative disables the janitor.
+	// TmpMaxAge bounds how old a leftover staging directory or lease file
+	// may be before Open's janitor removes it, and how old a lease must be
+	// before a contending process may break it. Staging dirs and leases
+	// persist only when a generating process died mid-write; an age gate
+	// keeps the janitor from deleting a live concurrent generation's
+	// workspace. 0 means DefaultTmpMaxAge; negative disables the janitor
+	// (the lease gate then falls back to DefaultTmpMaxAge).
 	TmpMaxAge time.Duration
+	// Remotes configures the remote Blob tiers consulted, in order, when
+	// the local disk misses: Ensure fetches from the first tier holding
+	// the suite before generating locally, and Lookup before reporting
+	// ErrNotFound. Everything fetched is checksum-verified against its
+	// manifest hash before being committed locally.
+	Remotes []Blob
 	// Faults injects failures for robustness tests; nil in production.
 	Faults *Faults
 }
@@ -67,19 +73,32 @@ type Faults struct {
 	// generation fails, as a killed process would — the litter Open's
 	// janitor exists to collect.
 	KeepTmpOnFailure bool
+	// KeepLeaseOnFailure leaves the cross-process lease file behind when
+	// the leader fails, as a killed process would; contending processes
+	// must then break it via the staleness gate or the dead-pid probe.
+	KeepLeaseOnFailure bool
 }
 
 // Stats is a snapshot of a Store's cache counters.
 type Stats struct {
-	// Hits counts Ensure calls satisfied from disk without generating.
+	// Hits counts Ensure calls satisfied from disk without generating
+	// (followers coalesced onto an in-flight generation count as hits:
+	// they never generate).
 	Hits int64
-	// Misses counts Ensure calls that had to generate (followers coalesced
-	// onto an in-flight generation count as hits: they never generate).
+	// Misses counts Ensure calls that had to generate locally.
 	Misses int64
 	// SuitesGenerated counts completed suite generations.
 	SuitesGenerated int64
 	// InstancesGenerated counts individual benchmark generations.
 	InstancesGenerated int64
+	// RemoteFetches counts suites materialized from a remote Blob tier
+	// (checksum-verified and committed locally instead of generated).
+	// Ensure calls satisfied remotely count here, not in Hits or Misses.
+	RemoteFetches int64
+	// FileReads counts instance-file reads served by ReadInstanceFile —
+	// the serving layer's "a 304 touches the store zero times" assertions
+	// key off this counter.
+	FileReads int64
 }
 
 // InstanceRef identifies one instance within a suite.
@@ -107,29 +126,42 @@ type Suite struct {
 	Metric    family.Metric `json:"metric"`
 	Dir       string        `json:"-"`
 	Instances []InstanceRef `json:"instances"`
-	// Cached reports whether Ensure found the suite on disk (true) or had
-	// to generate it (false).
+	// Cached reports whether the suite's bytes came from a cache — the
+	// local disk or a remote tier — rather than being generated by this
+	// call.
 	Cached bool `json:"cached"`
+	// Source records how this call obtained the suite (disk, generated,
+	// remote). It is process-local accounting, deliberately off the wire:
+	// replicas serve bit-identical suite indexes however each obtained
+	// the bytes.
+	Source Source `json:"-"`
 }
 
 // Store is a content-addressed suite store rooted at a directory. It is
-// safe for concurrent use; concurrent Ensure calls for the same manifest
-// within one process are coalesced by a single-flight group, and
-// cross-process races are resolved by atomic rename (first writer wins,
-// losers adopt the winner's bytes).
+// safe for concurrent use. Concurrent Ensure calls for the same manifest
+// within one process are coalesced by a single-flight group; across
+// processes sharing one root, an atomic claim/lease file elects exactly
+// one generation leader per hash (see lease.go), and any rename race that
+// slips through is resolved atomically (first writer wins, losers adopt
+// the winner's bytes). Stores configured with remote Blob tiers fetch
+// missing suites — checksum-verified — before generating locally.
 type Store struct {
-	root    string
-	workers int
-	verify  bool
-	faults  *Faults
+	disk      disk
+	workers   int
+	verify    bool
+	faults    *Faults
+	remotes   []Blob
+	leaseGate time.Duration
 
 	mu       sync.Mutex
 	inflight map[string]*flight
 
-	hits     atomic.Int64
-	misses   atomic.Int64
-	suiteGen atomic.Int64
-	instGen  atomic.Int64
+	hits        atomic.Int64
+	misses      atomic.Int64
+	suiteGen    atomic.Int64
+	instGen     atomic.Int64
+	remoteFetch atomic.Int64
+	fileReads   atomic.Int64
 }
 
 type flight struct {
@@ -139,14 +171,15 @@ type flight struct {
 }
 
 // Open creates (if needed) and opens a store rooted at dir. Staging
-// directories orphaned by generations that died mid-write (a killed
-// process never reaches its cleanup) are collected here, gated on
-// opts.TmpMaxAge so live concurrent generations are never touched.
+// directories and lease files orphaned by generations that died mid-write
+// (a killed process never reaches its cleanup) are collected here, gated
+// on opts.TmpMaxAge so live concurrent generations are never touched.
 func Open(dir string, opts StoreOptions) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("suite: empty store directory")
 	}
-	for _, sub := range []string{versionDir(dir), filepath.Join(dir, "tmp")} {
+	d := disk{root: dir}
+	for _, sub := range []string{d.versionDir(), d.tmpRoot()} {
 		if err := os.MkdirAll(sub, 0o755); err != nil {
 			return nil, err
 		}
@@ -156,25 +189,31 @@ func Open(dir string, opts StoreOptions) (*Store, error) {
 		maxAge = DefaultTmpMaxAge
 	}
 	if maxAge > 0 {
-		cleanStaleTmp(filepath.Join(dir, "tmp"), maxAge)
+		cleanStaleTmp(d.tmpRoot(), maxAge)
+	}
+	leaseGate := maxAge
+	if leaseGate <= 0 {
+		leaseGate = DefaultTmpMaxAge
 	}
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	return &Store{
-		root:     dir,
-		workers:  workers,
-		verify:   opts.Verify,
-		faults:   opts.Faults,
-		inflight: map[string]*flight{},
+		disk:      d,
+		workers:   workers,
+		verify:    opts.Verify,
+		faults:    opts.Faults,
+		remotes:   opts.Remotes,
+		leaseGate: leaseGate,
+		inflight:  map[string]*flight{},
 	}, nil
 }
 
-// cleanStaleTmp removes staging directories older than maxAge and
-// returns how many it removed. Errors are deliberately swallowed: the
-// janitor is best-effort hygiene, and a stat race with a concurrent
-// process (or a permissions oddity) must never fail Open.
+// cleanStaleTmp removes staging directories (and lease files) older than
+// maxAge and returns how many it removed. Errors are deliberately
+// swallowed: the janitor is best-effort hygiene, and a stat race with a
+// concurrent process (or a permissions oddity) must never fail Open.
 func cleanStaleTmp(tmpRoot string, maxAge time.Duration) int {
 	entries, err := os.ReadDir(tmpRoot)
 	if err != nil {
@@ -195,7 +234,7 @@ func cleanStaleTmp(tmpRoot string, maxAge time.Duration) int {
 }
 
 // Root returns the store's root directory.
-func (s *Store) Root() string { return s.root }
+func (s *Store) Root() string { return s.disk.root }
 
 // Stats returns a snapshot of the store's counters.
 func (s *Store) Stats() Stats {
@@ -204,22 +243,26 @@ func (s *Store) Stats() Stats {
 		Misses:             s.misses.Load(),
 		SuitesGenerated:    s.suiteGen.Load(),
 		InstancesGenerated: s.instGen.Load(),
+		RemoteFetches:      s.remoteFetch.Load(),
+		FileReads:          s.fileReads.Load(),
 	}
-}
-
-func versionDir(root string) string {
-	return filepath.Join(root, fmt.Sprintf("v%d", SchemaVersion))
-}
-
-// suiteDir shards by the first two hash characters to keep any single
-// directory small under heavy population.
-func (s *Store) suiteDir(hash string) string {
-	return filepath.Join(versionDir(s.root), hash[:2], hash)
 }
 
 // InstanceDir returns the directory holding a stored suite's instances.
 func (s *Store) InstanceDir(hash string) string {
-	return filepath.Join(s.suiteDir(hash), "instances")
+	return s.disk.instanceDir(hash)
+}
+
+// ReadInstanceFile returns one stored instance file's bytes, counted in
+// Stats.FileReads. The serving layer funnels every instance-file read
+// through here so "a conditional GET answered 304 touched the store zero
+// times" is assertable from stats alone.
+func (s *Store) ReadInstanceFile(hash, name string) ([]byte, error) {
+	if strings.ContainsAny(name, "/\\") || strings.Contains(name, "..") {
+		return nil, fmt.Errorf("suite: bad instance file name %q", name)
+	}
+	s.fileReads.Add(1)
+	return os.ReadFile(filepath.Join(s.disk.instanceDir(hash), name))
 }
 
 // Ensure returns the suite for the manifest, generating it on a miss.
@@ -243,20 +286,84 @@ func isCancellation(err error) bool {
 // re-probing the disk and, if needed, becoming the next leader under
 // its own still-live context — instead of failing with someone else's
 // cancellation. Each retry backs off briefly so a storm of doomed
-// leaders cannot hot-spin the store.
+// leaders cannot hot-spin the store. When remote Blob tiers are
+// configured, a miss fetches from the first tier holding the suite
+// before generating locally.
 func (s *Store) EnsureCtx(ctx context.Context, m Manifest) (*Suite, error) {
 	m.normalize()
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	hash := m.Hash()
+	return s.materialize(ctx, m.Hash(), &m)
+}
 
+// backoff sleeps an attempt-scaled interval (capped at 100ms), honouring
+// cancellation.
+func backoff(ctx context.Context, attempt int) error {
+	d := time.Duration(1<<min(attempt, 6)) * time.Millisecond * 2
+	if d > 100*time.Millisecond {
+		d = 100 * time.Millisecond
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Lookup returns the stored suite at a content address, consulting remote
+// tiers (if configured) on a local miss, or ErrNotFound. It never
+// generates.
+func (s *Store) Lookup(hash string) (*Suite, error) {
+	return s.LookupCtx(context.Background(), hash)
+}
+
+// LookupCtx is Lookup under a cancellation context (which bounds any
+// remote fetch a local miss triggers).
+func (s *Store) LookupCtx(ctx context.Context, hash string) (*Suite, error) {
+	if len(hash) != sha256.Size*2 {
+		return nil, fmt.Errorf("suite: malformed hash %q", hash)
+	}
+	if len(s.remotes) == 0 {
+		return s.disk.open(hash)
+	}
+	return s.materialize(ctx, hash, nil)
+}
+
+// LookupLocal returns the stored suite at a content address from the
+// local disk only, never touching remote tiers. The archive endpoint
+// serves through this, which is what keeps mutually peered replicas from
+// recursing into each other on a fleet-wide miss.
+func (s *Store) LookupLocal(hash string) (*Suite, error) {
+	if len(hash) != sha256.Size*2 {
+		return nil, fmt.Errorf("suite: malformed hash %q", hash)
+	}
+	return s.disk.open(hash)
+}
+
+// List returns the content addresses of every completed suite in the
+// store, sorted.
+func (s *Store) List() ([]string, error) {
+	return s.disk.list()
+}
+
+// materialize resolves hash to a complete local suite: disk first, then —
+// under the in-process single-flight group and the cross-process lease —
+// remote tiers, then local generation when a manifest is available
+// (m == nil is the Lookup path and reports ErrNotFound instead).
+func (s *Store) materialize(ctx context.Context, hash string, m *Manifest) (*Suite, error) {
+	ensure := m != nil
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if st, err := s.open(hash); err == nil {
-			s.hits.Add(1)
+		if st, err := s.disk.open(hash); err == nil {
+			if ensure {
+				s.hits.Add(1)
+			}
 			return st, nil
 		} else if !errors.Is(err, ErrNotFound) {
 			return nil, err
@@ -279,28 +386,20 @@ func (s *Store) EnsureCtx(ctx context.Context, m Manifest) (*Suite, error) {
 				}
 				return nil, f.err
 			}
-			s.hits.Add(1)
+			if ensure {
+				s.hits.Add(1)
+			}
 			cp := *f.suite
 			cp.Cached = true
+			cp.Source = SourceDisk
 			return &cp, nil
 		}
 		f := &flight{done: make(chan struct{})}
 		s.inflight[hash] = f
 		s.mu.Unlock()
 
-		// Re-probe the disk now that this goroutine is the registered
-		// leader: a previous leader may have committed and deregistered
-		// between the fast-path check above and the registration, and
-		// regenerating here would redo the whole suite for nothing.
-		generated := false
-		if st, err := s.open(hash); err == nil {
-			f.suite = st
-		} else if errors.Is(err, ErrNotFound) {
-			f.suite, f.err = s.generate(ctx, m, hash)
-			generated = true
-		} else {
-			f.err = err
-		}
+		f.suite, f.err = s.fill(ctx, hash, m)
+
 		s.mu.Lock()
 		delete(s.inflight, hash)
 		s.mu.Unlock()
@@ -308,97 +407,116 @@ func (s *Store) EnsureCtx(ctx context.Context, m Manifest) (*Suite, error) {
 		if f.err != nil {
 			return nil, f.err
 		}
-		if !generated {
-			s.hits.Add(1)
-			return f.suite, nil
+		if ensure {
+			switch f.suite.Source {
+			case SourceGenerated:
+				s.misses.Add(1)
+			case SourceDisk:
+				s.hits.Add(1)
+				// SourceRemote is counted by Stats.RemoteFetches alone.
+			}
 		}
-		s.misses.Add(1)
 		return f.suite, nil
 	}
 }
 
-// backoff sleeps an attempt-scaled interval (capped at 100ms), honouring
-// cancellation.
-func backoff(ctx context.Context, attempt int) error {
-	d := time.Duration(1<<min(attempt, 6)) * time.Millisecond * 2
-	if d > 100*time.Millisecond {
-		d = 100 * time.Millisecond
-	}
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
-}
-
-// Lookup returns the stored suite at a content address, or ErrNotFound.
-// It never generates.
-func (s *Store) Lookup(hash string) (*Suite, error) {
-	if len(hash) != sha256.Size*2 {
-		return nil, fmt.Errorf("suite: malformed hash %q", hash)
-	}
-	return s.open(hash)
-}
-
-// List returns the content addresses of every completed suite in the
-// store, sorted.
-func (s *Store) List() ([]string, error) {
-	var out []string
-	shards, err := os.ReadDir(versionDir(s.root))
-	if err != nil {
-		return nil, err
-	}
-	for _, shard := range shards {
-		if !shard.IsDir() {
-			continue
+// fill obtains the suite while holding the in-process flight: it claims
+// the cross-process lease, then probes the disk, the remote tiers, and
+// finally generates. A live lease held by another process means that
+// process is already filling this hash — back off and re-probe until its
+// COMPLETE marker lands or its lease becomes breakable.
+func (s *Store) fill(ctx context.Context, hash string, m *Manifest) (*Suite, error) {
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-		suites, err := os.ReadDir(filepath.Join(versionDir(s.root), shard.Name()))
+		if st, err := s.disk.open(hash); err == nil {
+			return st, nil
+		} else if !errors.Is(err, ErrNotFound) {
+			return nil, err
+		}
+		held, err := s.acquireLease(hash)
 		if err != nil {
 			return nil, err
 		}
-		for _, e := range suites {
-			if !e.IsDir() {
-				continue
+		if held == nil {
+			if err := backoff(ctx, attempt); err != nil {
+				return nil, err
 			}
-			if _, err := os.Stat(filepath.Join(versionDir(s.root), shard.Name(), e.Name(), completeMarker)); err == nil {
-				out = append(out, e.Name())
-			}
+			continue
 		}
+		return s.fillLeader(ctx, hash, m, held)
 	}
-	sort.Strings(out)
-	return out, nil
 }
 
-// open loads a completed suite from disk and cross-checks the stored
-// manifest against its directory name.
-func (s *Store) open(hash string) (*Suite, error) {
-	dir := s.suiteDir(hash)
-	if _, err := os.Stat(filepath.Join(dir, completeMarker)); err != nil {
+// fillLeader runs with the cross-process lease held: re-probe the disk
+// one final time (a previous leader may have committed between our probe
+// and our claim), fetch from remote tiers, or generate.
+func (s *Store) fillLeader(ctx context.Context, hash string, m *Manifest, held *lease) (st *Suite, retErr error) {
+	defer func() {
+		if retErr != nil && s.faults != nil && s.faults.KeepLeaseOnFailure {
+			return // die like a killed process: leave the lease behind
+		}
+		held.release()
+	}()
+	if st, err := s.disk.open(hash); err == nil {
+		return st, nil
+	} else if !errors.Is(err, ErrNotFound) {
+		return nil, err
+	}
+	var remoteErr error
+	for _, blob := range s.remotes {
+		st, err := s.fetchRemote(ctx, hash, blob)
+		if err == nil {
+			return st, nil
+		}
+		if isCancellation(err) {
+			return nil, err
+		}
+		if !errors.Is(err, ErrNotFound) {
+			remoteErr = err // a flaky tier: remember it, try the next
+		}
+	}
+	if m == nil {
+		if remoteErr != nil {
+			return nil, remoteErr
+		}
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, hash)
 	}
-	raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	return s.generate(ctx, *m, hash, held)
+}
+
+// fetchRemote stages a suite from one remote tier, verifies the manifest
+// hash and every checksum, and commits it locally. A concurrent process
+// committing first wins the rename; this process adopts the winner's
+// (bit-identical) bytes.
+func (s *Store) fetchRemote(ctx context.Context, hash string, blob Blob) (*Suite, error) {
+	tmp, err := s.disk.stage(hash[:12] + "-fetch")
 	if err != nil {
 		return nil, err
 	}
-	var m Manifest
-	if err := json.Unmarshal(raw, &m); err != nil {
-		return nil, fmt.Errorf("suite: manifest %s: %w", hash, err)
+	defer os.RemoveAll(tmp) // no-op once the commit rename has moved it
+	if err := blob.Fetch(ctx, hash, tmp); err != nil {
+		return nil, err
 	}
-	m.normalize()
-	if got := m.Hash(); got != hash {
-		return nil, fmt.Errorf("suite: store corruption: directory %s holds manifest hashing to %s", hash, got)
+	if err := verifyStaged(tmp, hash); err != nil {
+		return nil, fmt.Errorf("suite: remote %s served corrupt suite %s: %w", blob.Name(), hash, err)
 	}
-	return &Suite{
-		Hash:      hash,
-		Manifest:  m,
-		Metric:    m.Metric(),
-		Dir:       dir,
-		Instances: m.InstanceRefs(),
-		Cached:    true,
-	}, nil
+	if err := os.WriteFile(filepath.Join(tmp, completeMarker), []byte(hash+"\n"), 0o644); err != nil {
+		return nil, err
+	}
+	if err := s.disk.commit(tmp, hash); err != nil {
+		if _, openErr := s.disk.open(hash); openErr != nil {
+			return nil, fmt.Errorf("suite: commit %s: %w", hash, err)
+		}
+	}
+	s.remoteFetch.Add(1)
+	st, err := s.disk.open(hash)
+	if err != nil {
+		return nil, err
+	}
+	st.Source = SourceRemote
+	return st, nil
 }
 
 // InstanceRefs enumerates the suite's instances in grid order.
@@ -436,7 +554,9 @@ func (s *Store) LoadInstanceWithSolution(hash string, ref InstanceRef) (*family.
 // suite. Cancellation is checked between instances and before each
 // commit step; a cancelled generation removes its staging directory
 // (only a killed process leaves litter — that is the janitor's beat).
-func (s *Store) generate(ctx context.Context, m Manifest, hash string) (_ *Suite, retErr error) {
+// The held lease is heartbeat-touched as instances land so a long
+// generation never looks stale to contending processes.
+func (s *Store) generate(ctx context.Context, m Manifest, hash string, held *lease) (_ *Suite, retErr error) {
 	dev, err := arch.ByName(m.Device)
 	if err != nil {
 		return nil, err
@@ -445,7 +565,7 @@ func (s *Store) generate(ctx context.Context, m Manifest, hash string) (_ *Suite
 	if err != nil {
 		return nil, err
 	}
-	tmp, err := os.MkdirTemp(filepath.Join(s.root, "tmp"), hash[:12]+"-*")
+	tmp, err := s.disk.stage(hash[:12])
 	if err != nil {
 		return nil, err
 	}
@@ -479,6 +599,7 @@ func (s *Store) generate(ctx context.Context, m Manifest, hash string) (_ *Suite
 			return fmt.Errorf("suite: instance %s: %w", ref.Base, err)
 		}
 		s.instGen.Add(1)
+		held.touch()
 		return nil
 	})
 	if err != nil {
@@ -507,13 +628,9 @@ func (s *Store) generate(ctx context.Context, m Manifest, hash string) (_ *Suite
 		}
 	}
 
-	final := s.suiteDir(hash)
-	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
-		return nil, err
-	}
-	if err := os.Rename(tmp, final); err != nil {
+	if err := s.disk.commit(tmp, hash); err != nil {
 		// Another process committed first: adopt its copy.
-		if st, openErr := s.open(hash); openErr == nil {
+		if st, openErr := s.disk.open(hash); openErr == nil {
 			return st, nil
 		}
 		return nil, fmt.Errorf("suite: commit %s: %w", hash, err)
@@ -523,70 +640,47 @@ func (s *Store) generate(ctx context.Context, m Manifest, hash string) (_ *Suite
 		Hash:      hash,
 		Manifest:  m,
 		Metric:    fam.Metric,
-		Dir:       final,
+		Dir:       s.disk.suiteDir(hash),
 		Instances: refs,
 		Cached:    false,
+		Source:    SourceGenerated,
 	}, nil
 }
 
 // VerifyChecksums re-hashes every instance file of a stored suite against
 // its checksum index, detecting on-disk corruption or tampering.
 func (s *Store) VerifyChecksums(hash string) error {
-	st, err := s.open(hash)
+	st, err := s.disk.open(hash)
 	if err != nil {
 		return err
 	}
-	raw, err := os.ReadFile(filepath.Join(st.Dir, "checksums.json"))
-	if err != nil {
-		return err
-	}
-	var want map[string]string
-	if err := json.Unmarshal(raw, &want); err != nil {
-		return fmt.Errorf("suite: checksums %s: %w", hash, err)
-	}
-	got, err := checksumDir(filepath.Join(st.Dir, "instances"))
-	if err != nil {
-		return err
-	}
-	if len(got) != len(want) {
-		return fmt.Errorf("suite: %s has %d instance files, checksum index lists %d", hash, len(got), len(want))
-	}
-	for name, sum := range want {
-		if got[name] != sum {
-			return fmt.Errorf("suite: %s: file %s hashes to %s, index says %s", hash, name, got[name], sum)
-		}
+	if err := verifyChecksumIndex(st.Dir); err != nil {
+		return fmt.Errorf("suite: %s: %w", hash, err)
 	}
 	return nil
 }
 
-// checksumDir maps each file name in dir to its hex SHA-256.
+// checksumDir hashes every regular file in dir, keyed by base name.
 func checksumDir(dir string) (map[string]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[string]string, len(entries))
+	sums := make(map[string]string, len(entries))
 	for _, e := range entries {
 		if e.IsDir() {
 			continue
 		}
-		f, err := os.Open(filepath.Join(dir, e.Name()))
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
 		if err != nil {
 			return nil, err
 		}
-		h := sha256.New()
-		_, err = io.Copy(h, f)
-		f.Close()
-		if err != nil {
-			return nil, err
-		}
-		out[e.Name()] = hex.EncodeToString(h.Sum(nil))
+		sums[e.Name()] = fmt.Sprintf("%x", sha256.Sum256(b))
 	}
-	return out, nil
+	return sums, nil
 }
 
-// writeJSON writes v as indented JSON. Go marshals map keys sorted, so
-// the output is deterministic.
+// writeJSON writes v as indented JSON with a trailing newline.
 func writeJSON(path string, v any) error {
 	b, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
