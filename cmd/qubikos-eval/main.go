@@ -25,6 +25,12 @@
 //	qubikos-eval -family queko-depth -depths 8,16 # depth-objective suites
 //	qubikos-eval -cache-dir cache                 # store-backed, resumable
 //	qubikos-eval -cache-dir cache -suite <hash>   # one stored suite
+//	qubikos-eval -trace out.json                  # Chrome trace of the run
+//
+// Every run prints a wall-time summary table at the end: per (phase,
+// span, tool), how many spans ran and their total/mean/max durations.
+// -trace additionally exports every span as Chrome trace-event JSON for
+// Perfetto or chrome://tracing.
 package main
 
 import (
@@ -40,6 +46,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/family"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/suite"
 )
 
@@ -58,6 +65,7 @@ func main() {
 	jsonlPath := flag.String("jsonl", "", "also stream per-instance result rows to this JSONL file (store mode)")
 	workers := flag.Int("workers", 1, "parallel evaluation workers (store mode)")
 	toolTimeout := flag.Duration("tool-timeout", 0, "per-(tool, instance) routing budget; a tool over budget becomes a failure row instead of hanging the run (0 = unlimited)")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (load in Perfetto or chrome://tracing)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -90,6 +98,12 @@ func main() {
 			}
 		}()
 	}
+
+	// Every run is traced: spans feed the wall-time summary printed at
+	// the end, and -trace additionally exports them as Chrome trace-event
+	// JSON.
+	tr := obs.New(0)
+	ctx := obs.NewContext(context.Background(), tr)
 
 	fam, err := family.Resolve(*famName)
 	if err != nil {
@@ -130,7 +144,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fig := evalStored(store, st, tools, *trials, *seed, *workers, *toolTimeout, *jsonlPath)
+		fig := evalStored(ctx, store, st, tools, *trials, *seed, *workers, *toolTimeout, *jsonlPath)
 		figs = append(figs, fig)
 		harness.RenderFigure(os.Stdout, fig)
 	} else {
@@ -160,7 +174,7 @@ func main() {
 			t0 := time.Now()
 			var fig *harness.Figure
 			if store != nil {
-				st, err := store.Ensure(cfg.Manifest())
+				st, err := store.EnsureCtx(ctx, cfg.Manifest())
 				if err != nil {
 					fatal(err)
 				}
@@ -169,9 +183,9 @@ func main() {
 					status = "cache hit"
 				}
 				fmt.Printf("suite %s (%s)\n", st.Hash, status)
-				fig = evalStored(store, st, tools, *trials, *seed, *workers, *toolTimeout, *jsonlPath)
+				fig = evalStored(ctx, store, st, tools, *trials, *seed, *workers, *toolTimeout, *jsonlPath)
 			} else {
-				fig, err = harness.RunFigureCtx(context.Background(), cfg, tools,
+				fig, err = harness.RunFigureCtx(ctx, cfg, tools,
 					harness.EvalConfig{Seed: cfg.Seed, ToolTimeout: *toolTimeout})
 				if err != nil {
 					fatal(err)
@@ -187,6 +201,17 @@ func main() {
 	fmt.Println("\nBest-tool gap per device:")
 	for _, d := range harness.DeviceGaps(figs) {
 		fmt.Printf("  %-12s best=%-12s %9.2fx\n", d.Device, d.BestTool, d.BestRatio)
+	}
+
+	if rows := tr.Summary(); len(rows) > 0 {
+		fmt.Println("\nWall-time by phase and tool:")
+		obs.RenderSummary(os.Stdout, rows)
+	}
+	if *tracePath != "" {
+		if err := writeTrace(tr, *tracePath); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *tracePath)
 	}
 
 	if *csvPath != "" {
@@ -212,9 +237,26 @@ func main() {
 	}
 }
 
+// writeTrace exports a trace as Chrome trace-event JSON, warning when
+// the ring buffer overwrote early spans.
+func writeTrace(tr *obs.Trace, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tr.WriteChrome(f); err != nil {
+		return err
+	}
+	if n := tr.Dropped(); n > 0 {
+		fmt.Fprintf(os.Stderr, "qubikos-eval: trace buffer overflowed; the %d oldest spans were dropped\n", n)
+	}
+	return f.Close()
+}
+
 // evalStored runs the resumable store-backed evaluation of one suite,
 // optionally mirroring new rows to an external JSONL file.
-func evalStored(store *suite.Store, st *suite.Suite, tools []harness.ToolSpec, trials int, seed int64, workers int, toolTimeout time.Duration, jsonlPath string) *harness.Figure {
+func evalStored(ctx context.Context, store *suite.Store, st *suite.Suite, tools []harness.ToolSpec, trials int, seed int64, workers int, toolTimeout time.Duration, jsonlPath string) *harness.Figure {
 	var keyParts []string
 	for _, t := range tools {
 		keyParts = append(keyParts, t.Name)
@@ -239,7 +281,7 @@ func evalStored(store *suite.Store, st *suite.Suite, tools []harness.ToolSpec, t
 			}
 		}
 	}
-	fig, err := harness.RunStoredEval(store, st, tools, opts)
+	fig, err := harness.RunStoredEvalCtx(ctx, store, st, tools, opts)
 	if err != nil {
 		fatal(err)
 	}

@@ -104,6 +104,21 @@ func main() {
 	enc.SetIndent("", "  ")
 	enc.Encode(out)
 
+	// Human-readable latency digest goes to stderr so stdout stays pure
+	// JSON for scripted consumers.
+	if len(rep.Latency) > 0 {
+		fmt.Fprintln(os.Stderr, "client-observed latency per class:")
+		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+		for _, class := range rep.SortedClasses() {
+			l, ok := rep.Latency[class]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "  %-11s n=%-5d p50=%9.2fms p95=%9.2fms p99=%9.2fms max=%9.2fms\n",
+				class, l.Count, ms(l.P50), ms(l.P95), ms(l.P99), ms(l.Max))
+		}
+	}
+
 	if rep.FailureCount > 0 {
 		fmt.Fprintf(os.Stderr, "qubikos-loadtest: %d failed requests\n", rep.FailureCount)
 		os.Exit(1)

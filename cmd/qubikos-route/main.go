@@ -11,6 +11,7 @@
 //	qubikos-route -dir bench -base qubikos_aspen4_s5_g300_i000 -tool lightsabre
 //	qubikos-route -dir bench -base ... -tool tket -from-optimal
 //	qubikos-route -dir bench -base ... -tool qmap -timeout 30s
+//	qubikos-route -dir bench -base ... -trace out.json
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"repro/internal/bmt"
 	"repro/internal/family"
 	"repro/internal/mlqls"
+	"repro/internal/obs"
 	"repro/internal/qmap"
 	"repro/internal/router"
 	"repro/internal/sabre"
@@ -53,6 +55,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "router seed")
 	fromOptimal := flag.Bool("from-optimal", false, "route from the planted optimal initial mapping")
 	timeout := flag.Duration("timeout", 0, "routing budget; an over-budget run exits non-zero instead of hanging (0 = unlimited)")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the routing run to this file")
 	flag.Parse()
 
 	if *base == "" {
@@ -88,6 +91,14 @@ func main() {
 		defer cancel()
 	}
 
+	var tr *obs.Trace
+	if *tracePath != "" {
+		tr = obs.New(0)
+		ctx = obs.NewContext(ctx, tr)
+	}
+	sp, ctx := obs.Begin(ctx, "route", *tool)
+	sp.Arg("instance", *base)
+
 	var res *router.Result
 	if *fromOptimal {
 		pr, ok := r.(router.PlacedRouter)
@@ -106,6 +117,26 @@ func main() {
 			fatal(fmt.Errorf("routing exceeded the -timeout budget %v", *timeout))
 		}
 		fatal(err)
+	}
+	if ins, ok := r.(router.Instrumented); ok {
+		c := ins.Counters()
+		sp.ArgInt("decisions", c.Decisions)
+		sp.ArgInt("candidates", c.Candidates)
+		sp.ArgInt("restarts", c.Restarts)
+	}
+	sp.End()
+	if tr != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tr.WriteChrome(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *tracePath)
 	}
 	if err := router.Validate(inst.Circuit, inst.Device, res); err != nil {
 		fatal(fmt.Errorf("tool produced an invalid result: %w", err))

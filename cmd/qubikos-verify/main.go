@@ -33,6 +33,7 @@
 //	qubikos-verify -family queko-depth -depths 8,16
 //	qubikos-verify -qasm bench.qasm -arch aspen4 -claim 3
 //	qubikos-verify -cache-dir cache -suite <hash>
+//	qubikos-verify -circuits 5 -trace out.json   # Chrome trace of the run
 package main
 
 import (
@@ -51,6 +52,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/family"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/olsq"
 	"repro/internal/pool"
 	"repro/internal/suite"
@@ -70,6 +72,7 @@ func main() {
 	suiteHash := flag.String("suite", "", "certify a stored suite by content hash (requires -cache-dir)")
 	cacheDir := flag.String("cache-dir", "", "suite store root for -suite mode")
 	timeout := flag.Duration("timeout", 0, "overall certification budget; an over-budget run exits non-zero instead of hanging (0 = unlimited)")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (load in Perfetto or chrome://tracing)")
 	flag.Parse()
 
 	// One context governs the whole run: SIGINT/SIGTERM cancels it (the
@@ -81,6 +84,26 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+	// -trace attaches a span buffer to the run's context; every certified
+	// instance becomes one span carrying its SAT-search counters. fatal()
+	// exits without running defers, so a failed run loses its trace —
+	// acceptable for a diagnostics channel (cpuprofile behaves the same
+	// way in qubikos-eval).
+	if *tracePath != "" {
+		tr := obs.New(0)
+		ctx = obs.NewContext(ctx, tr)
+		defer func() {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			if err := tr.WriteChrome(f); err != nil {
+				fatal(err)
+			}
+			fmt.Println("wrote", *tracePath)
+		}()
 	}
 
 	if *suiteHash != "" {
@@ -229,6 +252,10 @@ func verifySuite(ctx context.Context, cacheDir, hash string, workers int) {
 	errs := make([]error, len(st.Instances))
 	poolErr := pool.ParallelForCtx(ctx, len(st.Instances), workers, func(ji int) error {
 		ref := st.Instances[ji]
+		sp, ctx := obs.Begin(ctx, "verify", "instance")
+		defer sp.End()
+		sp.Arg("instance", ref.Base)
+		sp.ArgInt("optimal", int64(ref.Optimal))
 		if depthMetric {
 			li, err := store.LoadInstanceWithSolution(hash, ref)
 			if err == nil {
@@ -249,11 +276,16 @@ func verifySuite(ctx context.Context, cacheDir, hash string, workers int) {
 			errs[ji] = fmt.Errorf("%s: %w", ref.Base, err)
 			return nil
 		}
-		if err := s.VerifyOptimalCtx(ctx, li.Meta.OptimalSwaps); err != nil {
+		verr := s.VerifyOptimalCtx(ctx, li.Meta.OptimalSwaps)
+		stats := s.SolverStats()
+		sp.ArgInt("conflicts", stats.Conflicts)
+		sp.ArgInt("restarts", stats.Restarts)
+		sp.ArgInt("learned", stats.Learned)
+		if verr != nil {
 			if ctx.Err() != nil {
-				return err
+				return verr
 			}
-			errs[ji] = fmt.Errorf("%s: %w", ref.Base, err)
+			errs[ji] = fmt.Errorf("%s: %w", ref.Base, verr)
 		}
 		return nil
 	})

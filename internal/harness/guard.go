@@ -8,6 +8,7 @@ import (
 	"runtime/debug"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/router"
 )
@@ -44,6 +45,7 @@ func sweepBudget(total, reserved int) *pool.Budget {
 type routeOutcome struct {
 	res      *router.Result
 	err      error
+	r        router.Router // the tool instance, for counter snapshots
 	panicked bool
 	panicVal any
 	stack    []byte
@@ -63,6 +65,10 @@ func routeOneCtx(ctx context.Context, tool ToolSpec, it EvalItem, seed int64, to
 	if err := ctx.Err(); err != nil {
 		return nil, "", err
 	}
+	sp, ctx := obs.Begin(ctx, "eval", "cell")
+	defer sp.End()
+	sp.Arg("tool", tool.Name)
+	sp.Arg("instance", it.ID)
 	toolCtx, cancel := ctx, context.CancelFunc(func() {})
 	if toolTimeout > 0 {
 		toolCtx, cancel = context.WithTimeout(ctx, toolTimeout)
@@ -80,7 +86,7 @@ func routeOneCtx(ctx context.Context, tool ToolSpec, it EvalItem, seed int64, to
 		if br, ok := r.(router.BudgetedRouter); ok && budget != nil {
 			br.SetWorkerBudget(budget)
 		}
-		var out routeOutcome
+		out := routeOutcome{r: r}
 		if it.prep != nil {
 			out.res, out.err = router.RoutePreparedWithContext(toolCtx, r, it.prep)
 		} else {
@@ -98,34 +104,49 @@ func routeOneCtx(ctx context.Context, tool ToolSpec, it EvalItem, seed int64, to
 		// one leaks its goroutine — the price of isolation without
 		// preemption. Either way this worker moves on immediately.
 		if err := ctx.Err(); err != nil {
+			sp.Arg("outcome", "cancelled")
 			return nil, "", err
 		}
+		sp.Arg("outcome", "timeout")
 		return nil, fmt.Sprintf("tool timed out after %v", toolTimeout), nil
+	}
+	if ins, ok := out.r.(router.Instrumented); ok {
+		c := ins.Counters()
+		sp.ArgInt("decisions", c.Decisions)
+		sp.ArgInt("candidates", c.Candidates)
+		sp.ArgInt("restarts", c.Restarts)
 	}
 
 	if out.panicked {
 		log.Printf("harness: tool %s panicked on %s (%s): %v\n%s",
 			tool.Name, it.Device.Name(), it.ID, out.panicVal, out.stack)
+		sp.Arg("outcome", "panic")
 		return nil, fmt.Sprintf("tool panicked: %v", out.panicVal), nil
 	}
 	if out.err != nil {
 		if err := ctx.Err(); err != nil {
+			sp.Arg("outcome", "cancelled")
 			return nil, "", err
 		}
 		if toolCtx.Err() != nil {
 			// The per-tool deadline fired inside the tool and it unwound
 			// on its own before the select noticed.
+			sp.Arg("outcome", "timeout")
 			return nil, fmt.Sprintf("tool timed out after %v", toolTimeout), nil
 		}
+		sp.Arg("outcome", "error")
 		return nil, out.err.Error(), nil
 	}
 	if err := router.Validate(it.Circuit, it.Device, out.res); err != nil {
+		sp.Arg("outcome", "invalid")
 		return nil, "", fmt.Errorf("harness: %s produced invalid result on %s (%s): %w",
 			tool.Name, it.Device.Name(), it.ID, err)
 	}
 	if achieved := it.Metric.Achieved(out.res); achieved < it.Optimal {
+		sp.Arg("outcome", "invalid")
 		return nil, "", fmt.Errorf("harness: %s beat the proven optimal %s on %s (%s): %d < %d",
 			tool.Name, it.Metric, it.Device.Name(), it.ID, achieved, it.Optimal)
 	}
+	sp.Arg("outcome", "ok")
 	return out.res, "", nil
 }

@@ -29,6 +29,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/family"
 	"repro/internal/mlqls"
+	"repro/internal/obs"
 	"repro/internal/olsq"
 	"repro/internal/pool"
 	"repro/internal/qmap"
@@ -582,6 +583,10 @@ func RunOptimalityStudyCtx(ctx context.Context, cfg OptimalityConfig) ([]Optimal
 	}
 
 	run := func(j job) outcome {
+		sp, ctx := obs.Begin(ctx, "verify", "instance")
+		defer sp.End()
+		sp.Arg("device", j.dev.Name())
+		sp.ArgInt("optimal", int64(j.n))
 		b, err := qubikos.Generate(j.dev, qubikos.Options{
 			NumSwaps:            j.n,
 			MaxTwoQubitGates:    cfg.MaxTwoQubitGates,
@@ -600,6 +605,10 @@ func RunOptimalityStudyCtx(ctx context.Context, cfg OptimalityConfig) ([]Optimal
 			return outcome{err: err}
 		}
 		verr := s.VerifyOptimalCtx(ctx, j.n)
+		st := s.SolverStats()
+		sp.ArgInt("conflicts", st.Conflicts)
+		sp.ArgInt("restarts", st.Restarts)
+		sp.ArgInt("learned", st.Learned)
 		if verr != nil && ctx.Err() != nil {
 			// Cancellation mid-proof, not a deviation: abort the study.
 			return outcome{err: verr}

@@ -1,0 +1,57 @@
+package loadtest
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPercentileNearestRank(t *testing.T) {
+	// 1..100ms: nearest-rank p50 is the 50th sample, p99 the 99th.
+	samples := make([]time.Duration, 100)
+	for i := range samples {
+		samples[i] = time.Duration(i+1) * time.Millisecond
+	}
+	for _, tc := range []struct {
+		p    float64
+		want time.Duration
+	}{
+		{50, 50 * time.Millisecond},
+		{95, 95 * time.Millisecond},
+		{99, 99 * time.Millisecond},
+		{100, 100 * time.Millisecond},
+	} {
+		if got := percentile(samples, tc.p); got != tc.want {
+			t.Errorf("p%.0f = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	one := []time.Duration{7 * time.Millisecond}
+	if got := percentile(one, 99); got != 7*time.Millisecond {
+		t.Errorf("p99 of a single sample = %v, want 7ms", got)
+	}
+}
+
+func TestSummarizeLatencies(t *testing.T) {
+	raw := map[string][]time.Duration{
+		// Deliberately unsorted: summarize must sort before ranking.
+		"index": {3 * time.Millisecond, 1 * time.Millisecond, 2 * time.Millisecond},
+		"empty": {},
+	}
+	sum := summarizeLatencies(raw)
+	if _, ok := sum["empty"]; ok {
+		t.Error("empty class must not appear in the summary")
+	}
+	got, ok := sum["index"]
+	if !ok {
+		t.Fatal("index class missing from summary")
+	}
+	want := ClassLatency{
+		Count: 3,
+		P50:   2 * time.Millisecond,
+		P95:   3 * time.Millisecond,
+		P99:   3 * time.Millisecond,
+		Max:   3 * time.Millisecond,
+	}
+	if got != want {
+		t.Errorf("summary = %+v, want %+v", got, want)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"sort"
@@ -87,6 +88,21 @@ type Report struct {
 	Suites map[string]int `json:"suites"`
 	// Elapsed is the wall-clock duration of the mixed phase.
 	Elapsed time.Duration `json:"elapsed_ns"`
+	// Latency summarizes the client-observed latency distribution per
+	// request class: from issuing the request to draining (or, for the
+	// abandon class, walking away from) the body. Failed requests count
+	// too — a 5xx that takes 30s should show up in the tail, not vanish.
+	Latency map[string]ClassLatency `json:"latency"`
+}
+
+// ClassLatency is one request class's client-side latency summary.
+// Percentiles use the nearest-rank method over all recorded samples.
+type ClassLatency struct {
+	Count int           `json:"count"`
+	P50   time.Duration `json:"p50_ns"`
+	P95   time.Duration `json:"p95_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	Max   time.Duration `json:"max_ns"`
 }
 
 // suiteInfo is what the warm-up learns about one manifest.
@@ -102,6 +118,7 @@ type runner struct {
 	mu          sync.Mutex
 	byClass     map[string]int
 	byStatus    map[string]int
+	latencies   map[string][]time.Duration
 	failures    []string
 	failCount   int
 	notModified int
@@ -135,10 +152,11 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		cfg.MaxFailures = 20
 	}
 	r := &runner{
-		cfg:      cfg,
-		client:   cfg.Client,
-		byClass:  map[string]int{},
-		byStatus: map[string]int{},
+		cfg:       cfg,
+		client:    cfg.Client,
+		byClass:   map[string]int{},
+		byStatus:  map[string]int{},
+		latencies: map[string][]time.Duration{},
 	}
 	if r.client == nil {
 		r.client = &http.Client{Timeout: 2 * time.Minute}
@@ -206,6 +224,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		Failures:     r.failures,
 		Suites:       map[string]int{},
 		Elapsed:      time.Since(start),
+		Latency:      summarizeLatencies(r.latencies),
 	}
 	for _, info := range infos {
 		rep.Suites[info.hash] = len(info.bases)
@@ -252,9 +271,11 @@ func (r *runner) ensure(ctx context.Context, target, manifest string) (suiteInfo
 	return info, nil
 }
 
-// one issues a single classed request and records its outcome.
+// one issues a single classed request and records its outcome and
+// client-observed latency (request issued to body drained).
 func (r *runner) one(ctx context.Context, class, target string, info suiteInfo, manifest string, i int) {
 	base := info.bases[i%len(info.bases)]
+	start := time.Now()
 	var (
 		method = http.MethodGet
 		url    string
@@ -290,7 +311,7 @@ func (r *runner) one(ctx context.Context, class, target string, info suiteInfo, 
 
 	req, err := http.NewRequestWithContext(ctx, method, url, body)
 	if err != nil {
-		r.record(class, 0, fmt.Sprintf("%s: build request: %v", class, err))
+		r.record(class, 0, time.Since(start), fmt.Sprintf("%s: build request: %v", class, err))
 		return
 	}
 	if etag != "" {
@@ -299,7 +320,7 @@ func (r *runner) one(ctx context.Context, class, target string, info suiteInfo, 
 	resp, err := r.client.Do(req)
 	if err != nil {
 		if ctx.Err() == nil {
-			r.record(class, 0, fmt.Sprintf("%s %s: %v", class, url, err))
+			r.record(class, 0, time.Since(start), fmt.Sprintf("%s %s: %v", class, url, err))
 		}
 		return
 	}
@@ -315,37 +336,39 @@ func (r *runner) one(ctx context.Context, class, target string, info suiteInfo, 
 		// A path-derived validator for an existing suite must revalidate.
 		detail = fmt.Sprintf("%s %s: conditional GET answered %d, want 304", class, url, resp.StatusCode)
 	}
-	r.record(class, resp.StatusCode, detail)
+	r.record(class, resp.StatusCode, time.Since(start), detail)
 }
 
 // abandon issues a GET and cancels it as soon as the headers land,
 // simulating a client that walks away mid-stream.
 func (r *runner) abandon(ctx context.Context, url string) {
+	start := time.Now()
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	req, err := http.NewRequestWithContext(cctx, http.MethodGet, url, nil)
 	if err != nil {
-		r.record(ClassAbandon, 0, fmt.Sprintf("abandon: build request: %v", err))
+		r.record(ClassAbandon, 0, time.Since(start), fmt.Sprintf("abandon: build request: %v", err))
 		return
 	}
 	resp, err := r.client.Do(req)
 	if err != nil {
 		// Cancellation racing the response is the expected shape here.
-		r.recordAbandon(0)
+		r.recordAbandon(0, time.Since(start))
 		return
 	}
 	var one [1]byte
 	resp.Body.Read(one[:])
 	cancel()
 	resp.Body.Close()
-	r.recordAbandon(resp.StatusCode)
+	r.recordAbandon(resp.StatusCode, time.Since(start))
 }
 
-func (r *runner) record(class string, status int, failure string) {
+func (r *runner) record(class string, status int, elapsed time.Duration, failure string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.byClass[class]++
 	r.byStatus[statusKey(status)]++
+	r.latencies[class] = append(r.latencies[class], elapsed)
 	if status == http.StatusNotModified {
 		r.notModified++
 	}
@@ -357,11 +380,12 @@ func (r *runner) record(class string, status int, failure string) {
 	}
 }
 
-func (r *runner) recordAbandon(status int) {
+func (r *runner) recordAbandon(status int, elapsed time.Duration) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.byClass[ClassAbandon]++
 	r.byStatus[statusKey(status)]++
+	r.latencies[ClassAbandon] = append(r.latencies[ClassAbandon], elapsed)
 	r.abandoned++
 	if status >= 500 {
 		r.failCount++
@@ -369,6 +393,40 @@ func (r *runner) recordAbandon(status int) {
 			r.failures = append(r.failures, fmt.Sprintf("abandon: status %d", status))
 		}
 	}
+}
+
+// summarizeLatencies collapses raw per-class samples into
+// nearest-rank percentiles.
+func summarizeLatencies(raw map[string][]time.Duration) map[string]ClassLatency {
+	out := make(map[string]ClassLatency, len(raw))
+	for class, samples := range raw {
+		if len(samples) == 0 {
+			continue
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		out[class] = ClassLatency{
+			Count: len(samples),
+			P50:   percentile(samples, 50),
+			P95:   percentile(samples, 95),
+			P99:   percentile(samples, 99),
+			Max:   samples[len(samples)-1],
+		}
+	}
+	return out
+}
+
+// percentile returns the nearest-rank p-th percentile of a sorted,
+// non-empty sample slice: the smallest sample such that at least p% of
+// the samples are <= it.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
 }
 
 func statusKey(code int) string {

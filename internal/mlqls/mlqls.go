@@ -63,7 +63,15 @@ func (o Options) withDefaults() Options {
 type Router struct {
 	opts   Options
 	budget *pool.Budget // optional shared worker budget
+	stats  router.Counters
 }
+
+// Counters implements router.Instrumented. The routing stage's SABRE
+// engine contributes its swap decisions and scored candidates; the
+// multilevel placement contributes one Decision per refinement pass run
+// and one Restart per hierarchy level uncoarsened. Like Route itself,
+// not safe to call concurrently with Route.
+func (r *Router) Counters() router.Counters { return r.stats }
 
 // New returns an ML-QLS-style router.
 func New(opts Options) *Router { return &Router{opts: opts.withDefaults()} }
@@ -90,6 +98,7 @@ func (r *Router) RouteFrom(c *circuit.Circuit, dev *arch.Device, initial router.
 	if err != nil {
 		return nil, fmt.Errorf("mlqls: %w", err)
 	}
+	r.stats.Add(eng.Counters())
 	res.Tool = r.Name()
 	return res, nil
 }
@@ -197,6 +206,7 @@ func (r *Router) RoutePreparedCtx(ctx context.Context, p *router.Prepared) (*rou
 	if err != nil {
 		return nil, fmt.Errorf("mlqls: %w", err)
 	}
+	r.stats.Add(eng.Counters())
 	res.Tool = r.Name()
 	return res, nil
 }
@@ -239,9 +249,13 @@ func (r *Router) multilevelPlace(skeleton *circuit.Circuit, dev *arch.Device, rn
 		lv := levels[li]
 		place = project(lv, place, dev, rng)
 		refine(lv.g, place, dev, r.opts.RefinePasses, rng)
+		r.stats.Restarts++
+		r.stats.Decisions += int64(r.opts.RefinePasses)
 	}
 	if len(levels) == 0 {
 		refine(w0, place, dev, r.opts.RefinePasses, rng)
+		r.stats.Restarts++
+		r.stats.Decisions += int64(r.opts.RefinePasses)
 	}
 	return place
 }

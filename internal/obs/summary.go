@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// SummaryRow aggregates every recorded span sharing one (category,
+// name, tool) triple; Tool is the span's "tool" arg when present, empty
+// otherwise. Durations are wall time as each worker saw it, so the
+// Total of concurrent spans can exceed the run's elapsed time.
+type SummaryRow struct {
+	Cat   string
+	Name  string
+	Tool  string
+	Count int
+	Total time.Duration
+	Max   time.Duration
+}
+
+// Mean is the average span duration of the row.
+func (r SummaryRow) Mean() time.Duration {
+	if r.Count == 0 {
+		return 0
+	}
+	return r.Total / time.Duration(r.Count)
+}
+
+// Summary aggregates the trace buffer into per-(category, name, tool)
+// wall-time rows, sorted by category, name, then tool — the shape the
+// qubikos-eval end-of-run table prints.
+func (tr *Trace) Summary() []SummaryRow {
+	tr.mu.Lock()
+	recs := make([]record, len(tr.recs))
+	copy(recs, tr.recs)
+	tr.mu.Unlock()
+
+	type key struct{ cat, name, tool string }
+	agg := map[key]*SummaryRow{}
+	for i := range recs {
+		r := &recs[i]
+		k := key{cat: r.cat, name: r.name}
+		for j := 0; j < int(r.nargs); j++ {
+			if r.args[j].Key == "tool" && !r.args[j].IsInt {
+				k.tool = r.args[j].Str
+				break
+			}
+		}
+		row := agg[k]
+		if row == nil {
+			row = &SummaryRow{Cat: k.cat, Name: k.name, Tool: k.tool}
+			agg[k] = row
+		}
+		row.Count++
+		d := time.Duration(r.dur)
+		row.Total += d
+		if d > row.Max {
+			row.Max = d
+		}
+	}
+	out := make([]SummaryRow, 0, len(agg))
+	for _, row := range agg {
+		out = append(out, *row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cat != out[j].Cat {
+			return out[i].Cat < out[j].Cat
+		}
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Tool < out[j].Tool
+	})
+	return out
+}
+
+// RenderSummary prints summary rows as an aligned table.
+func RenderSummary(w io.Writer, rows []SummaryRow) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%-10s %-14s %-12s %7s %12s %12s %12s\n",
+		"phase", "span", "tool", "count", "total", "mean", "max")
+	for _, r := range rows {
+		tool := r.Tool
+		if tool == "" {
+			tool = "-"
+		}
+		fmt.Fprintf(w, "%-10s %-14s %-12s %7d %12v %12v %12v\n",
+			r.Cat, r.Name, tool, r.Count,
+			r.Total.Round(time.Microsecond),
+			r.Mean().Round(time.Microsecond),
+			r.Max.Round(time.Microsecond))
+	}
+}

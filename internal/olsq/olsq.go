@@ -87,6 +87,17 @@ type Result struct {
 	SwapEdges []*graph.Edge
 }
 
+// SolverStats returns the search-effort counters of the underlying
+// incremental SAT solver, accumulated across every Decide/MinSwaps/
+// VerifyOptimal call on this Solver. Before the first solve it returns
+// the zero value.
+func (s *Solver) SolverStats() sat.Stats {
+	if s.inc == nil || s.inc.solver == nil {
+		return sat.Stats{}
+	}
+	return s.inc.solver.Stats()
+}
+
 // ensureEncoded returns the persistent incremental encoding, growing it
 // in place when the requested bound exceeds the encoded one. Every block
 // is encoded exactly once across the solver's lifetime; Decide selects a

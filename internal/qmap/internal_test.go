@@ -179,6 +179,9 @@ func TestSearchLayerSteadyStateAllocs(t *testing.T) {
 	if a := testing.AllocsPerRun(20, search); a > 4 {
 		t.Fatalf("warm layer search allocates %.1f objects, want at most the returned seq+mapping (4)", a)
 	}
+	if e.cntPops == 0 || e.cntGen == 0 {
+		t.Fatalf("instrumented search recorded no work: pops=%d generated=%d", e.cntPops, e.cntGen)
+	}
 }
 
 func TestInitialPlacementInjective(t *testing.T) {

@@ -90,7 +90,16 @@ type Router struct {
 	initial router.Mapping // non-nil: skip placement
 	eng     *engine        // A* scratch reused across calls
 	budget  *pool.Budget   // optional shared worker budget
+	stats   router.Counters
 }
+
+// Counters implements router.Instrumented: Decisions are A* node
+// expansions (pops), Candidates the successor states generated,
+// Restarts the per-layer searches run. The engine counts into plain
+// fields owned by the serial reducer loop; deltas fold into the Router
+// once per Route, so the wave loop stays atomic-free and 0 B/op. Like
+// Route itself, not safe to call concurrently with Route.
+func (r *Router) Counters() router.Counters { return r.stats }
 
 // New returns a QMAP-style router.
 func New(opts Options) *Router { return &Router{opts: opts.withDefaults()} }
@@ -105,7 +114,9 @@ func (r *Router) SetWorkerBudget(b *pool.Budget) { r.budget = b }
 // RouteFrom implements router.PlacedRouter.
 func (r *Router) RouteFrom(c *circuit.Circuit, dev *arch.Device, initial router.Mapping) (*router.Result, error) {
 	pinned := &Router{opts: r.opts, initial: router.PadMapping(initial, dev.NumQubits()), budget: r.budget}
-	return pinned.Route(c, dev)
+	res, err := pinned.Route(c, dev)
+	r.stats.Add(pinned.stats)
+	return res, err
 }
 
 // Name implements router.Router.
@@ -177,6 +188,10 @@ func (r *Router) RoutePreparedCtx(ctx context.Context, p *router.Prepared) (*rou
 	out := circuit.New(skeleton.NumQubits)
 	swaps := 0
 
+	// The engine persists across Route calls (and is replaced when the
+	// device changes), so the per-call work is the counter delta.
+	pops0, gen0 := e.cntPops, e.cntGen
+
 	for li, layer := range layers {
 		var next []int
 		if li+1 < len(layers) {
@@ -219,6 +234,9 @@ func (r *Router) RoutePreparedCtx(ctx context.Context, p *router.Prepared) (*rou
 	if err != nil {
 		return nil, fmt.Errorf("qmap: %w", err)
 	}
+	r.stats.Decisions += e.cntPops - pops0
+	r.stats.Candidates += e.cntGen - gen0
+	r.stats.Restarts += int64(len(layers))
 	return &router.Result{
 		Tool:           r.Name(),
 		InitialMapping: initial,
@@ -284,6 +302,11 @@ type engine struct {
 	// check polls for cancellation once per expansion wave; the zero
 	// value (direct engine users, background contexts) is inert.
 	check router.CtxChecker
+
+	// Work counters owned by the serial reducer loop (identical at any
+	// gang worker count): node pops and successors generated.
+	cntPops int64
+	cntGen  int64
 
 	zob []uint64 // Zobrist keys, (program qubit, physical qubit) pairs
 
@@ -463,6 +486,7 @@ func (e *engine) searchLayer(opts Options, start router.Mapping, layer, next []i
 	for len(e.heap) > 0 && nodes < opts.MaxNodes && !e.check.Tick() {
 		cur := e.heapPop()
 		nodes++
+		e.cntPops++
 		if e.states[cur].excess == 0 {
 			// Integer excess is exact: 0 ⇔ every layer gate at distance 1.
 			e.apply(cur, m, inv)
@@ -530,6 +554,7 @@ func (e *engine) searchLayer(opts Options, start router.Mapping, layer, next []i
 			}
 		}
 		nw := len(e.wA)
+		e.cntGen += int64(nw)
 		if cap(e.wSlot) < nw {
 			e.wSlot = make([]int32, nw)
 			e.wH4 = make([]int32, nw)

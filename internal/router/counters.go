@@ -1,0 +1,45 @@
+package router
+
+// Counters are a router's coarse per-Route work counters — the phase
+// telemetry the harness folds into its per-cell spans. The semantics are
+// deliberately tool-shaped rather than uniform, because the tools do
+// different work:
+//
+//   - Decisions counts decision-loop iterations: SABRE/t|ket⟩-style
+//     swap decisions, QMAP-style A* node expansions, ML-QLS refinement
+//     passes.
+//   - Candidates counts the moves scored while making those decisions
+//     (candidate SWAPs evaluated, successor states generated).
+//   - Restarts counts independent attempts folded into one Route:
+//     LightSABRE trials, QMAP layer searches, ML-QLS placement levels.
+//
+// Counters are cumulative since the router was constructed. The harness
+// constructs a fresh router per (tool, instance) cell, so a snapshot
+// after Route is that cell's work.
+//
+// Implementations accumulate into plain (or engine-local) integers and
+// publish them only at Route boundaries, so decision loops keep their
+// 0 B/op, atomic-free contracts — pinned by the existing alloc-flatness
+// benchmarks, which run with instrumentation in place.
+type Counters struct {
+	Decisions  int64
+	Candidates int64
+	Restarts   int64
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o Counters) {
+	c.Decisions += o.Decisions
+	c.Candidates += o.Candidates
+	c.Restarts += o.Restarts
+}
+
+// Instrumented is a Router that exposes work counters. All four paper
+// tools implement it; the interface is optional so third-party or test
+// routers need not.
+type Instrumented interface {
+	Router
+	// Counters returns the work done by all Route calls since the router
+	// was constructed. It must not be called concurrently with Route.
+	Counters() Counters
+}

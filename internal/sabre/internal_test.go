@@ -193,6 +193,10 @@ func TestRunSteadyStateAllocs(t *testing.T) {
 	allocs := testing.AllocsPerRun(10, func() {
 		e.run(dag, mapping, rng, false, nil, 0)
 	})
+	if e.cntDecisions == 0 || e.cntCandidates == 0 {
+		t.Fatalf("instrumented pass recorded no work: decisions=%d candidates=%d",
+			e.cntDecisions, e.cntCandidates)
+	}
 	if allocs != 0 {
 		t.Fatalf("routing pass allocated %v objects per run, want 0", allocs)
 	}

@@ -24,6 +24,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/arch"
 	"repro/internal/circuit"
@@ -134,6 +135,24 @@ type Router struct {
 	name   string
 	fixed  router.Mapping // non-nil: placement pinned, no restart search
 	budget *pool.Budget   // optional shared worker budget
+
+	// Work counters since construction (router.Instrumented). Trial
+	// engines count into plain engine-local integers and merge here once
+	// per worker, so the decision loop stays atomic-free and 0 B/op.
+	decisions  atomic.Int64
+	candidates atomic.Int64
+	restarts   atomic.Int64
+}
+
+// Counters implements router.Instrumented: Decisions are swap decisions
+// across all trials, Candidates the candidate SWAPs scored while making
+// them, Restarts the independent trials run.
+func (r *Router) Counters() router.Counters {
+	return router.Counters{
+		Decisions:  r.decisions.Load(),
+		Candidates: r.candidates.Load(),
+		Restarts:   r.restarts.Load(),
+	}
 }
 
 // SetWorkerBudget implements router.BudgetedRouter: with a budget
@@ -234,6 +253,10 @@ func (r *Router) RoutePreparedCtx(ctx context.Context, p *router.Prepared) (*rou
 				rng := rand.New(rand.NewSource(r.opts.Seed + 1000003*int64(trial)))
 				results[trial] = r.runTrial(e, skeleton, fwdDAG, bwdDAG, dev, rng, trial)
 			}
+			// One merge per worker, after all its trials: the engine's
+			// plain counters reach the router's atomics off the hot path.
+			r.decisions.Add(e.cntDecisions)
+			r.candidates.Add(e.cntCandidates)
 		}()
 	}
 	for trial := 0; trial < r.opts.Trials; trial++ {
@@ -248,6 +271,7 @@ func (r *Router) RoutePreparedCtx(ctx context.Context, p *router.Prepared) (*rou
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("sabre: %w", err)
 	}
+	r.restarts.Add(int64(r.opts.Trials))
 
 	best := results[0]
 	for _, tr := range results[1:] {
@@ -277,6 +301,11 @@ func (r *Router) RouteFrom(c *circuit.Circuit, dev *arch.Device, initial router.
 	if err != nil {
 		return nil, err
 	}
+	// The pinned clone did the work; fold its counters back into the
+	// router the caller holds.
+	r.decisions.Add(pinned.decisions.Load())
+	r.candidates.Add(pinned.candidates.Load())
+	r.restarts.Add(pinned.restarts.Load())
 	res.Tool = r.name
 	return res, nil
 }
@@ -329,6 +358,11 @@ type passEngine struct {
 	front []int
 	decay []float64
 	inv   []int // layout inverse scratch
+
+	// Engine-local work counters: plain adds in the decision loop,
+	// merged into the Router's atomics once per worker.
+	cntDecisions  int64
+	cntCandidates int64
 
 	// Per-decision scratch. epoch increments once per swap decision;
 	// every stamp array compares against it instead of being cleared.
@@ -547,6 +581,7 @@ func (e *passEngine) run(dag *circuit.DAG, mapping router.Mapping, rng *rand.Ran
 		// gates indexed at qa and qb — cost terms are integer deltas, not
 		// re-sums.
 		e.epoch++
+		e.cntDecisions++
 		ep := e.epoch
 		uniformLook := e.opts.LookaheadDecay <= 0
 		if e.frontDirty {
@@ -643,6 +678,7 @@ func (e *passEngine) run(dag *circuit.DAG, mapping router.Mapping, rng *rand.Ran
 			}
 		}
 		e.cands = cands
+		e.cntCandidates += int64(len(cands))
 
 		bestIdx := -1
 		var bestTotal float64

@@ -106,6 +106,8 @@ type Solver struct {
 	conflicts    int64
 	decisions    int64
 	propagations int64
+	restarts     int64
+	learned      int64
 
 	// Budget caps the number of conflicts per Solve call; 0 = unlimited.
 	Budget int64
@@ -161,9 +163,25 @@ func (s *Solver) NewVar() int {
 // NumVars returns the number of allocated variables.
 func (s *Solver) NumVars() int { return s.nVars }
 
-// Stats returns (conflicts, decisions, propagations) accumulated so far.
-func (s *Solver) Stats() (int64, int64, int64) {
-	return s.conflicts, s.decisions, s.propagations
+// Stats is a snapshot of the solver's search-effort counters, accumulated
+// across every Solve/SolveAssuming call on the receiver.
+type Stats struct {
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Restarts     int64 // Luby restarts taken
+	Learned      int64 // learnt clauses added (unit learnts included)
+}
+
+// Stats returns the counters accumulated so far.
+func (s *Solver) Stats() Stats {
+	return Stats{
+		Conflicts:    s.conflicts,
+		Decisions:    s.decisions,
+		Propagations: s.propagations,
+		Restarts:     s.restarts,
+		Learned:      s.learned,
+	}
 }
 
 // AddClause adds a disjunction of literals. Tautologies are dropped;
@@ -705,6 +723,7 @@ func (s *Solver) solveAssuming(done <-chan struct{}, assumptions []Lit) Status {
 			// assumption we detect failure at re-assumption below.
 			learnt, btLevel := s.analyze(confl)
 			s.backtrackTo(btLevel)
+			s.learned++
 			if len(learnt) == 1 {
 				if !s.enqueue(learnt[0], crefUndef) {
 					s.unsat = true
@@ -739,6 +758,7 @@ func (s *Solver) solveAssuming(done <-chan struct{}, assumptions []Lit) Status {
 			}
 			if s.conflicts-conflictsAtStart >= conflictBudget {
 				// Luby restart.
+				s.restarts++
 				restartNum++
 				conflictBudget = s.conflicts - conflictsAtStart + luby(restartNum)*100
 				s.backtrackTo(0)

@@ -592,9 +592,12 @@ func TestLuby(t *testing.T) {
 func TestStatsAccumulate(t *testing.T) {
 	s := pigeonhole(5)
 	s.Solve()
-	c, d, p := s.Stats()
-	if c == 0 || d == 0 || p == 0 {
-		t.Errorf("stats look dead: conflicts=%d decisions=%d props=%d", c, d, p)
+	st := s.Stats()
+	if st.Conflicts == 0 || st.Decisions == 0 || st.Propagations == 0 {
+		t.Errorf("stats look dead: %+v", st)
+	}
+	if st.Learned == 0 {
+		t.Errorf("pigeonhole solve learned no clauses: %+v", st)
 	}
 }
 

@@ -1,52 +1,86 @@
 package server
 
 import (
-	"fmt"
 	"net/http"
-	"sort"
-	"strings"
-	"sync"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/suite"
 )
 
-// metrics is the server's hand-rolled Prometheus-style registry. The
-// service deliberately carries no metrics dependency; the text exposition
-// format is a few sorted lines, and everything counted here is a plain
-// counter or a gauge computed at scrape time.
+// metrics is the server's metric surface, built on the shared obs
+// registry. The service deliberately carries no metrics dependency; the
+// obs core renders the text exposition format and everything counted
+// here is an atomic counter, a scrape-time gauge, or a fixed-bucket
+// latency histogram.
 type metrics struct {
-	mu          sync.Mutex
-	requests    map[routeCode]int64
-	cache       map[string]int64
-	conditional map[string]int64
-}
-
-// routeCode keys the request counter: the route is the server's stable
-// handler name (not the raw URL, which would make per-hash cardinality
-// unbounded), the code the final HTTP status.
-type routeCode struct {
-	route string
-	code  int
+	reg         *obs.Registry
+	requests    *obs.CounterVec
+	duration    *obs.HistogramVec
+	cache       *obs.CounterVec
+	conditional *obs.CounterVec
 }
 
 func newMetrics() *metrics {
+	reg := obs.NewRegistry()
 	return &metrics{
-		requests:    map[routeCode]int64{},
-		cache:       map[string]int64{},
-		conditional: map[string]int64{},
+		reg: reg,
+		requests: reg.CounterVec("qubikos_http_requests_total",
+			"HTTP requests served, by route and status code.", "route", "code"),
+		duration: reg.HistogramVec("qubikos_http_request_duration_seconds",
+			"Request latency from arrival to the last response byte, by route.", nil, "route"),
+		cache: reg.CounterVec("qubikos_suite_cache_total",
+			"Suite-serving cache outcomes (the X-Cache header).", "result"),
+		conditional: reg.CounterVec("qubikos_http_conditional_total",
+			"Conditional (If-None-Match) request outcomes.", "result"),
 	}
 }
 
-// observeRequest counts one finished request.
-func (m *metrics) observeRequest(route string, code int) {
-	m.mu.Lock()
-	m.requests[routeCode{route, code}]++
-	m.mu.Unlock()
+// registerServerFamilies adds the scrape-time families that read live
+// server state: LRU residency gauges and the suite store's own counters
+// (exposed as bare `name value` lines, which the load-smoke CI greps
+// pin).
+func (s *Server) registerServerFamilies() {
+	reg := s.metrics.reg
+	reg.GaugeFunc("qubikos_lru_resident_suites",
+		"Suites resident in the in-memory LRU.",
+		func() int64 { return int64(s.lru.len()) })
+	reg.GaugeFunc("qubikos_lru_cached_bytes",
+		"Instance-file bytes pinned by resident suites.",
+		func() int64 { return s.lru.totalBytes() })
+	for _, g := range []struct {
+		name, help string
+		fn         func(st suite.Stats) int64
+	}{
+		{"qubikos_store_suite_hits_total", "Ensure calls satisfied from disk.",
+			func(st suite.Stats) int64 { return st.Hits }},
+		{"qubikos_store_suite_misses_total", "Ensure calls that generated locally.",
+			func(st suite.Stats) int64 { return st.Misses }},
+		{"qubikos_store_suites_generated_total", "Completed suite generations.",
+			func(st suite.Stats) int64 { return st.SuitesGenerated }},
+		{"qubikos_store_instances_generated_total", "Individual benchmark generations.",
+			func(st suite.Stats) int64 { return st.InstancesGenerated }},
+		{"qubikos_store_remote_fetches_total", "Suites fetched from a remote tier.",
+			func(st suite.Stats) int64 { return st.RemoteFetches }},
+		{"qubikos_store_file_reads_total", "Instance-file reads served by the store.",
+			func(st suite.Stats) int64 { return st.FileReads }},
+	} {
+		fn := g.fn
+		reg.CounterFunc(g.name, g.help, func() int64 { return fn(s.store.Stats()) })
+	}
+}
+
+// observeRequest counts one finished request and records its latency to
+// the last response byte.
+func (m *metrics) observeRequest(route string, code int, elapsed time.Duration) {
+	m.requests.With(route, strconv.Itoa(code)).Inc()
+	m.duration.With(route).Observe(elapsed.Seconds())
 }
 
 // observeCache counts one X-Cache outcome (hit, miss, remote).
 func (m *metrics) observeCache(label string) {
-	m.mu.Lock()
-	m.cache[label]++
-	m.mu.Unlock()
+	m.cache.With(label).Inc()
 }
 
 // observeConditional counts one conditional (If-None-Match) request:
@@ -58,18 +92,19 @@ func (m *metrics) observeConditional(notModified bool) {
 	if notModified {
 		label = "not_modified"
 	}
-	m.mu.Lock()
-	m.conditional[label]++
-	m.mu.Unlock()
+	m.conditional.With(label).Inc()
 }
 
-// statusRecorder captures the final status code of a response while
-// delegating everything — including streaming flushes — to the wrapped
-// writer.
+// statusRecorder captures the final status code and the time of the
+// last response byte while delegating everything — including streaming
+// flushes — to the wrapped writer. Tracking the last write (not the
+// handler return and not the first byte) is what makes the route
+// latency histogram measure time-to-last-byte for streamed evals.
 type statusRecorder struct {
 	http.ResponseWriter
 	code  int
 	wrote bool
+	last  time.Time // time of the most recent header/body write or flush
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
@@ -77,81 +112,33 @@ func (r *statusRecorder) WriteHeader(code int) {
 		r.code = code
 		r.wrote = true
 	}
+	r.last = time.Now()
 	r.ResponseWriter.WriteHeader(code)
 }
 
 func (r *statusRecorder) Write(b []byte) (int, error) {
 	r.wrote = true
-	return r.ResponseWriter.Write(b)
+	n, err := r.ResponseWriter.Write(b)
+	r.last = time.Now()
+	return n, err
 }
 
 // Flush preserves http.Flusher through the wrapper: the eval endpoint
 // streams JSONL rows and detects flushability by interface assertion.
+// A flush pushes buffered bytes to the client, so it advances the
+// last-byte time too.
 func (r *statusRecorder) Flush() {
 	if f, ok := r.ResponseWriter.(http.Flusher); ok {
 		f.Flush()
+		r.last = time.Now()
 	}
 }
 
-// handleMetrics serves the Prometheus text exposition: request counters
-// by route and code, cache outcome counters, conditional-request
-// counters, LRU residency gauges, and the suite store's own counters.
+// handleMetrics serves the Prometheus text exposition of every
+// registered family: request counters and latency histograms by route,
+// cache outcome counters, conditional-request counters, LRU residency
+// gauges, and the suite store's own counters.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	var b strings.Builder
-
-	m := s.metrics
-	m.mu.Lock()
-	reqLines := make([]string, 0, len(m.requests))
-	for k, v := range m.requests {
-		reqLines = append(reqLines, fmt.Sprintf("qubikos_http_requests_total{route=%q,code=\"%d\"} %d", k.route, k.code, v))
-	}
-	cacheLines := make([]string, 0, len(m.cache))
-	for k, v := range m.cache {
-		cacheLines = append(cacheLines, fmt.Sprintf("qubikos_suite_cache_total{result=%q} %d", k, v))
-	}
-	condLines := make([]string, 0, len(m.conditional))
-	for k, v := range m.conditional {
-		condLines = append(condLines, fmt.Sprintf("qubikos_http_conditional_total{result=%q} %d", k, v))
-	}
-	m.mu.Unlock()
-	sort.Strings(reqLines)
-	sort.Strings(cacheLines)
-	sort.Strings(condLines)
-
-	b.WriteString("# HELP qubikos_http_requests_total HTTP requests served, by route and status code.\n")
-	b.WriteString("# TYPE qubikos_http_requests_total counter\n")
-	for _, l := range reqLines {
-		b.WriteString(l + "\n")
-	}
-	b.WriteString("# HELP qubikos_suite_cache_total Suite-serving cache outcomes (the X-Cache header).\n")
-	b.WriteString("# TYPE qubikos_suite_cache_total counter\n")
-	for _, l := range cacheLines {
-		b.WriteString(l + "\n")
-	}
-	b.WriteString("# HELP qubikos_http_conditional_total Conditional (If-None-Match) request outcomes.\n")
-	b.WriteString("# TYPE qubikos_http_conditional_total counter\n")
-	for _, l := range condLines {
-		b.WriteString(l + "\n")
-	}
-
-	fmt.Fprintf(&b, "# HELP qubikos_lru_resident_suites Suites resident in the in-memory LRU.\n# TYPE qubikos_lru_resident_suites gauge\nqubikos_lru_resident_suites %d\n", s.lru.len())
-	fmt.Fprintf(&b, "# HELP qubikos_lru_cached_bytes Instance-file bytes pinned by resident suites.\n# TYPE qubikos_lru_cached_bytes gauge\nqubikos_lru_cached_bytes %d\n", s.lru.totalBytes())
-
-	st := s.store.Stats()
-	for _, g := range []struct {
-		name, help string
-		v          int64
-	}{
-		{"qubikos_store_suite_hits_total", "Ensure calls satisfied from disk.", st.Hits},
-		{"qubikos_store_suite_misses_total", "Ensure calls that generated locally.", st.Misses},
-		{"qubikos_store_suites_generated_total", "Completed suite generations.", st.SuitesGenerated},
-		{"qubikos_store_instances_generated_total", "Individual benchmark generations.", st.InstancesGenerated},
-		{"qubikos_store_remote_fetches_total", "Suites fetched from a remote tier.", st.RemoteFetches},
-		{"qubikos_store_file_reads_total", "Instance-file reads served by the store.", st.FileReads},
-	} {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", g.name, g.help, g.name, g.name, g.v)
-	}
-
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	w.Write([]byte(b.String()))
+	s.metrics.reg.WritePrometheus(w)
 }

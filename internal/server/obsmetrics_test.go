@@ -1,0 +1,219 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/suite"
+)
+
+// TestRouteLatencyMeasuresLastByte pins the streamed-response fix: the
+// route latency histogram must cover the time to the LAST response
+// byte, not the first. A handler that streams a row, sleeps, then
+// writes again must record a duration covering the sleep.
+func TestRouteLatencyMeasuresLastByte(t *testing.T) {
+	store, err := suite.Open(t.TempDir(), suite.StoreOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(store, Options{})
+	const pause = 30 * time.Millisecond
+	srv.handle("GET /stream", "stream", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("row1\n"))
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		time.Sleep(pause)
+		w.Write([]byte("row2\n"))
+	})
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stream", nil))
+	h := srv.metrics.duration.With("stream")
+	if h.Count() != 1 {
+		t.Fatalf("duration count = %d, want 1", h.Count())
+	}
+	if got := h.Sum(); got < pause.Seconds()*0.8 {
+		t.Fatalf("recorded latency %.3fs stops before the last byte (streamed for %v)", got, pause)
+	}
+}
+
+// TestMetricsExposesRouteLatency: the duration histogram family shows
+// up on /metrics with per-route buckets.
+func TestMetricsExposesRouteLatency(t *testing.T) {
+	ts, _ := newTestServer(t)
+	get(t, ts.URL+"/healthz")
+	body := readMetrics(t, ts.URL)
+	for _, want := range []string{
+		`qubikos_http_request_duration_seconds_bucket{route="healthz",le="+Inf"} 1`,
+		`qubikos_http_request_duration_seconds_count{route="healthz"} 1`,
+		`qubikos_http_request_duration_seconds_sum{route="healthz"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\n%s", want, body)
+		}
+	}
+}
+
+// TestMetricsPromtextLint runs a structural lint over the FULL /metrics
+// exposition after real traffic: every sample parses, every family is
+// announced by HELP and TYPE before its samples, families are sorted,
+// and histogram buckets are cumulative with the +Inf bucket equal to
+// the count.
+func TestMetricsPromtextLint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	hash, base := ensureTiny(t, ts.URL)
+	get(t, ts.URL+"/v1/suites/"+hash)
+	get(t, ts.URL+"/v1/suites/"+hash+"/instances/"+base+"/qasm")
+	do(t, http.MethodGet, ts.URL+"/v1/suites/"+hash, `"`+hash+`"`) // 304
+	if err := lintPromText(readMetrics(t, ts.URL)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readMetrics(t *testing.T, baseURL string) string {
+	t.Helper()
+	r := get(t, baseURL+"/metrics")
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+var (
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^{}]*)\})? (-?[0-9.eE+-]+|NaN)$`)
+	labelRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"$`)
+	helpRe   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .+$`)
+	typeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
+)
+
+// lintPromText structurally validates a text exposition (format 0.0.4).
+func lintPromText(text string) error {
+	type family struct {
+		typ       string
+		hasHelp   bool
+		lastCum   int64
+		count     int64
+		hasCount  bool
+		infBucket int64
+		hasInf    bool
+	}
+	families := map[string]*family{}
+	var order []string
+	current := ""
+	baseName := func(name string) string {
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			b := strings.TrimSuffix(name, suffix)
+			if b != name {
+				if f, ok := families[b]; ok && f.typ == "histogram" {
+					return b
+				}
+			}
+		}
+		return name
+	}
+	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if m := helpRe.FindStringSubmatch(line); m != nil {
+			name := m[1]
+			if _, dup := families[name]; dup {
+				return fmt.Errorf("line %d: duplicate HELP for %s", ln+1, name)
+			}
+			families[name] = &family{hasHelp: true}
+			order = append(order, name)
+			current = name
+			continue
+		}
+		if m := typeRe.FindStringSubmatch(line); m != nil {
+			f, ok := families[m[1]]
+			if !ok || !f.hasHelp {
+				return fmt.Errorf("line %d: TYPE before HELP for %s", ln+1, m[1])
+			}
+			f.typ = m[2]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			return fmt.Errorf("line %d: malformed comment %q", ln+1, line)
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample %q", ln+1, line)
+		}
+		name, labels := m[1], m[3]
+		fam := baseName(name)
+		f, ok := families[fam]
+		if !ok || f.typ == "" {
+			return fmt.Errorf("line %d: sample %s before HELP/TYPE", ln+1, name)
+		}
+		if fam != current {
+			return fmt.Errorf("line %d: sample %s interleaved outside its family block (current %s)", ln+1, name, current)
+		}
+		if labels != "" {
+			for _, pair := range splitLabels(labels) {
+				if !labelRe.MatchString(pair) {
+					return fmt.Errorf("line %d: malformed label %q", ln+1, pair)
+				}
+			}
+		}
+		if f.typ == "histogram" {
+			v, err := strconv.ParseInt(m[4], 10, 64)
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if err != nil {
+					return fmt.Errorf("line %d: non-integer bucket %q", ln+1, line)
+				}
+				if strings.Contains(labels, `le="+Inf"`) {
+					f.infBucket, f.hasInf = v, true
+					f.lastCum = 0 // next label set starts a fresh cumulative run
+				} else {
+					if v < f.lastCum {
+						return fmt.Errorf("line %d: bucket counts not cumulative (%d < %d)", ln+1, v, f.lastCum)
+					}
+					f.lastCum = v
+				}
+			case strings.HasSuffix(name, "_count"):
+				if err != nil {
+					return fmt.Errorf("line %d: non-integer count %q", ln+1, line)
+				}
+				f.count, f.hasCount = v, true
+				if f.hasInf && f.infBucket != v {
+					return fmt.Errorf("line %d: +Inf bucket %d != count %d", ln+1, f.infBucket, v)
+				}
+			}
+		}
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i-1] >= order[i] {
+			return fmt.Errorf("families not sorted: %s before %s", order[i-1], order[i])
+		}
+	}
+	return nil
+}
+
+// splitLabels splits `a="x",b="y"` on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}

@@ -126,6 +126,7 @@ func New(store *suite.Store, opts Options) *Server {
 		metrics: newMetrics(),
 		evalMu:  map[string]chan struct{}{},
 	}
+	s.registerServerFamilies()
 	s.handle("GET /healthz", "healthz", s.handleHealth)
 	s.handle("GET /healthz/live", "healthz_live", s.handleLive)
 	s.handle("GET /healthz/ready", "healthz_ready", s.handleReady)
@@ -150,9 +151,16 @@ func New(store *suite.Store, opts Options) *Server {
 // body) and are counted with their GET route.
 func (s *Server) handle(pattern, route string, h http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		h(rec, r)
-		s.metrics.observeRequest(route, rec.code)
+		end := rec.last
+		if end.IsZero() {
+			// Nothing was ever written (e.g. the client vanished): fall
+			// back to the handler's return time.
+			end = time.Now()
+		}
+		s.metrics.observeRequest(route, rec.code, end.Sub(start))
 	})
 }
 

@@ -66,6 +66,20 @@ func TestSoakTwoReplicasSharedRoot(t *testing.T) {
 	if len(rep.Suites) != len(manifests) {
 		t.Fatalf("exercised %d suites, want %d", len(rep.Suites), len(manifests))
 	}
+	// Every exercised class must carry a latency summary whose sample
+	// count matches the class count and whose percentiles are ordered.
+	for class, n := range rep.ByClass {
+		l, ok := rep.Latency[class]
+		if !ok {
+			t.Fatalf("class %s has no latency summary", class)
+		}
+		if l.Count != n {
+			t.Fatalf("class %s: latency count %d != request count %d", class, l.Count, n)
+		}
+		if l.P50 <= 0 || l.P50 > l.P95 || l.P95 > l.P99 || l.P99 > l.Max {
+			t.Fatalf("class %s: percentiles out of order: %+v", class, l)
+		}
+	}
 
 	// Exactly one generation per unique manifest across the fleet: the
 	// cross-process lease elected one leader per hash even though both

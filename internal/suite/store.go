@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/family"
+	"repro/internal/obs"
 	"repro/internal/pool"
 )
 
@@ -294,7 +295,15 @@ func (s *Store) EnsureCtx(ctx context.Context, m Manifest) (*Suite, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	return s.materialize(ctx, m.Hash(), &m)
+	hash := m.Hash()
+	sp, ctx := obs.Begin(ctx, "store", "ensure")
+	defer sp.End()
+	sp.Arg("hash", hash[:12])
+	st, err := s.materialize(ctx, hash, &m)
+	if err == nil {
+		sp.Arg("source", string(st.Source))
+	}
+	return st, err
 }
 
 // backoff sleeps an attempt-scaled interval (capped at 100ms), honouring
@@ -372,9 +381,12 @@ func (s *Store) materialize(ctx context.Context, hash string, m *Manifest) (*Sui
 		s.mu.Lock()
 		if f, ok := s.inflight[hash]; ok {
 			s.mu.Unlock()
+			wsp, _ := obs.Begin(ctx, "store", "inflight-wait")
 			select {
 			case <-f.done:
+				wsp.End()
 			case <-ctx.Done():
+				wsp.End()
 				return nil, ctx.Err()
 			}
 			if f.err != nil {
@@ -440,7 +452,10 @@ func (s *Store) fill(ctx context.Context, hash string, m *Manifest) (*Suite, err
 			return nil, err
 		}
 		if held == nil {
-			if err := backoff(ctx, attempt); err != nil {
+			wsp, _ := obs.Begin(ctx, "store", "lease-wait")
+			err := backoff(ctx, attempt)
+			wsp.End()
+			if err != nil {
 				return nil, err
 			}
 			continue
@@ -491,6 +506,9 @@ func (s *Store) fillLeader(ctx context.Context, hash string, m *Manifest, held *
 // committing first wins the rename; this process adopts the winner's
 // (bit-identical) bytes.
 func (s *Store) fetchRemote(ctx context.Context, hash string, blob Blob) (*Suite, error) {
+	sp, ctx := obs.Begin(ctx, "store", "remote-fetch")
+	defer sp.End()
+	sp.Arg("tier", blob.Name())
 	tmp, err := s.disk.stage(hash[:12] + "-fetch")
 	if err != nil {
 		return nil, err
@@ -557,6 +575,8 @@ func (s *Store) LoadInstanceWithSolution(hash string, ref InstanceRef) (*family.
 // The held lease is heartbeat-touched as instances land so a long
 // generation never looks stale to contending processes.
 func (s *Store) generate(ctx context.Context, m Manifest, hash string, held *lease) (_ *Suite, retErr error) {
+	sp, ctx := obs.Begin(ctx, "store", "generate")
+	defer sp.End()
 	dev, err := arch.ByName(m.Device)
 	if err != nil {
 		return nil, err
@@ -581,6 +601,7 @@ func (s *Store) generate(ctx context.Context, m Manifest, hash string, held *lea
 	}
 
 	refs := m.InstanceRefs()
+	sp.ArgInt("instances", int64(len(refs)))
 	err = pool.ParallelForCtx(ctx, len(refs), s.workers, func(ji int) error {
 		ref := refs[ji]
 		if s.faults != nil && s.faults.BeforeInstance != nil {
@@ -628,12 +649,15 @@ func (s *Store) generate(ctx context.Context, m Manifest, hash string, held *lea
 		}
 	}
 
-	if err := s.disk.commit(tmp, hash); err != nil {
+	csp, _ := obs.Begin(ctx, "store", "commit")
+	commitErr := s.disk.commit(tmp, hash)
+	csp.End()
+	if commitErr != nil {
 		// Another process committed first: adopt its copy.
 		if st, openErr := s.disk.open(hash); openErr == nil {
 			return st, nil
 		}
-		return nil, fmt.Errorf("suite: commit %s: %w", hash, err)
+		return nil, fmt.Errorf("suite: commit %s: %w", hash, commitErr)
 	}
 	s.suiteGen.Add(1)
 	return &Suite{

@@ -62,7 +62,14 @@ type Router struct {
 	opts    Options
 	initial router.Mapping // non-nil: skip placement
 	eng     *engine        // scratch reused across calls on one device size
+	stats   router.Counters
 }
+
+// Counters implements router.Instrumented: Decisions are swap decisions,
+// Candidates the candidate SWAPs scored while making them, Restarts the
+// Route calls (the tool is single-attempt). Like Route itself, not safe
+// to call concurrently with Route.
+func (r *Router) Counters() router.Counters { return r.stats }
 
 // New returns a t|ket⟩-style router.
 func New(opts Options) *Router { return &Router{opts: opts.withDefaults()} }
@@ -70,7 +77,9 @@ func New(opts Options) *Router { return &Router{opts: opts.withDefaults()} }
 // RouteFrom implements router.PlacedRouter.
 func (r *Router) RouteFrom(c *circuit.Circuit, dev *arch.Device, initial router.Mapping) (*router.Result, error) {
 	pinned := &Router{opts: r.opts, initial: router.PadMapping(initial, dev.NumQubits())}
-	return pinned.Route(c, dev)
+	res, err := pinned.Route(c, dev)
+	r.stats.Add(pinned.stats)
+	return res, err
 }
 
 // Name implements router.Router.
@@ -166,6 +175,8 @@ func (r *Router) RoutePreparedCtx(ctx context.Context, p *router.Prepared) (*rou
 			// two qubits.
 			e.beginDecision(pending, slices, si, dag, lay, r.opts.LookaheadSlices)
 			cands := e.collectCandidates(pending, dag, lay)
+			r.stats.Decisions++
+			r.stats.Candidates += int64(len(cands))
 			bestIdx, bestScore := -1, 0.0
 			var bestDelta0 int64
 			for ci := range cands {
@@ -212,6 +223,7 @@ func (r *Router) RoutePreparedCtx(ctx context.Context, p *router.Prepared) (*rou
 	if err != nil {
 		return nil, fmt.Errorf("tket: %w", err)
 	}
+	r.stats.Restarts++
 	return &router.Result{
 		Tool:           r.Name(),
 		InitialMapping: initial,
