@@ -38,9 +38,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/arch"
@@ -101,9 +103,13 @@ func main() {
 
 	// Every run is traced: spans feed the wall-time summary printed at
 	// the end, and -trace additionally exports them as Chrome trace-event
-	// JSON.
+	// JSON. SIGINT/SIGTERM cancel the context: store-backed evaluation
+	// streams durable rows as it goes, so an interrupted run resumes
+	// where it stopped instead of losing the partial figure.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	tr := obs.New(0)
-	ctx := obs.NewContext(context.Background(), tr)
+	ctx = obs.NewContext(ctx, tr)
 
 	fam, err := family.Resolve(*famName)
 	if err != nil {

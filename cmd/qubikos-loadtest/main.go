@@ -1,8 +1,8 @@
 // Command qubikos-loadtest hammers one or more qubikos-serve replicas
 // with a deterministic concurrent mix of cache hits, generation misses,
 // conditional GETs, archive pulls, abandoned streams, and (optionally)
-// evaluations, then reports what came back and cross-checks the fleet's
-// store counters.
+// evaluations and portfolio route races, then reports what came back and
+// cross-checks the fleet's store counters.
 //
 // Usage:
 //
@@ -39,8 +39,11 @@ func main() {
 	conc := flag.Int("c", 16, "concurrent workers")
 	seed := flag.Int64("seed", 1, "request-mix seed (replays are exact)")
 	manifest := flag.String("manifest", "", "manifest to exercise: inline JSON (one manifest) or a comma-separated list of @file references; default: two built-in small suites")
-	tools := flag.String("tools", "", "tools parameter for the eval request class (empty = no evals)")
+	tools := flag.String("tools", "", "tools parameter for the eval and route request classes (empty = no evals, all tools for routes)")
 	trials := flag.Int("trials", 1, "trials parameter for eval requests")
+	route := flag.Bool("route", false, "include POST /v1/route portfolio races in the mix")
+	routeDeadline := flag.Duration("route-deadline", 2*time.Second, "per-race deadline for route requests")
+	routeThreshold := flag.Float64("route-threshold", 0, "early-win ratio vs the proven optimum for route requests (0 = race to completion)")
 	timeout := flag.Duration("timeout", 5*time.Minute, "overall run budget")
 	expectGen := flag.Int("expect-generations", -1, "assert the fleet's total SuitesGenerated equals this after the run (-1 = don't)")
 	flag.Parse()
@@ -49,11 +52,14 @@ func main() {
 	defer cancel()
 
 	cfg := loadtest.Config{
-		Total:       *total,
-		Concurrency: *conc,
-		Seed:        *seed,
-		Tools:       *tools,
-		EvalTrials:  *trials,
+		Total:           *total,
+		Concurrency:     *conc,
+		Seed:            *seed,
+		Tools:           *tools,
+		EvalTrials:      *trials,
+		Route:           *route,
+		RouteDeadlineMS: int(routeDeadline.Milliseconds()),
+		RouteThreshold:  *routeThreshold,
 	}
 	for _, t := range strings.Split(*targets, ",") {
 		if t = strings.TrimSpace(t); t != "" {

@@ -6,12 +6,22 @@
 // instance's planted optimal mapping — the paper's standalone-router
 // evaluation mode.
 //
+// With -portfolio the command races the registered tools concurrently
+// under a -deadline budget and reports the best validated result plus a
+// per-racer outcome table (anytime semantics: the deadline degrades to
+// best-so-far; only "no tool produced a valid result" exits non-zero).
+// -threshold ends the race early once a result is within that ratio of
+// the instance's proven optimum, and -hedge staggers expensive tools
+// behind cheap ones.
+//
 // Usage:
 //
 //	qubikos-route -dir bench -base qubikos_aspen4_s5_g300_i000 -tool lightsabre
 //	qubikos-route -dir bench -base ... -tool tket -from-optimal
 //	qubikos-route -dir bench -base ... -tool qmap -timeout 30s
 //	qubikos-route -dir bench -base ... -trace out.json
+//	qubikos-route -dir bench -base ... -portfolio -deadline 5s -threshold 1.2
+//	qubikos-route -dir bench -base ... -portfolio -tools lightsabre,tket -hedge 0
 package main
 
 import (
@@ -24,11 +34,14 @@ import (
 	"sort"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/bmt"
 	"repro/internal/family"
+	"repro/internal/harness"
 	"repro/internal/mlqls"
 	"repro/internal/obs"
+	"repro/internal/portfolio"
 	"repro/internal/qmap"
 	"repro/internal/router"
 	"repro/internal/sabre"
@@ -54,8 +67,13 @@ func main() {
 	trials := flag.Int("trials", 32, "LightSABRE trials")
 	seed := flag.Int64("seed", 1, "router seed")
 	fromOptimal := flag.Bool("from-optimal", false, "route from the planted optimal initial mapping")
-	timeout := flag.Duration("timeout", 0, "routing budget; an over-budget run exits non-zero instead of hanging (0 = unlimited)")
+	timeout := flag.Duration("timeout", 0, "routing budget; an over-budget run exits non-zero instead of hanging (0 = unlimited; per-racer budget with -portfolio)")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the routing run to this file")
+	usePortfolio := flag.Bool("portfolio", false, "race the registered tools concurrently and keep the best validated result")
+	toolsList := flag.String("tools", "", "comma-separated tool subset for -portfolio (default: all registered)")
+	deadline := flag.Duration("deadline", 30*time.Second, "race budget for -portfolio; when it fires the best result so far wins")
+	threshold := flag.Float64("threshold", 0, "win-condition ratio vs the proven optimum for -portfolio (0 = race to completion)")
+	hedge := flag.Duration("hedge", 100*time.Millisecond, "hedge stagger between tool cost tiers for -portfolio (0 = launch everything at once)")
 	flag.Parse()
 
 	if *base == "" {
@@ -64,6 +82,30 @@ func main() {
 	inst, err := family.ReadInstance(*dir, *base)
 	if err != nil {
 		fatal(err)
+	}
+
+	// The routing honours SIGINT/SIGTERM through one context; routers
+	// that implement the ctx-aware interfaces stop mid-search, legacy
+	// ones are at least refused up front when the budget is already
+	// spent.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var tr *obs.Trace
+	if *tracePath != "" {
+		tr = obs.New(0)
+		ctx = obs.NewContext(ctx, tr)
+	}
+
+	if *usePortfolio {
+		err := runPortfolio(ctx, inst, *base, *toolsList, *trials, *seed, *deadline, *hedge, *timeout, *threshold)
+		if terr := writeTrace(tr, *tracePath); terr != nil {
+			fatal(terr)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	tools := routeTools(*trials, *seed)
@@ -79,22 +121,11 @@ func main() {
 		fatal(fmt.Errorf("unknown tool %q (registered: %s)", *tool, strings.Join(names, ", ")))
 	}
 
-	// The routing call honours -timeout and SIGINT/SIGTERM through one
-	// context; routers that implement the ctx-aware interfaces stop
-	// mid-search, legacy ones are at least refused up front when the
-	// budget is already spent.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	// In single-tool mode -timeout bounds the whole routing call.
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
-	}
-
-	var tr *obs.Trace
-	if *tracePath != "" {
-		tr = obs.New(0)
-		ctx = obs.NewContext(ctx, tr)
 	}
 	sp, ctx := obs.Begin(ctx, "route", *tool)
 	sp.Arg("instance", *base)
@@ -125,18 +156,8 @@ func main() {
 		sp.ArgInt("restarts", c.Restarts)
 	}
 	sp.End()
-	if tr != nil {
-		f, err := os.Create(*tracePath)
-		if err != nil {
-			fatal(err)
-		}
-		if err := tr.WriteChrome(f); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Println("wrote", *tracePath)
+	if err := writeTrace(tr, *tracePath); err != nil {
+		fatal(err)
 	}
 	if err := router.Validate(inst.Circuit, inst.Device, res); err != nil {
 		fatal(fmt.Errorf("tool produced an invalid result: %w", err))
@@ -152,6 +173,88 @@ func main() {
 	fmt.Printf("%s (%s): %d SWAPs, routed depth %d -> %s gap %.2fx\n",
 		res.Tool, mode, res.SwapCount, res.RoutedDepth(), metric,
 		metric.Ratio(metric.Achieved(res), inst.Meta.Optimal()))
+}
+
+// runPortfolio races the selected tools over the instance and prints
+// the winner plus a per-racer outcome table. The harness tool registry
+// supplies the constructors so a portfolio winner matches what the
+// evaluation pipeline would produce for the same seed.
+func runPortfolio(ctx context.Context, inst *family.Loaded, base, toolsList string, trials int, seed int64, deadline, hedge, toolTimeout time.Duration, threshold float64) error {
+	specs, err := harness.SelectTools(toolsList, trials)
+	if err != nil {
+		return err
+	}
+	entries := make([]portfolio.Entry, 0, len(specs))
+	for _, t := range specs {
+		entries = append(entries, portfolio.Entry{
+			Name: t.Name,
+			Make: t.Make,
+			Tier: portfolio.DefaultTier(t.Name),
+		})
+	}
+	p, err := router.Prepare(inst.Circuit, inst.Device)
+	if err != nil {
+		return err
+	}
+	metric := inst.Family.Metric
+	res, err := portfolio.Run(ctx, p, entries, portfolio.Options{
+		Deadline:    deadline,
+		ToolTimeout: toolTimeout,
+		Threshold:   threshold,
+		Optimal:     inst.Meta.Optimal(),
+		Metric:      metric,
+		HedgeDelay:  hedge,
+		Seed:        seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("instance: %s on %s (family %s, %d two-qubit gates, optimal %s %d)\n",
+		base, inst.Meta.Device, inst.Family.ID, inst.Meta.TwoQubitGates, metric, inst.Meta.Optimal())
+	note := ""
+	if res.DeadlineHit {
+		note = ", deadline hit"
+	}
+	fmt.Printf("winner: %s (%s%s): %d SWAPs, routed depth %d -> %s gap %.2fx in %dms\n",
+		res.Tool, res.Reason, note, res.Winner.SwapCount, res.Winner.RoutedDepth(), metric,
+		metric.Ratio(res.Score, inst.Meta.Optimal()), res.ElapsedMS)
+	fmt.Println("racers:")
+	for _, r := range res.Racers {
+		line := fmt.Sprintf("  %-12s tier %d  %-10s %6dms", r.Tool, r.Tier, r.Outcome, r.ElapsedMS)
+		if r.Outcome == portfolio.OutcomeOK {
+			line += fmt.Sprintf("  %s %d (%.2fx)", metric, r.Score, r.Ratio)
+		}
+		if r.Winner {
+			line += "  <- winner"
+		}
+		if r.Err != "" {
+			line += "  [" + r.Err + "]"
+		}
+		fmt.Println(line)
+	}
+	return nil
+}
+
+// writeTrace exports the run's spans as Chrome trace-event JSON when
+// tracing was requested; a nil trace is a no-op.
+func writeTrace(tr *obs.Trace, path string) error {
+	if tr == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	return nil
 }
 
 func fatal(err error) {

@@ -21,6 +21,7 @@
 //	curl -s -XPOST localhost:8080/v1/suites -d '{"device":"aspen4","swap_counts":[2],"circuits_per_count":1,"target_two_qubit_gates":40,"seed":1}'
 //	curl -s -XPOST localhost:8080/v1/suites -d '{"generator":"queko-depth/1","device":"aspen4","depths":[8],"circuits_per_count":1,"target_two_qubit_gates":40,"seed":1}'
 //	curl -s -XPOST "localhost:8080/v1/suites/<hash>/eval?tools=lightsabre&trials=4"
+//	curl -s -XPOST localhost:8080/v1/route -d '{"suite":"<hash>","instance":"<base>","deadline_ms":2000,"threshold":1.2}'
 //
 // See docs/cli.md for the full endpoint reference.
 package main
@@ -38,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/portfolio"
 	"repro/internal/server"
 	"repro/internal/suite"
 )
@@ -57,6 +59,10 @@ func main() {
 	pprofAddr := flag.String("pprof-addr", "", "listen address for the net/http/pprof debug mux (empty = disabled)")
 	peers := flag.String("peer", "", "comma-separated base URLs of peer replicas (http://host:port); missing suites are fetched from the first peer holding them, checksum-verified, before generating locally")
 	metrics := flag.Bool("metrics", true, "expose Prometheus text metrics on /metrics")
+	routeDeadline := flag.Duration("route-deadline", 30*time.Second, "cap on a POST /v1/route race budget; requests may ask for less, never more")
+	routeHedge := flag.Duration("route-hedge", 100*time.Millisecond, "default hedge stagger between tool cost tiers for POST /v1/route")
+	breakerTrip := flag.Int("breaker-trip", 3, "consecutive faults (timeout/panic/invalid) that trip a tool's circuit breaker open")
+	breakerCooldown := flag.Duration("breaker-cooldown", 30*time.Second, "how long an open breaker waits before re-admitting the tool with a half-open probe")
 	flag.Parse()
 
 	// Profiling mux for perf work on live eval traffic: off by default,
@@ -93,12 +99,18 @@ func main() {
 		fatal(err)
 	}
 	api := server.New(store, server.Options{
-		LRUSuites:      *lruSuites,
-		MaxInstances:   *maxInstances,
-		EvalWorkers:    *evalWorkers,
-		GenTimeout:     *genTimeout,
-		EvalTimeout:    *evalTimeout,
-		DisableMetrics: !*metrics,
+		LRUSuites:        *lruSuites,
+		MaxInstances:     *maxInstances,
+		EvalWorkers:      *evalWorkers,
+		GenTimeout:       *genTimeout,
+		EvalTimeout:      *evalTimeout,
+		DisableMetrics:   !*metrics,
+		RouteMaxDeadline: *routeDeadline,
+		RouteHedgeDelay:  *routeHedge,
+		Breakers: portfolio.BreakerConfig{
+			TripAfter: *breakerTrip,
+			Cooldown:  *breakerCooldown,
+		},
 	})
 	srv := &http.Server{
 		Handler:           api,

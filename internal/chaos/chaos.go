@@ -42,6 +42,11 @@ const (
 	WrongResult
 	// Fail returns Err without routing. Models an honest tool error.
 	Fail
+	// FailFirstN errors (with Err) for the first N calls recorded by
+	// FirstN, then delegates cleanly. Models a flaky tool or peer that
+	// recovers — the shape circuit-breaker half-open probes and
+	// peer-fetch retries must survive.
+	FailFirstN
 )
 
 // ErrInjected is the default error returned by Fail mode.
@@ -71,6 +76,10 @@ type Router struct {
 	// until the context fires — with an uncancellable context, forever,
 	// exactly like the wedged tool it models.
 	Release <-chan struct{}
+	// FirstN drives FailFirstN mode. It is shared, not per-Router: the
+	// breaker tests hand the same gate to every Make call so the flake
+	// count survives across fresh per-race Router instances.
+	FirstN *FlakyGate
 }
 
 var (
@@ -112,6 +121,13 @@ func (r *Router) fault(ctx context.Context) error {
 			return r.Err
 		}
 		return ErrInjected
+	case FailFirstN:
+		if r.FirstN.Fail() {
+			if r.Err != nil {
+				return r.Err
+			}
+			return ErrInjected
+		}
 	}
 	return nil
 }

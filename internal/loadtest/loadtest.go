@@ -1,7 +1,7 @@
 // Package loadtest drives a qubikos-serve fleet with a deterministic mix
 // of concurrent requests — cache hits, generation misses, conditional
-// GETs, archive pulls, evaluations, and deliberately abandoned streams —
-// and reports what came back. It is the engine behind both the
+// GETs, archive pulls, evaluations, portfolio route races, and
+// deliberately abandoned streams — and reports what came back. It is the engine behind both the
 // qubikos-loadtest command and the in-process soak tests: the same
 // request mix that hammers a production replica runs under the race
 // detector in CI.
@@ -39,6 +39,7 @@ const (
 	ClassCondQasm  = "cond_qasm"  // conditional GET instance circuit
 	ClassArchive   = "archive"    // GET suite archive tar
 	ClassEval      = "eval"       // POST eval, stream JSONL
+	ClassRoute     = "route"      // POST /v1/route portfolio race
 	ClassAbandon   = "abandon"    // GET circuit, cancel mid-stream
 	ClassHealth    = "health"     // GET /healthz
 )
@@ -59,10 +60,20 @@ type Config struct {
 	// Seed fixes the request mix (default 1).
 	Seed int64
 	// Tools, when non-empty, enables the eval class with this tools
-	// parameter; empty disables evals (they dominate runtime).
+	// parameter; empty disables evals (they dominate runtime). Route
+	// requests reuse it as the portfolio tool list.
 	Tools string
 	// EvalTrials is the trials parameter for eval requests (default 1).
 	EvalTrials int
+	// Route enables the POST /v1/route class: each request races the
+	// configured tools over one stored instance under a deadline.
+	Route bool
+	// RouteDeadlineMS is the per-race deadline for route requests
+	// (default 2000).
+	RouteDeadlineMS int
+	// RouteThreshold is the early-win ratio for route requests (0 = race
+	// to completion).
+	RouteThreshold float64
 	// Client overrides the HTTP client (default: dedicated, 2 minute
 	// timeout).
 	Client *http.Client
@@ -151,6 +162,9 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if cfg.MaxFailures <= 0 {
 		cfg.MaxFailures = 20
 	}
+	if cfg.RouteDeadlineMS <= 0 {
+		cfg.RouteDeadlineMS = 2000
+	}
 	r := &runner{
 		cfg:       cfg,
 		client:    cfg.Client,
@@ -182,6 +196,9 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	if cfg.Tools != "" {
 		classes = append(classes, ClassEval)
+	}
+	if cfg.Route {
+		classes = append(classes, ClassRoute)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	schedule := make([]string, cfg.Total)
@@ -302,6 +319,19 @@ func (r *runner) one(ctx context.Context, class, target string, info suiteInfo, 
 	case ClassEval:
 		method = http.MethodPost
 		url = fmt.Sprintf("%s/v1/suites/%s/eval?tools=%s&trials=%d&seed=1", target, info.hash, r.cfg.Tools, r.cfg.EvalTrials)
+	case ClassRoute:
+		method = http.MethodPost
+		url = target + "/v1/route"
+		rb, _ := json.Marshal(map[string]any{
+			"suite":       info.hash,
+			"instance":    base,
+			"tools":       r.cfg.Tools,
+			"trials":      r.cfg.EvalTrials,
+			"deadline_ms": r.cfg.RouteDeadlineMS,
+			"threshold":   r.cfg.RouteThreshold,
+			"seed":        1,
+		})
+		body = strings.NewReader(string(rb))
 	case ClassAbandon:
 		r.abandon(ctx, target+"/v1/suites/"+info.hash+"/instances/"+base+"/qasm")
 		return
@@ -455,6 +485,8 @@ type StoreStats struct {
 	InstancesGenerated int64
 	RemoteFetches      int64
 	FileReads          int64
+	RemoteRetries      int64
+	RemoteFailures     int64
 }
 
 // FetchStats reads one replica's suite-store counters from its /healthz

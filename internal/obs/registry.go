@@ -119,6 +119,52 @@ func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
 	r.register(name, &funcFamily{name: name, help: help, typ: "gauge", fn: fn})
 }
 
+// LabeledValue is one child sample returned by a *VecFunc callback.
+type LabeledValue struct {
+	// Values are the label values, matching the family's label names in
+	// count and order.
+	Values []string
+	V      int64
+}
+
+// funcVecFamily exposes a labeled family whose children are computed at
+// scrape time — the labeled sibling of funcFamily, for components that
+// keep their own per-key counters (per-peer fetch stats, per-tool
+// breaker states).
+type funcVecFamily struct {
+	name, help, typ string
+	labels          []string
+	fn              func() []LabeledValue
+}
+
+func (f *funcVecFamily) writeExposition(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+		return err
+	}
+	children := f.fn()
+	sort.Slice(children, func(i, j int) bool {
+		return lessValues(children[i].Values, children[j].Values)
+	})
+	for _, ch := range children {
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(f.labels, ch.Values), ch.V); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CounterVecFunc registers a labeled counter family whose children are
+// read at scrape time.
+func (r *Registry) CounterVecFunc(name, help string, labels []string, fn func() []LabeledValue) {
+	r.register(name, &funcVecFamily{name: name, help: help, typ: "counter", labels: labels, fn: fn})
+}
+
+// GaugeVecFunc registers a labeled gauge family whose children are read
+// at scrape time.
+func (r *Registry) GaugeVecFunc(name, help string, labels []string, fn func() []LabeledValue) {
+	r.register(name, &funcVecFamily{name: name, help: help, typ: "gauge", labels: labels, fn: fn})
+}
+
 // CounterVec is a counter family with labels. With resolves one label
 // combination to its *Counter handle; callers cache the handle so the
 // per-event cost is a single atomic add.
@@ -175,6 +221,84 @@ func (v *CounterVec) writeExposition(w io.Writer) error {
 	})
 	for _, ch := range children {
 		if _, err := fmt.Fprintf(w, "%s%s %d\n", v.name, labelString(v.labels, ch.values), ch.c.Value()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Gauge is an atomic gauge: a value that can move both ways (breaker
+// states, queue depths). Hot paths hold the handle and Set through a
+// single atomic store.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (negative allowed).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// GaugeVec is a gauge family with labels. With resolves one label
+// combination to its *Gauge handle; callers cache the handle so the
+// per-event cost is a single atomic store.
+type GaugeVec struct {
+	name, help string
+	labels     []string
+
+	mu       sync.Mutex
+	children map[string]*gaugeChild
+}
+
+type gaugeChild struct {
+	values []string
+	g      Gauge
+}
+
+// GaugeVec registers and returns a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	v := &GaugeVec{name: name, help: help, labels: labels, children: map[string]*gaugeChild{}}
+	r.register(name, v)
+	return v
+}
+
+// With returns the gauge for one label-value combination, creating it
+// on first use (initial value 0). The values must match the registered
+// label names in count and order.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", v.name, len(v.labels), len(values)))
+	}
+	key := strings.Join(values, "\x1f")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	ch, ok := v.children[key]
+	if !ok {
+		ch = &gaugeChild{values: append([]string(nil), values...)}
+		v.children[key] = ch
+	}
+	return &ch.g
+}
+
+func (v *GaugeVec) writeExposition(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", v.name, v.help, v.name); err != nil {
+		return err
+	}
+	v.mu.Lock()
+	children := make([]*gaugeChild, 0, len(v.children))
+	for _, ch := range v.children {
+		children = append(children, ch)
+	}
+	v.mu.Unlock()
+	sort.Slice(children, func(i, j int) bool {
+		return lessValues(children[i].values, children[j].values)
+	})
+	for _, ch := range children {
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", v.name, labelString(v.labels, ch.values), ch.g.Value()); err != nil {
 			return err
 		}
 	}

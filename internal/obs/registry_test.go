@@ -127,3 +127,32 @@ func TestDuplicateRegistrationPanics(t *testing.T) {
 	}()
 	r.Counter("dup_total", "y")
 }
+
+// TestGaugeVec pins the labeled-gauge exposition: children sort by label
+// value, Set moves both ways, and the TYPE line says gauge.
+func TestGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("breaker_state", "per-tool breaker state", "tool")
+	v.With("qmap").Set(2)
+	v.With("tket").Set(1)
+	v.With("qmap").Set(0) // gauges move both ways
+	v.With("tket").Add(-1)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, want := range []string{
+		"# TYPE breaker_state gauge",
+		`breaker_state{tool="qmap"} 0`,
+		`breaker_state{tool="tket"} 0`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Index(got, `tool="qmap"`) > strings.Index(got, `tool="tket"`) {
+		t.Error("gauge children not sorted by label value")
+	}
+}

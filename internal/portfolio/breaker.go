@@ -1,0 +1,217 @@
+package portfolio
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// State is one tool's circuit-breaker state.
+type State int
+
+const (
+	// Closed admits every request — the healthy steady state.
+	Closed State = iota
+	// HalfOpen admits exactly one probe request; its outcome decides
+	// whether the breaker closes (probe succeeded) or re-opens.
+	HalfOpen
+	// Open admits nothing until the cooldown elapses, at which point the
+	// next Admit becomes the half-open probe.
+	Open
+)
+
+// String renders the state for logs, spans, and metric labels.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case HalfOpen:
+		return "half_open"
+	case Open:
+		return "open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes a BreakerSet.
+type BreakerConfig struct {
+	// TripAfter is how many consecutive faulty outcomes (timeout, panic,
+	// error, invalid result) open a tool's breaker. Default 3.
+	TripAfter int
+	// Cooldown is how long an open breaker rejects before admitting a
+	// half-open probe. Default 30s.
+	Cooldown time.Duration
+	// Now overrides the clock; nil uses time.Now. Tests use it to step
+	// through the cooldown without sleeping.
+	Now func() time.Time
+	// OnTransition, when non-nil, observes every state change — the seam
+	// the serving layer uses to count transitions per tool. It is called
+	// with the set's lock held; keep it cheap and non-reentrant.
+	OnTransition func(tool string, from, to State)
+}
+
+// BreakerSet tracks one circuit breaker per tool, fed by portfolio race
+// outcomes. A tool that keeps timing out or panicking is tripped open
+// and skipped by subsequent races (so one wedged engine cannot tax every
+// request's deadline); after the cooldown a single probe race re-admits
+// it if it has recovered. The zero config trips after 3 consecutive
+// faults with a 30s cooldown.
+//
+// A BreakerSet is safe for concurrent use: the serving layer holds one
+// set across all requests.
+type BreakerSet struct {
+	cfg BreakerConfig
+
+	mu    sync.Mutex
+	tools map[string]*breaker
+}
+
+type breaker struct {
+	state       State
+	consecutive int
+	openedAt    time.Time
+	probing     bool
+}
+
+// NewBreakerSet builds a set with the given config (zero values take the
+// documented defaults).
+func NewBreakerSet(cfg BreakerConfig) *BreakerSet {
+	if cfg.TripAfter <= 0 {
+		cfg.TripAfter = 3
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 30 * time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &BreakerSet{cfg: cfg, tools: map[string]*breaker{}}
+}
+
+func (s *BreakerSet) get(tool string) *breaker {
+	b, ok := s.tools[tool]
+	if !ok {
+		b = &breaker{}
+		s.tools[tool] = b
+	}
+	return b
+}
+
+func (s *BreakerSet) transition(tool string, b *breaker, to State) {
+	if b.state == to {
+		return
+	}
+	from := b.state
+	b.state = to
+	if s.cfg.OnTransition != nil {
+		s.cfg.OnTransition(tool, from, to)
+	}
+}
+
+// Admit reports whether the tool may race. probe is true when this
+// admission is the single half-open probe after a cooldown — the caller
+// must Record its outcome (or Forfeit it) so the breaker can settle.
+func (s *BreakerSet) Admit(tool string) (ok, probe bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.get(tool)
+	switch b.state {
+	case Closed:
+		return true, false
+	case Open:
+		if s.cfg.Now().Sub(b.openedAt) < s.cfg.Cooldown {
+			return false, false
+		}
+		s.transition(tool, b, HalfOpen)
+		b.probing = true
+		return true, true
+	case HalfOpen:
+		if b.probing {
+			// One probe at a time; everyone else waits for its verdict.
+			return false, false
+		}
+		b.probing = true
+		return true, true
+	}
+	return false, false
+}
+
+// Record feeds one race outcome for an admitted tool. ok means the tool
+// produced a validated result; !ok means a faulty outcome (timeout,
+// panic, error, invalid). Outcomes that say nothing about the tool's
+// health — the race was cancelled, or ended before the tool launched —
+// must go through Forfeit instead.
+func (s *BreakerSet) Record(tool string, ok, probe bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.get(tool)
+	if probe {
+		b.probing = false
+	}
+	if ok {
+		b.consecutive = 0
+		s.transition(tool, b, Closed)
+		return
+	}
+	b.consecutive++
+	if probe || b.consecutive >= s.cfg.TripAfter {
+		b.openedAt = s.cfg.Now()
+		s.transition(tool, b, Open)
+	}
+}
+
+// Forfeit releases an admission whose outcome never materialized (the
+// race was cancelled, or ended before the hedged tool launched) without
+// moving the breaker either way: a cancelled race is the caller's doing,
+// not evidence about the tool.
+func (s *BreakerSet) Forfeit(tool string, probe bool) {
+	if !probe {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.get(tool)
+	b.probing = false
+	if b.state == HalfOpen {
+		// The probe evaporated; fall back to open so the next cooldown
+		// check re-admits a fresh probe (openedAt is unchanged, so a
+		// cooldown that already elapsed re-probes immediately).
+		s.transition(tool, b, Open)
+	}
+}
+
+// StateOf returns the tool's current state (Closed for never-seen tools).
+func (s *BreakerSet) StateOf(tool string) State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.tools[tool]; ok {
+		return b.state
+	}
+	return Closed
+}
+
+// States snapshots every tracked tool's state, sorted by tool name.
+func (s *BreakerSet) States() []ToolState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ToolState, 0, len(s.tools))
+	for tool, b := range s.tools {
+		out = append(out, ToolState{
+			Tool:        tool,
+			State:       b.state,
+			StateName:   b.state.String(),
+			Consecutive: b.consecutive,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tool < out[j].Tool })
+	return out
+}
+
+// ToolState is one tool's breaker snapshot.
+type ToolState struct {
+	Tool string `json:"tool"`
+	// State is the typed state; StateName is its wire form.
+	State       State  `json:"-"`
+	StateName   string `json:"state"`
+	Consecutive int    `json:"consecutive_faults"`
+}

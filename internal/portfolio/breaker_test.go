@@ -1,0 +1,151 @@
+package portfolio
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeClock steps through breaker cooldowns without sleeping.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+func (c *fakeClock) cfg(trip int, cd time.Duration) BreakerConfig {
+	return BreakerConfig{TripAfter: trip, Cooldown: cd, Now: c.now}
+}
+
+func TestBreakerTripHalfOpenClose(t *testing.T) {
+	clock := newFakeClock()
+	s := NewBreakerSet(clock.cfg(3, time.Minute))
+
+	// Closed admits freely; faults below the trip threshold keep it closed.
+	for i := 0; i < 2; i++ {
+		if ok, probe := s.Admit("tool"); !ok || probe {
+			t.Fatalf("closed breaker: Admit = (%v, %v), want (true, false)", ok, probe)
+		}
+		s.Record("tool", false, false)
+	}
+	if got := s.StateOf("tool"); got != Closed {
+		t.Fatalf("after 2 faults state = %v, want closed", got)
+	}
+
+	// The third consecutive fault trips it open.
+	s.Admit("tool")
+	s.Record("tool", false, false)
+	if got := s.StateOf("tool"); got != Open {
+		t.Fatalf("after 3 faults state = %v, want open", got)
+	}
+	if ok, _ := s.Admit("tool"); ok {
+		t.Fatal("open breaker admitted before cooldown")
+	}
+
+	// After the cooldown the next Admit is the half-open probe; a second
+	// caller is still rejected while the probe is in flight.
+	clock.advance(time.Minute)
+	ok, probe := s.Admit("tool")
+	if !ok || !probe {
+		t.Fatalf("post-cooldown Admit = (%v, %v), want (true, true)", ok, probe)
+	}
+	if got := s.StateOf("tool"); got != HalfOpen {
+		t.Fatalf("probing state = %v, want half_open", got)
+	}
+	if ok, _ := s.Admit("tool"); ok {
+		t.Fatal("second caller admitted while the probe is in flight")
+	}
+
+	// A successful probe closes the breaker and resets the fault count.
+	s.Record("tool", true, true)
+	if got := s.StateOf("tool"); got != Closed {
+		t.Fatalf("after successful probe state = %v, want closed", got)
+	}
+	st := s.States()
+	if len(st) != 1 || st[0].Consecutive != 0 {
+		t.Fatalf("States() = %+v, want one tool with 0 consecutive faults", st)
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	clock := newFakeClock()
+	s := NewBreakerSet(clock.cfg(1, time.Minute))
+	s.Record("tool", false, false)
+	if got := s.StateOf("tool"); got != Open {
+		t.Fatalf("state = %v, want open", got)
+	}
+	clock.advance(time.Minute)
+	if ok, probe := s.Admit("tool"); !ok || !probe {
+		t.Fatal("cooldown elapsed but no probe admitted")
+	}
+	// One failed probe re-opens immediately — no TripAfter grace.
+	s.Record("tool", false, true)
+	if got := s.StateOf("tool"); got != Open {
+		t.Fatalf("after failed probe state = %v, want open", got)
+	}
+	if ok, _ := s.Admit("tool"); ok {
+		t.Fatal("re-opened breaker admitted before a fresh cooldown")
+	}
+	clock.advance(time.Minute)
+	if ok, probe := s.Admit("tool"); !ok || !probe {
+		t.Fatal("second cooldown elapsed but no probe admitted")
+	}
+}
+
+func TestBreakerForfeitReleasesProbe(t *testing.T) {
+	clock := newFakeClock()
+	s := NewBreakerSet(clock.cfg(1, time.Minute))
+	s.Record("tool", false, false)
+	clock.advance(time.Minute)
+	if ok, probe := s.Admit("tool"); !ok || !probe {
+		t.Fatal("no probe admitted after cooldown")
+	}
+	// The probe race was cancelled before the tool said anything: the
+	// admission must be released without counting against the tool, and
+	// since the cooldown has already elapsed the very next Admit probes.
+	s.Forfeit("tool", true)
+	if got := s.StateOf("tool"); got != Open {
+		t.Fatalf("after forfeit state = %v, want open", got)
+	}
+	if ok, probe := s.Admit("tool"); !ok || !probe {
+		t.Fatalf("Admit after forfeit = (%v, %v), want a fresh probe", ok, probe)
+	}
+}
+
+func TestBreakerSuccessResetsConsecutive(t *testing.T) {
+	s := NewBreakerSet(BreakerConfig{TripAfter: 3})
+	s.Record("tool", false, false)
+	s.Record("tool", false, false)
+	s.Record("tool", true, false) // success wipes the streak
+	s.Record("tool", false, false)
+	s.Record("tool", false, false)
+	if got := s.StateOf("tool"); got != Closed {
+		t.Fatalf("non-consecutive faults tripped the breaker (state %v)", got)
+	}
+	s.Record("tool", false, false)
+	if got := s.StateOf("tool"); got != Open {
+		t.Fatalf("3 consecutive faults left state %v, want open", got)
+	}
+}
+
+func TestBreakerTransitionCallback(t *testing.T) {
+	clock := newFakeClock()
+	var seen []string
+	cfg := clock.cfg(1, time.Minute)
+	cfg.OnTransition = func(tool string, from, to State) {
+		seen = append(seen, fmt.Sprintf("%s:%v->%v", tool, from, to))
+	}
+	s := NewBreakerSet(cfg)
+	s.Record("tool", false, false)
+	clock.advance(time.Minute)
+	s.Admit("tool")
+	s.Record("tool", true, true)
+	want := []string{"tool:closed->open", "tool:open->half_open", "tool:half_open->closed"}
+	if len(seen) != len(want) {
+		t.Fatalf("transitions = %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("transition[%d] = %q, want %q", i, seen[i], want[i])
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/portfolio"
 	"repro/internal/suite"
 )
 
@@ -15,11 +16,14 @@ import (
 // here is an atomic counter, a scrape-time gauge, or a fixed-bucket
 // latency histogram.
 type metrics struct {
-	reg         *obs.Registry
-	requests    *obs.CounterVec
-	duration    *obs.HistogramVec
-	cache       *obs.CounterVec
-	conditional *obs.CounterVec
+	reg                *obs.Registry
+	requests           *obs.CounterVec
+	duration           *obs.HistogramVec
+	cache              *obs.CounterVec
+	conditional        *obs.CounterVec
+	route              *obs.CounterVec
+	routeWins          *obs.CounterVec
+	breakerTransitions *obs.CounterVec
 }
 
 func newMetrics() *metrics {
@@ -34,6 +38,12 @@ func newMetrics() *metrics {
 			"Suite-serving cache outcomes (the X-Cache header).", "result"),
 		conditional: reg.CounterVec("qubikos_http_conditional_total",
 			"Conditional (If-None-Match) request outcomes.", "result"),
+		route: reg.CounterVec("qubikos_route_total",
+			"Portfolio route races by outcome (ok, deadline_degraded, no_result, no_admissible_tool, error).", "result"),
+		routeWins: reg.CounterVec("qubikos_route_wins_total",
+			"Portfolio race wins by tool.", "tool"),
+		breakerTransitions: reg.CounterVec("qubikos_breaker_transitions_total",
+			"Circuit-breaker state transitions by tool and destination state.", "tool", "to"),
 	}
 }
 
@@ -65,10 +75,56 @@ func (s *Server) registerServerFamilies() {
 			func(st suite.Stats) int64 { return st.RemoteFetches }},
 		{"qubikos_store_file_reads_total", "Instance-file reads served by the store.",
 			func(st suite.Stats) int64 { return st.FileReads }},
+		{"qubikos_store_remote_retries_total", "Transient remote-fetch retries across all tiers.",
+			func(st suite.Stats) int64 { return st.RemoteRetries }},
+		{"qubikos_store_remote_failures_total", "Remote fetches that exhausted their retry budget.",
+			func(st suite.Stats) int64 { return st.RemoteFailures }},
 	} {
 		fn := g.fn
 		reg.CounterFunc(g.name, g.help, func() int64 { return fn(s.store.Stats()) })
 	}
+	reg.CounterVecFunc("qubikos_store_peer_fetch_retries_total",
+		"Transient fetch retries by remote tier.", []string{"peer"},
+		func() []obs.LabeledValue {
+			var out []obs.LabeledValue
+			for _, r := range s.store.RemoteStats() {
+				out = append(out, obs.LabeledValue{Values: []string{r.Name}, V: r.Retries})
+			}
+			return out
+		})
+	reg.CounterVecFunc("qubikos_store_peer_fetch_failures_total",
+		"Exhausted fetches by remote tier.", []string{"peer"},
+		func() []obs.LabeledValue {
+			var out []obs.LabeledValue
+			for _, r := range s.store.RemoteStats() {
+				out = append(out, obs.LabeledValue{Values: []string{r.Name}, V: r.Failures})
+			}
+			return out
+		})
+	reg.GaugeVecFunc("qubikos_breaker_state",
+		"Per-tool circuit-breaker state (0 closed, 1 half-open, 2 open).", []string{"tool"},
+		func() []obs.LabeledValue {
+			var out []obs.LabeledValue
+			for _, t := range s.breakers.States() {
+				out = append(out, obs.LabeledValue{Values: []string{t.Tool}, V: int64(t.State)})
+			}
+			return out
+		})
+}
+
+// observeRoute counts one POST /v1/route outcome.
+func (m *metrics) observeRoute(result string) {
+	m.route.With(result).Inc()
+}
+
+// observeRouteWin counts one portfolio race win by tool.
+func (m *metrics) observeRouteWin(tool string) {
+	m.routeWins.With(tool).Inc()
+}
+
+// observeBreakerTransition counts one breaker state change.
+func (m *metrics) observeBreakerTransition(tool string, to portfolio.State) {
+	m.breakerTransitions.With(tool, to.String()).Inc()
 }
 
 // observeRequest counts one finished request and records its latency to

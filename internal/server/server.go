@@ -44,6 +44,7 @@ import (
 
 	"repro/internal/family"
 	"repro/internal/harness"
+	"repro/internal/portfolio"
 	"repro/internal/suite"
 )
 
@@ -66,10 +67,21 @@ type Options struct {
 	// timed-out evaluation resumes where it stopped on retry. 0 means no
 	// server-side deadline.
 	EvalTimeout time.Duration
-	// SelectTools resolves an eval request's tools parameter; nil uses
-	// harness.SelectTools. The seam exists so fault-injection tests can
-	// evaluate with misbehaving tools.
+	// SelectTools resolves an eval or route request's tools parameter;
+	// nil uses harness.SelectTools. The seam exists so fault-injection
+	// tests can evaluate and route with misbehaving tools.
 	SelectTools func(list string, sabreTrials int) ([]harness.ToolSpec, error)
+	// RouteMaxDeadline caps — and, when the request omits deadline_ms,
+	// supplies — a POST /v1/route race budget (default 30s).
+	RouteMaxDeadline time.Duration
+	// RouteHedgeDelay is the default per-tier hedge stagger for route
+	// races when the request omits hedge_ms (default 100ms).
+	RouteHedgeDelay time.Duration
+	// Breakers tunes the per-tool circuit breakers behind POST /v1/route
+	// (zero values take the portfolio defaults: trip after 3 consecutive
+	// faults, 30s cooldown). The Now field is the test seam for stepping
+	// through cooldowns.
+	Breakers portfolio.BreakerConfig
 	// DisableMetrics leaves the /metrics endpoint unregistered. Counters
 	// are still collected (they cost a map increment per request); only
 	// the exposition endpoint is withheld.
@@ -83,11 +95,12 @@ const retryAfterSeconds = 5
 
 // Server is the HTTP front end over a suite store.
 type Server struct {
-	store   *suite.Store
-	lru     *suiteLRU
-	mux     *http.ServeMux
-	opts    Options
-	metrics *metrics
+	store    *suite.Store
+	lru      *suiteLRU
+	mux      *http.ServeMux
+	opts     Options
+	metrics  *metrics
+	breakers *portfolio.BreakerSet
 
 	// draining is set by StartDraining: liveness stays green (the
 	// process is healthy) while readiness goes red so load balancers
@@ -126,6 +139,17 @@ func New(store *suite.Store, opts Options) *Server {
 		metrics: newMetrics(),
 		evalMu:  map[string]chan struct{}{},
 	}
+	// Breaker transitions feed the transition counter on top of any
+	// caller-supplied observer.
+	bcfg := opts.Breakers
+	userTransition := bcfg.OnTransition
+	bcfg.OnTransition = func(tool string, from, to portfolio.State) {
+		s.metrics.observeBreakerTransition(tool, to)
+		if userTransition != nil {
+			userTransition(tool, from, to)
+		}
+	}
+	s.breakers = portfolio.NewBreakerSet(bcfg)
 	s.registerServerFamilies()
 	s.handle("GET /healthz", "healthz", s.handleHealth)
 	s.handle("GET /healthz/live", "healthz_live", s.handleLive)
@@ -141,6 +165,7 @@ func New(store *suite.Store, opts Options) *Server {
 	s.handle("GET /v1/suites/{hash}/instances/{base}", "instance_sidecar", s.handleInstance)
 	s.handle("GET /v1/suites/{hash}/instances/{base}/{file}", "instance_file", s.handleInstanceFile)
 	s.handle("POST /v1/suites/{hash}/eval", "eval", s.handleEval)
+	s.handle("POST /v1/route", "route", s.handleRoute)
 	return s
 }
 
@@ -168,13 +193,20 @@ func (s *Server) handle(pattern, route string, h http.HandlerFunc) {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeObj(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"status":     "ok",
 		"draining":   s.draining.Load(),
 		"stats":      s.store.Stats(),
 		"lru_suites": s.lru.len(),
 		"families":   family.IDs(),
-	})
+	}
+	if remotes := s.store.RemoteStats(); len(remotes) > 0 {
+		out["remotes"] = remotes
+	}
+	if breakers := s.breakers.States(); len(breakers) > 0 {
+		out["breakers"] = breakers
+	}
+	writeObj(w, http.StatusOK, out)
 }
 
 // handleLive is the liveness probe: green whenever the process can

@@ -43,12 +43,14 @@ func TestSoakTwoReplicasSharedRoot(t *testing.T) {
 	}
 
 	rep, err := loadtest.Run(context.Background(), loadtest.Config{
-		Targets:     targets,
-		Manifests:   manifests,
-		Total:       1200,
-		Concurrency: 24,
-		Seed:        7,
-		Tools:       "lightsabre",
+		Targets:         targets,
+		Manifests:       manifests,
+		Total:           1200,
+		Concurrency:     24,
+		Seed:            7,
+		Tools:           "lightsabre",
+		Route:           true,
+		RouteDeadlineMS: 5000,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -62,6 +64,20 @@ func TestSoakTwoReplicasSharedRoot(t *testing.T) {
 	}
 	if rep.Abandoned == 0 {
 		t.Fatal("the abandoned-stream class never ran")
+	}
+	// The portfolio route class ran and every race answered cleanly:
+	// healthy tools under a generous deadline must never 5xx (zero
+	// failures above covers the status) and never trip a breaker.
+	if rep.ByClass[loadtest.ClassRoute] == 0 {
+		t.Fatal("the route class never ran")
+	}
+	for _, srv := range servers {
+		for _, bs := range srv.breakers.States() {
+			if bs.StateName != "closed" || bs.Consecutive != 0 {
+				t.Fatalf("breaker %s left %s with %d consecutive faults after a healthy soak",
+					bs.Tool, bs.StateName, bs.Consecutive)
+			}
+		}
 	}
 	if len(rep.Suites) != len(manifests) {
 		t.Fatalf("exercised %d suites, want %d", len(rep.Suites), len(manifests))

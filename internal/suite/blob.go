@@ -1,6 +1,9 @@
 package suite
 
-import "context"
+import (
+	"context"
+	"errors"
+)
 
 // Source labels where a Suite came from, for cache accounting (the
 // server's X-Cache header and the store's counters). It is deliberately
@@ -35,4 +38,22 @@ type Blob interface {
 	Name() string
 	// Fetch materializes the completed suite hash into dir.
 	Fetch(ctx context.Context, hash, dir string) error
+}
+
+// BlobMetrics is the optional counter surface a Blob may expose.
+// Backends that retry transient failures (PeerBlob) report how often
+// they did, and how many fetches ultimately failed; the Store sums these
+// into Stats and surfaces them per-backend via RemoteStats.
+type BlobMetrics interface {
+	// FetchRetries counts transient-failure retries.
+	FetchRetries() int64
+	// FetchFailures counts Fetch calls that returned a non-ErrNotFound
+	// error after exhausting their retry budget.
+	FetchFailures() int64
+}
+
+// isNotFound reports whether err means "the backend does not hold the
+// suite" — the one Blob error that is an answer rather than a fault.
+func isNotFound(err error) bool {
+	return errors.Is(err, ErrNotFound)
 }

@@ -3,8 +3,11 @@ package suite
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 	"net/http"
+	"os"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -12,6 +15,19 @@ import (
 // archive endpoint serves local bytes only regardless, so the header is
 // advisory (useful in access logs), but it documents intent on the wire.
 const PeerHeader = "X-Qubikos-Peer"
+
+// Peer-fetch retry policy. Transient failures — connection errors, 5xx
+// responses, torn archive streams — are retried with bounded exponential
+// backoff before the Store falls through to local generation; permanent
+// answers (404, other 4xx) and the caller's own cancellation are not.
+const (
+	// peerAttempts bounds total tries per Fetch (1 initial + retries).
+	peerAttempts = 3
+	// peerBackoffBase is the first retry's delay; each retry doubles it.
+	peerBackoffBase = 50 * time.Millisecond
+	// peerBackoffCap bounds any single delay.
+	peerBackoffCap = time.Second
+)
 
 // PeerBlob is the HTTP peer-replica Blob backend: it fetches a missing
 // suite from another qubikos-serve's archive endpoint instead of
@@ -21,6 +37,9 @@ const PeerHeader = "X-Qubikos-Peer"
 type PeerBlob struct {
 	base   string
 	client *http.Client
+
+	retries  atomic.Int64
+	failures atomic.Int64
 }
 
 // NewPeerBlob builds a peer backend over the replica's base URL
@@ -37,27 +56,118 @@ func NewPeerBlob(baseURL string, client *http.Client) *PeerBlob {
 // Name implements Blob.
 func (p *PeerBlob) Name() string { return "peer:" + p.base }
 
+// FetchRetries implements BlobMetrics: transient-failure retries so far.
+func (p *PeerBlob) FetchRetries() int64 { return p.retries.Load() }
+
+// FetchFailures implements BlobMetrics: Fetch calls that exhausted every
+// attempt (or hit a permanent non-404 answer) and returned an error.
+func (p *PeerBlob) FetchFailures() int64 { return p.failures.Load() }
+
 // Fetch implements Blob: it downloads the peer's archive stream and
-// extracts it into dir. A peer that does not hold the suite (404) maps to
-// ErrNotFound so the Store falls through to the next tier.
+// extracts it into dir, retrying transient failures with bounded
+// exponential backoff and deterministic jitter. A peer that does not
+// hold the suite (404) maps to ErrNotFound so the Store falls through to
+// the next tier immediately — absence is an answer, not a fault.
 func (p *PeerBlob) Fetch(ctx context.Context, hash, dir string) error {
+	var lastErr error
+	for attempt := 0; attempt < peerAttempts; attempt++ {
+		if attempt > 0 {
+			p.retries.Add(1)
+			// A failed extraction may have left partial files; restage so
+			// the retry writes into a clean directory.
+			if err := restageDir(dir); err != nil {
+				p.failures.Add(1)
+				return fmt.Errorf("suite: %s: restaging for retry: %w", p.Name(), err)
+			}
+			if err := sleepCtx(ctx, backoffDelay(hash, attempt)); err != nil {
+				p.failures.Add(1)
+				return err
+			}
+		}
+		retryable, err := p.fetchOnce(ctx, hash, dir)
+		if err == nil {
+			return nil
+		}
+		if !retryable || ctx.Err() != nil {
+			if !isNotFound(err) {
+				p.failures.Add(1)
+			}
+			return err
+		}
+		lastErr = err
+	}
+	p.failures.Add(1)
+	return fmt.Errorf("%w (after %d attempts)", lastErr, peerAttempts)
+}
+
+// fetchOnce is one fetch attempt; retryable classifies its error.
+func (p *PeerBlob) fetchOnce(ctx context.Context, hash, dir string) (retryable bool, err error) {
 	url := p.base + "/v1/suites/" + hash + "/archive"
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return err
+		return false, err
 	}
 	req.Header.Set(PeerHeader, "1")
 	resp, err := p.client.Do(req)
 	if err != nil {
-		return fmt.Errorf("suite: %s: %w", p.Name(), err)
+		// Transport-level failure: connection refused, reset, timeout.
+		return true, fmt.Errorf("suite: %s: %w", p.Name(), err)
 	}
 	defer resp.Body.Close()
-	switch resp.StatusCode {
-	case http.StatusOK:
-	case http.StatusNotFound:
-		return fmt.Errorf("suite: %s: %w: %s", p.Name(), ErrNotFound, hash)
+	switch {
+	case resp.StatusCode == http.StatusOK:
+	case resp.StatusCode == http.StatusNotFound:
+		return false, fmt.Errorf("suite: %s: %w: %s", p.Name(), ErrNotFound, hash)
+	case resp.StatusCode >= 500:
+		return true, fmt.Errorf("suite: %s: archive fetch for %s returned status %d", p.Name(), hash, resp.StatusCode)
 	default:
-		return fmt.Errorf("suite: %s: archive fetch for %s returned status %d", p.Name(), hash, resp.StatusCode)
+		// Other 4xx: the request itself is wrong; retrying cannot help.
+		return false, fmt.Errorf("suite: %s: archive fetch for %s returned status %d", p.Name(), hash, resp.StatusCode)
 	}
-	return extractArchive(resp.Body, dir)
+	if err := extractArchive(resp.Body, dir); err != nil {
+		// A torn stream mid-extraction is as transient as the connection
+		// that tore it.
+		return true, fmt.Errorf("suite: %s: %w", p.Name(), err)
+	}
+	return false, nil
+}
+
+// backoffDelay is the bounded exponential backoff with deterministic
+// jitter: the jitter is hashed from (suite hash, attempt), so a given
+// retry schedule is reproducible in tests and logs while distinct suites
+// still spread their retries apart.
+func backoffDelay(hash string, attempt int) time.Duration {
+	d := peerBackoffBase << (attempt - 1)
+	if d > peerBackoffCap {
+		d = peerBackoffCap
+	}
+	h := fnv.New32a()
+	fmt.Fprintf(h, "%s/%d", hash, attempt)
+	// Jitter in [0, d/2), added on top of the base delay.
+	jitter := time.Duration(h.Sum32()) % (d / 2)
+	d += jitter
+	if d > peerBackoffCap {
+		d = peerBackoffCap
+	}
+	return d
+}
+
+// restageDir resets a staging directory between fetch attempts.
+func restageDir(dir string) error {
+	if err := os.RemoveAll(dir); err != nil {
+		return err
+	}
+	return os.MkdirAll(dir, 0o755)
+}
+
+// sleepCtx sleeps d unless the context fires first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }

@@ -1,0 +1,181 @@
+package suite
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// peerArchiveServer serves a real suite archive, failing the first n
+// requests with the given status — the flaky peer the retry policy is
+// for.
+func peerArchiveServer(t *testing.T, archive []byte, gate *chaos.FlakyGate, failStatus int) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if gate.Fail() {
+			w.WriteHeader(failStatus)
+			return
+		}
+		w.Write(archive)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// suiteArchive generates a tiny suite and returns its manifest + bytes.
+func suiteArchive(t *testing.T) (Manifest, []byte) {
+	t.Helper()
+	src := openStore(t)
+	m := tinyManifest()
+	if _, err := src.Ensure(m); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := src.WriteArchive(m.Hash(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	return m, buf.Bytes()
+}
+
+// fastPeer builds a PeerBlob with a short client timeout for tests.
+func fastPeer(url string) *PeerBlob {
+	return NewPeerBlob(url, &http.Client{Timeout: 5 * time.Second})
+}
+
+// A peer that answers 5xx a bounded number of times is retried and the
+// fetch still lands — with the retries visible in the store's stats.
+func TestPeerFetchRetriesTransient5xx(t *testing.T) {
+	m, archive := suiteArchive(t)
+	gate := chaos.NewFlakyGate(2)
+	srv := peerArchiveServer(t, archive, gate, http.StatusInternalServerError)
+	peer := fastPeer(srv.URL)
+	dst, err := Open(t.TempDir(), StoreOptions{Workers: 2, Remotes: []Blob{peer}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := dst.Lookup(m.Hash())
+	if err != nil {
+		t.Fatalf("Lookup through flaky peer: %v", err)
+	}
+	if st.Source != SourceRemote {
+		t.Fatalf("source = %q, want remote", st.Source)
+	}
+	if got := gate.Attempts(); got != 3 {
+		t.Fatalf("peer saw %d requests, want 3 (2 failures + 1 success)", got)
+	}
+	stats := dst.Stats()
+	if stats.RemoteRetries != 2 || stats.RemoteFailures != 0 || stats.RemoteFetches != 1 {
+		t.Fatalf("stats = %+v, want 2 retries, 0 failures, 1 fetch", stats)
+	}
+	rs := dst.RemoteStats()
+	if len(rs) != 1 || rs[0].Name != peer.Name() || rs[0].Retries != 2 || rs[0].Failures != 0 {
+		t.Fatalf("RemoteStats = %+v", rs)
+	}
+}
+
+// 404 is an answer, not a fault: no retries, no failure count, and the
+// store falls through to generating locally.
+func TestPeerFetch404FallsThroughWithoutRetry(t *testing.T) {
+	m := tinyManifest()
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.NotFound(w, r)
+	}))
+	t.Cleanup(srv.Close)
+	peer := fastPeer(srv.URL)
+	dst, err := Open(t.TempDir(), StoreOptions{Workers: 2, Remotes: []Blob{peer}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := dst.LookupLocal(m.Hash()); !errors.Is(err, ErrNotFound) {
+		t.Fatal("suite unexpectedly present locally")
+	}
+	st, err := dst.Ensure(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Source != SourceGenerated {
+		t.Fatalf("source = %q, want generated after peer 404", st.Source)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("peer saw %d requests for a 404, want exactly 1 (no retries)", got)
+	}
+	stats := dst.Stats()
+	if stats.RemoteRetries != 0 || stats.RemoteFailures != 0 {
+		t.Fatalf("stats = %+v, want no retries or failures on 404", stats)
+	}
+}
+
+// A peer that never recovers exhausts the retry budget, is counted as a
+// failure, and the store still delivers by generating locally.
+func TestPeerFetchExhaustedRetriesFailsThrough(t *testing.T) {
+	m := tinyManifest()
+	gate := chaos.NewFlakyGate(1 << 20) // never recovers
+	srv := peerArchiveServer(t, nil, gate, http.StatusServiceUnavailable)
+	peer := fastPeer(srv.URL)
+	dst, err := Open(t.TempDir(), StoreOptions{Workers: 2, Remotes: []Blob{peer}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := dst.Ensure(m)
+	if err != nil {
+		t.Fatalf("Ensure with dead peer: %v", err)
+	}
+	if st.Source != SourceGenerated {
+		t.Fatalf("source = %q, want generated fall-through", st.Source)
+	}
+	if got := gate.Attempts(); got != 3 {
+		t.Fatalf("peer saw %d requests, want 3 (retry budget)", got)
+	}
+	stats := dst.Stats()
+	if stats.RemoteRetries != 2 || stats.RemoteFailures != 1 {
+		t.Fatalf("stats = %+v, want 2 retries and 1 failure", stats)
+	}
+}
+
+// Connection-level failures (no listener at all) retry the same way.
+func TestPeerFetchRetriesConnectionError(t *testing.T) {
+	m := tinyManifest()
+	// Grab a port with no listener behind it.
+	srv := httptest.NewServer(http.NotFoundHandler())
+	url := srv.URL
+	srv.Close()
+	peer := fastPeer(url)
+	dst, err := Open(t.TempDir(), StoreOptions{Workers: 2, Remotes: []Blob{peer}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.Ensure(m); err != nil {
+		t.Fatalf("Ensure with unreachable peer: %v", err)
+	}
+	if peer.FetchRetries() != 2 || peer.FetchFailures() != 1 {
+		t.Fatalf("retries=%d failures=%d, want 2/1", peer.FetchRetries(), peer.FetchFailures())
+	}
+}
+
+// backoffDelay is deterministic, bounded, and grows with the attempt.
+func TestBackoffDelayDeterministicAndBounded(t *testing.T) {
+	for attempt := 1; attempt < 6; attempt++ {
+		a := backoffDelay("deadbeef", attempt)
+		b := backoffDelay("deadbeef", attempt)
+		if a != b {
+			t.Fatalf("attempt %d: jitter not deterministic (%v vs %v)", attempt, a, b)
+		}
+		if a <= 0 || a > peerBackoffCap {
+			t.Fatalf("attempt %d: delay %v outside (0, %v]", attempt, a, peerBackoffCap)
+		}
+	}
+	if backoffDelay("deadbeef", 1) == backoffDelay("cafef00d", 1) {
+		t.Log("distinct hashes share a jitter value (allowed, just unlucky)")
+	}
+}

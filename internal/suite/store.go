@@ -100,6 +100,20 @@ type Stats struct {
 	// the serving layer's "a 304 touches the store zero times" assertions
 	// key off this counter.
 	FileReads int64
+	// RemoteRetries sums transient-failure retries across every remote
+	// tier that exposes BlobMetrics (peer fetches that hit a connection
+	// error or 5xx and tried again).
+	RemoteRetries int64
+	// RemoteFailures sums remote fetches that exhausted their retry
+	// budget and fell through (to the next tier or local generation).
+	RemoteFailures int64
+}
+
+// RemoteStat is one remote tier's fetch-health snapshot.
+type RemoteStat struct {
+	Name     string `json:"name"`
+	Retries  int64  `json:"retries"`
+	Failures int64  `json:"failures"`
 }
 
 // InstanceRef identifies one instance within a suite.
@@ -239,7 +253,7 @@ func (s *Store) Root() string { return s.disk.root }
 
 // Stats returns a snapshot of the store's counters.
 func (s *Store) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Hits:               s.hits.Load(),
 		Misses:             s.misses.Load(),
 		SuitesGenerated:    s.suiteGen.Load(),
@@ -247,6 +261,29 @@ func (s *Store) Stats() Stats {
 		RemoteFetches:      s.remoteFetch.Load(),
 		FileReads:          s.fileReads.Load(),
 	}
+	for _, r := range s.RemoteStats() {
+		st.RemoteRetries += r.Retries
+		st.RemoteFailures += r.Failures
+	}
+	return st
+}
+
+// RemoteStats snapshots each remote tier's fetch health, in tier order.
+// Tiers that do not expose BlobMetrics report zeros.
+func (s *Store) RemoteStats() []RemoteStat {
+	if len(s.remotes) == 0 {
+		return nil
+	}
+	out := make([]RemoteStat, 0, len(s.remotes))
+	for _, b := range s.remotes {
+		r := RemoteStat{Name: b.Name()}
+		if m, ok := b.(BlobMetrics); ok {
+			r.Retries = m.FetchRetries()
+			r.Failures = m.FetchFailures()
+		}
+		out = append(out, r)
+	}
+	return out
 }
 
 // InstanceDir returns the directory holding a stored suite's instances.
